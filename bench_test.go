@@ -1,0 +1,610 @@
+package repro
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/gpu"
+	"repro/internal/lattice"
+	"repro/internal/md"
+	"repro/internal/mta"
+	"repro/internal/opteron"
+	"repro/internal/seqalign"
+	"repro/internal/sim"
+	"repro/internal/spu"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// The benchmarks in this file form the harness for the paper's
+// evaluation section: one benchmark per table and figure, each
+// reporting the modeled device runtimes as custom metrics
+// (model_sec/<row>), plus micro-benchmarks of the substrates. The
+// b.N-timed quantity is the cost of running the functional simulation;
+// the paper's numbers are the reported metrics. cmd/paperbench prints
+// the same rows as tables at full paper scale.
+
+// benchAtoms keeps benchmark workloads small enough that -bench=. over
+// the whole suite stays in minutes; the full-scale (2048-atom) rows are
+// produced by cmd/paperbench and recorded in EXPERIMENTS.md.
+const benchAtoms = 512
+
+// BenchmarkFig5SIMDLadder regenerates Figure 5: the acceleration-kernel
+// runtime for each SIMD-optimization rung on one SPE.
+func BenchmarkFig5SIMDLadder(b *testing.B) {
+	for v := cell.Variant(0); v < cell.NumVariants; v++ {
+		b.Run(v.String(), func(b *testing.B) {
+			w, err := core.StandardWorkload(benchAtoms, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			proc, err := cell.New(cell.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				sec, err = proc.AccelKernelTime(w, v)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(sec, "model_sec")
+		})
+	}
+}
+
+// BenchmarkFig6LaunchOverhead regenerates Figure 6: total runtime and
+// SPE-launch overhead for {1,8} SPEs x {respawn, launch-once}.
+func BenchmarkFig6LaunchOverhead(b *testing.B) {
+	for _, mode := range []cell.Mode{cell.RespawnEachStep, cell.LaunchOnce} {
+		for _, nspe := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%dspe_%v", nspe, mode), func(b *testing.B) {
+				w, err := core.StandardWorkload(benchAtoms, core.PaperSteps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dev, err := core.NewCell(nspe, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var total, spawn float64
+				for i := 0; i < b.N; i++ {
+					res, err := dev.Run(w)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total = res.Seconds()
+					spawn = res.Time.Component("spawn")
+				}
+				b.ReportMetric(total, "model_sec")
+				b.ReportMetric(spawn, "model_spawn_sec")
+			})
+		}
+	}
+}
+
+// BenchmarkTable1Devices regenerates Table 1: the device comparison for
+// the fixed-size experiment.
+func BenchmarkTable1Devices(b *testing.B) {
+	cases := []struct {
+		name string
+		run  func(b *testing.B, w device.Workload) float64
+	}{
+		{"opteron", func(b *testing.B, w device.Workload) float64 {
+			res, err := core.NewOpteron().Run(w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Seconds()
+		}},
+		{"cell_1spe", func(b *testing.B, w device.Workload) float64 {
+			dev, err := core.NewCell(1, cell.LaunchOnce)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := dev.Run(w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Seconds()
+		}},
+		{"cell_8spe", func(b *testing.B, w device.Workload) float64 {
+			dev, err := core.NewCell(8, cell.LaunchOnce)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := dev.Run(w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Seconds()
+		}},
+		{"cell_ppe_only", func(b *testing.B, w device.Workload) float64 {
+			dev, err := core.NewCellPPEOnly()
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := dev.Run(w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Seconds()
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			w, err := core.StandardWorkload(benchAtoms, core.PaperSteps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				sec = c.run(b, w)
+			}
+			b.ReportMetric(sec, "model_sec")
+		})
+	}
+}
+
+// BenchmarkFig7GPUvsOpteron regenerates Figure 7's series: both devices
+// across the atom sweep.
+func BenchmarkFig7GPUvsOpteron(b *testing.B) {
+	for _, n := range []int{128, 512, 2048} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			var rows []core.Fig7Row
+			var err error
+			for i := 0; i < b.N; i++ {
+				rows, err = core.Fig7([]int{n}, core.PaperSteps)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rows[0].Opteron, "model_opteron_sec")
+			b.ReportMetric(rows[0].GPU, "model_gpu_sec")
+		})
+	}
+}
+
+// BenchmarkFig8MTAThreading regenerates Figure 8's series.
+func BenchmarkFig8MTAThreading(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			var rows []core.Fig8Row
+			var err error
+			for i := 0; i < b.N; i++ {
+				rows, err = core.Fig8([]int{n}, core.PaperSteps)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rows[0].Fully, "model_fully_sec")
+			b.ReportMetric(rows[0].Partially, "model_partially_sec")
+		})
+	}
+}
+
+// BenchmarkFig9Scaling regenerates Figure 9's normalized growth points.
+func BenchmarkFig9Scaling(b *testing.B) {
+	b.Run("sweep", func(b *testing.B) {
+		var rows []core.Fig9Row
+		var err error
+		for i := 0; i < b.N; i++ {
+			rows, err = core.Fig9([]int{256, 1024, 4096}, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.MTARel, "model_mta_rel")
+		b.ReportMetric(last.OpteronRel, "model_opteron_rel")
+	})
+}
+
+// ---- Ablation benches for the design choices DESIGN.md calls out ----
+
+// BenchmarkAblationPairlist compares the paper's on-the-fly kernel with
+// the neighbor-list optimization it deliberately skips, on the Opteron
+// model.
+func BenchmarkAblationPairlist(b *testing.B) {
+	for _, usePairlist := range []bool{false, true} {
+		name := "on_the_fly"
+		if usePairlist {
+			name = "pairlist"
+		}
+		b.Run(name, func(b *testing.B) {
+			w, err := core.StandardWorkload(benchAtoms, core.PaperSteps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := opteron.DefaultConfig()
+			cfg.UsePairlist = usePairlist
+			dev := opteron.New(cfg)
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				res, err := dev.Run(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sec = res.Seconds()
+			}
+			b.ReportMetric(sec, "model_sec")
+		})
+	}
+}
+
+// BenchmarkAblationSPECount sweeps 1..8 SPEs (the paper reports only 1
+// and 8).
+func BenchmarkAblationSPECount(b *testing.B) {
+	for nspe := 1; nspe <= 8; nspe++ {
+		b.Run(fmt.Sprintf("%dspe", nspe), func(b *testing.B) {
+			w, err := core.StandardWorkload(benchAtoms, core.PaperSteps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dev, err := core.NewCell(nspe, cell.LaunchOnce)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				res, err := dev.Run(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sec = res.Seconds()
+			}
+			b.ReportMetric(sec, "model_sec")
+		})
+	}
+}
+
+// BenchmarkAblationMTAStreams sweeps the stream count to show the
+// saturation point of the latency-hiding model.
+func BenchmarkAblationMTAStreams(b *testing.B) {
+	for _, streams := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("%dstreams", streams), func(b *testing.B) {
+			w, err := core.StandardWorkload(benchAtoms, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := mta.DefaultConfig()
+			cfg.Streams = streams
+			dev, err := mta.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				res, err := dev.Run(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sec = res.Seconds()
+			}
+			b.ReportMetric(sec, "model_sec")
+		})
+	}
+}
+
+// ---- Substrate micro-benchmarks (real wall-clock numbers) ----
+
+// BenchmarkForceKernelReference measures the functional cost of the
+// reference double-precision force evaluation.
+func BenchmarkForceKernelReference(b *testing.B) {
+	st, err := lattice.Generate(lattice.Config{
+		N: benchAtoms, Density: 0.8442, Temperature: 0.728, Kind: lattice.FCC, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := md.Params[float64]{Box: st.Box, Cutoff: 2.5, Dt: 0.004}
+	sys, err := md.NewSystem(st, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		md.ComputeForces(sys.P, sys.Pos, sys.Acc)
+	}
+}
+
+// BenchmarkForceKernelFloat32 measures the single-precision variant.
+func BenchmarkForceKernelFloat32(b *testing.B) {
+	st, err := lattice.Generate(lattice.Config{
+		N: benchAtoms, Density: 0.8442, Temperature: 0.728, Kind: lattice.FCC, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := md.Params[float32]{Box: float32(st.Box), Cutoff: 2.5, Dt: 0.004}
+	sys, err := md.NewSystem(st, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		md.ComputeForces(sys.P, sys.Pos, sys.Acc)
+	}
+}
+
+// BenchmarkSPEKernelEmulation measures the emulated SPE kernel (the
+// per-operation-accounted path behind Figures 5/6).
+func BenchmarkSPEKernelEmulation(b *testing.B) {
+	w, err := core.StandardWorkload(256, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proc, err := cell.New(cell.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proc.AccelKernelTime(w, cell.SIMDAccel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheSimulator measures the set-associative cache model.
+func BenchmarkCacheSimulator(b *testing.B) {
+	c, err := cache.New(cache.Config{SizeBytes: 64 * 1024, LineBytes: 64, Ways: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*24) % (512 * 1024))
+	}
+}
+
+// BenchmarkSIMDEmulation measures the 4-lane vector ops of the SPE
+// model.
+func BenchmarkSIMDEmulation(b *testing.B) {
+	var ctx spu.Context
+	x := spu.V4{1, 2, 3, 4}
+	y := spu.V4{5, 6, 7, 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = ctx.VMadd(x, y, x)
+	}
+	_ = x
+}
+
+// BenchmarkMinImage measures the three minimum-image formulations.
+func BenchmarkMinImage(b *testing.B) {
+	d := vec.V3[float64]{X: 6.1, Y: -5.9, Z: 0.3}
+	const box = 10.0
+	b.Run("branch", func(b *testing.B) {
+		var sink vec.V3[float64]
+		for i := 0; i < b.N; i++ {
+			sink = md.MinImage(d, box)
+		}
+		_ = sink
+	})
+	b.Run("copysign", func(b *testing.B) {
+		var sink vec.V3[float64]
+		for i := 0; i < b.N; i++ {
+			sink = md.MinImageCopysign(d, box)
+		}
+		_ = sink
+	})
+	b.Run("cells27", func(b *testing.B) {
+		var sink vec.V3[float64]
+		for i := 0; i < b.N; i++ {
+			sink = md.MinImage27(d, box)
+		}
+		_ = sink
+	})
+}
+
+// ---- Extension benches: related work and future work ----
+
+// BenchmarkExtSmithWaterman runs the related-work Smith-Waterman ports
+// on both devices, reporting their modeled runtimes.
+func BenchmarkExtSmithWaterman(b *testing.B) {
+	rng := xrand.New(1984)
+	const n = 256
+	a := make([]byte, n)
+	c := make([]byte, n)
+	for i := 0; i < n; i++ {
+		a[i] = "ACGT"[rng.Intn(4)]
+		c[i] = "ACGT"[rng.Intn(4)]
+	}
+	b.Run("gpu", func(b *testing.B) {
+		dev, err := gpu.New(gpu.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sec float64
+		for i := 0; i < b.N; i++ {
+			_, bd, err := seqalign.SWGPU(dev, a, c, seqalign.DefaultScoring())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sec = bd.Total()
+		}
+		b.ReportMetric(sec, "model_sec")
+	})
+	b.Run("mta", func(b *testing.B) {
+		m, err := mta.New(mta.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sec float64
+		for i := 0; i < b.N; i++ {
+			_, bd, err := seqalign.SWMTA(m, a, c, seqalign.DefaultScoring())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sec = bd.Total()
+		}
+		b.ReportMetric(sec, "model_sec")
+	})
+}
+
+// BenchmarkExtXMTProjection reports the future-work XMT speedup for
+// one processor at varying locality.
+func BenchmarkExtXMTProjection(b *testing.B) {
+	for _, locality := range []float64{1.0, 0.5, 0.0} {
+		b.Run(fmt.Sprintf("locality%.0f", locality*100), func(b *testing.B) {
+			var s float64
+			var err error
+			for i := 0; i < b.N; i++ {
+				s, err = mta.XMTProjection(0.12, 1, locality)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(s, "model_speedup")
+		})
+	}
+}
+
+// BenchmarkExtSWDatabaseScan contrasts per-pair wavefront alignment
+// with whole-database scanning on the GPU (the related work's actual
+// workload).
+func BenchmarkExtSWDatabaseScan(b *testing.B) {
+	dev, err := gpu.New(gpu.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(4)
+	query := make([]byte, 64)
+	for i := range query {
+		query[i] = "ACGT"[rng.Intn(4)]
+	}
+	db := make([][]byte, 32)
+	for i := range db {
+		db[i] = make([]byte, 64)
+		for j := range db[i] {
+			db[i][j] = "ACGT"[rng.Intn(4)]
+		}
+	}
+	b.Run("scan", func(b *testing.B) {
+		var sec float64
+		for i := 0; i < b.N; i++ {
+			_, bd, err := seqalign.SWGPUScan(dev, query, db, seqalign.DefaultScoring())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sec = bd.Total()
+		}
+		b.ReportMetric(sec, "model_sec")
+	})
+	b.Run("per_pair", func(b *testing.B) {
+		var sec float64
+		for i := 0; i < b.N; i++ {
+			sec = 0
+			for _, s := range db {
+				_, bd, err := seqalign.SWGPU(dev, query, s, seqalign.DefaultScoring())
+				if err != nil {
+					b.Fatal(err)
+				}
+				sec += bd.Total()
+			}
+		}
+		b.ReportMetric(sec, "model_sec")
+	})
+}
+
+// BenchmarkAblationPrecisionDrift quantifies the float32-vs-float64
+// energy divergence the paper flags as the Cell/GPU "outstanding
+// issue": the reported metric is the relative PE difference after the
+// run.
+func BenchmarkAblationPrecisionDrift(b *testing.B) {
+	for _, steps := range []int{10, 100} {
+		b.Run(fmt.Sprintf("steps%d", steps), func(b *testing.B) {
+			st, err := lattice.Generate(lattice.Config{
+				N: 256, Density: 0.8442, Temperature: 0.728, Kind: lattice.FCC, Seed: 17,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var drift float64
+			for i := 0; i < b.N; i++ {
+				s64, err := md.NewSystem(st, md.Params[float64]{Box: st.Box, Cutoff: 2.5, Dt: 0.004})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s32, err := md.NewSystem(st, md.Params[float32]{Box: float32(st.Box), Cutoff: 2.5, Dt: 0.004})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s64.Run(steps)
+				s32.Run(steps)
+				drift = math.Abs(float64(s32.PE)-s64.PE) / math.Abs(s64.PE)
+			}
+			b.ReportMetric(drift, "rel_pe_drift")
+		})
+	}
+}
+
+// BenchmarkAblationProgrammingModel contrasts the paper's asynchronous
+// task-parallel model with the OpenMP-like data-parallel model that
+// the related work (Williams et al.) evaluates exclusively.
+func BenchmarkAblationProgrammingModel(b *testing.B) {
+	for _, model := range []cell.Model{cell.TaskParallel, cell.DataParallel} {
+		b.Run(model.String(), func(b *testing.B) {
+			w, err := core.StandardWorkload(benchAtoms, core.PaperSteps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := cell.DefaultConfig()
+			cfg.Model = model
+			dev, err := cell.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				res, err := dev.Run(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sec = res.Seconds()
+			}
+			b.ReportMetric(sec, "model_sec")
+		})
+	}
+}
+
+// BenchmarkAblationBranchHints asks the what-if of Figure 5's first
+// rung: how much of the Original kernel's cost is the SPE's missing
+// branch prediction? Halving the taken-branch penalty (as compiler
+// branch hints achieve on hot loops) closes part of the gap to the
+// copysign variant.
+func BenchmarkAblationBranchHints(b *testing.B) {
+	w, err := core.StandardWorkload(benchAtoms, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, hinted := range []bool{false, true} {
+		name := "no_hints"
+		cfg := cell.DefaultConfig()
+		if hinted {
+			name = "hinted"
+			cfg.SPECosts[sim.OpBranchMiss] = 9 // hint resolves half the flush
+		}
+		b.Run(name, func(b *testing.B) {
+			proc, err := cell.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				sec, err = proc.AccelKernelTime(w, cell.Original)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(sec, "model_sec")
+		})
+	}
+}

@@ -1,0 +1,277 @@
+// Command mdsim runs the paper's MD kernel on one modeled device and
+// reports the physics (energies, temperature) together with the modeled
+// runtime and its component breakdown.
+//
+// Usage:
+//
+//	mdsim -device opteron -atoms 2048 -steps 10
+//	mdsim -device cell -nspe 8 -mode amortized
+//	mdsim -device cell -ppe-only
+//	mdsim -device gpu
+//	mdsim -device mta -threading partial
+//	mdsim -device reference        # pure physics, no performance model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/md"
+	"repro/internal/mta"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		devName   = flag.String("device", "reference", "reference|opteron|cell|gpu|mta")
+		atoms     = flag.Int("atoms", 2048, "number of atoms")
+		steps     = flag.Int("steps", 10, "velocity-Verlet steps")
+		nspe      = flag.Int("nspe", 8, "cell: SPEs to use (1..8)")
+		mode      = flag.String("mode", "amortized", "cell: amortized|respawn")
+		ppeOnly   = flag.Bool("ppe-only", false, "cell: run everything on the PPE")
+		threading = flag.String("threading", "full", "mta: full|partial")
+		validate  = flag.Bool("validate", true, "cross-check physics against the reference implementation")
+		dump      = flag.String("dump", "", "reference: write an XYZ trajectory to this file")
+		every     = flag.Int("dump-every", 10, "reference: frames written every N steps")
+		thermo    = flag.String("thermostat", "", "reference: ''|rescale|berendsen (hold the standard temperature)")
+		method    = flag.String("method", "direct", "reference: direct|pairlist|cellgrid force evaluation")
+		saveCkpt  = flag.String("save-checkpoint", "", "reference: write a restart file after the run")
+		loadCkpt  = flag.String("load-checkpoint", "", "reference: resume from a restart file (ignores -atoms)")
+	)
+	flag.Parse()
+	if err := run(runOpts{
+		devName: *devName, atoms: *atoms, steps: *steps, nspe: *nspe,
+		mode: *mode, ppeOnly: *ppeOnly, threading: *threading, validate: *validate,
+		dump: *dump, dumpEvery: *every, thermostat: *thermo, method: *method,
+		saveCkpt: *saveCkpt, loadCkpt: *loadCkpt,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "mdsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runOpts carries the parsed flags.
+type runOpts struct {
+	devName      string
+	atoms, steps int
+	nspe         int
+	mode         string
+	ppeOnly      bool
+	threading    string
+	validate     bool
+	dump         string
+	dumpEvery    int
+	thermostat   string
+	method       string
+	saveCkpt     string
+	loadCkpt     string
+}
+
+func run(o runOpts) error {
+	w, err := core.StandardWorkload(o.atoms, o.steps)
+	if err != nil {
+		return err
+	}
+
+	if o.devName == "reference" {
+		return runReference(w, o)
+	}
+
+	dev, tol, err := buildDevice(o.devName, o.nspe, o.mode, o.ppeOnly, o.threading)
+	if err != nil {
+		return err
+	}
+	res, err := dev.Run(w)
+	if err != nil {
+		return err
+	}
+	if o.validate {
+		if err := core.Validate(res, w, tol); err != nil {
+			return err
+		}
+		fmt.Println("physics: validated against the reference implementation")
+	}
+	fmt.Printf("device:   %s (%s)\n", res.Device, res.Variant)
+	fmt.Printf("workload: %d atoms, %d steps, cutoff %.3g, dt %.3g\n", res.N, res.Steps, w.Cutoff, w.Dt)
+	fmt.Printf("energy:   PE %.6f  KE %.6f  total %.6f\n", res.PE, res.KE, res.PE+res.KE)
+	fmt.Printf("modeled runtime: %s\n", report.Seconds(res.Seconds()))
+	for _, label := range res.Time.Labels() {
+		fmt.Printf("  %-10s %s\n", label, report.Seconds(res.Time.Component(label)))
+	}
+	if res.Ledger.Total() > 0 {
+		fmt.Printf("op mix:   %s\n", res.Ledger.String())
+	}
+	return nil
+}
+
+func runReference(w device.Workload, o runOpts) error {
+	var sys *md.System[float64]
+	if o.loadCkpt != "" {
+		f, err := os.Open(o.loadCkpt)
+		if err != nil {
+			return err
+		}
+		sys, err = md.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resumed from %s at step %d (%d atoms)\n", o.loadCkpt, sys.Steps, sys.N())
+	} else {
+		p := md.Params[float64]{Box: w.State.Box, Cutoff: w.Cutoff, Dt: w.Dt}
+		var err error
+		sys, err = md.NewSystem(w.State, p)
+		if err != nil {
+			return err
+		}
+	}
+	forces, err := buildForces(sys, o.method)
+	if err != nil {
+		return err
+	}
+	var th md.Thermostat[float64]
+	switch o.thermostat {
+	case "":
+	case "rescale":
+		th, err = md.NewRescaleThermostat(core.StdTemperature, 10)
+	case "berendsen":
+		th, err = md.NewBerendsenThermostat(core.StdTemperature, w.Dt, 0.1)
+	default:
+		return fmt.Errorf("unknown thermostat %q (want rescale|berendsen)", o.thermostat)
+	}
+	if err != nil {
+		return err
+	}
+	var traj *md.XYZWriter
+	if o.dump != "" {
+		f, err := os.Create(o.dump)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traj = md.NewXYZWriter(f, "Ar")
+		if o.dumpEvery < 1 {
+			o.dumpEvery = 1
+		}
+	}
+	e0 := sys.TotalEnergy()
+	for s := 0; s < w.Steps; s++ {
+		sys.StepWith(forces)
+		if th != nil {
+			th.Apply(sys.Vel, sys.Temperature())
+			sys.KE = md.KineticEnergy(sys.Vel)
+		}
+		if traj != nil && sys.Steps%o.dumpEvery == 0 {
+			if err := traj.WriteFrame(fmt.Sprintf("step %d PE %.6f KE %.6f", sys.Steps, sys.PE, sys.KE), sys.Pos); err != nil {
+				return err
+			}
+		}
+	}
+	if traj != nil {
+		if err := traj.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("trajectory: %d frames -> %s\n", traj.Frames(), o.dump)
+	}
+	fmt.Printf("reference MD: %d atoms, %d steps, box %.4g, cutoff %.3g\n", sys.N(), w.Steps, w.State.Box, w.Cutoff)
+	fmt.Printf("energy:      PE %.6f  KE %.6f  total %.6f\n", sys.PE, sys.KE, sys.TotalEnergy())
+	fmt.Printf("temperature: %.4f (target %.4f)\n", sys.Temperature(), core.StdTemperature)
+	if th == nil {
+		fmt.Printf("energy drift over run: %.3g (relative)\n",
+			abs((sys.TotalEnergy()-e0)/e0))
+	} else {
+		fmt.Printf("energy change from thermostat coupling: %.3g (relative; not integrator drift)\n",
+			abs((sys.TotalEnergy()-e0)/e0))
+	}
+	mom := sys.Momentum()
+	fmt.Printf("net momentum: (%.2e, %.2e, %.2e)\n", mom.X, mom.Y, mom.Z)
+	if o.saveCkpt != "" {
+		f, err := os.Create(o.saveCkpt)
+		if err != nil {
+			return err
+		}
+		if err := md.WriteCheckpoint(f, sys); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint: step %d -> %s\n", sys.Steps, o.saveCkpt)
+	}
+	return nil
+}
+
+// buildForces selects the non-bonded force evaluation for the
+// reference device.
+func buildForces(sys *md.System[float64], method string) (func() float64, error) {
+	switch method {
+	case "direct", "":
+		return func() float64 { return md.ComputeForces(sys.P, sys.Pos, sys.Acc) }, nil
+	case "pairlist":
+		nl, err := md.NewNeighborList[float64](0.4)
+		if err != nil {
+			return nil, err
+		}
+		return func() float64 { return nl.Forces(sys.P, sys.Pos, sys.Acc) }, nil
+	case "cellgrid":
+		cl, err := md.NewCellList(sys.P.Box, sys.P.Cutoff)
+		if err != nil {
+			return nil, err
+		}
+		return func() float64 { return cl.Forces(sys.P, sys.Pos, sys.Acc) }, nil
+	default:
+		return nil, fmt.Errorf("unknown method %q (want direct|pairlist|cellgrid)", method)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func buildDevice(name string, nspe int, mode string, ppeOnly bool, threading string) (device.Device, float64, error) {
+	switch name {
+	case "opteron":
+		return core.NewOpteron(), core.TolDouble, nil
+	case "cell":
+		if ppeOnly {
+			d, err := core.NewCellPPEOnly()
+			return d, core.TolSingle, err
+		}
+		var m cell.Mode
+		switch mode {
+		case "amortized":
+			m = cell.LaunchOnce
+		case "respawn":
+			m = cell.RespawnEachStep
+		default:
+			return nil, 0, fmt.Errorf("unknown cell mode %q (want amortized|respawn)", mode)
+		}
+		d, err := core.NewCell(nspe, m)
+		return d, core.TolSingle, err
+	case "gpu":
+		d, err := core.NewGPU()
+		return d, core.TolSingle, err
+	case "mta":
+		var th mta.Threading
+		switch threading {
+		case "full":
+			th = mta.FullyThreaded
+		case "partial":
+			th = mta.PartiallyThreaded
+		default:
+			return nil, 0, fmt.Errorf("unknown mta threading %q (want full|partial)", threading)
+		}
+		d, err := core.NewMTA(th)
+		return d, core.TolDouble, err
+	default:
+		return nil, 0, fmt.Errorf("unknown device %q (want reference|opteron|cell|gpu|mta)", name)
+	}
+}

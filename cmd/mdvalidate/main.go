@@ -1,0 +1,106 @@
+// Command mdvalidate runs the same workload on every modeled device and
+// verifies that each one reproduces the reference physics: the same
+// initial conditions must lead to the same energies, within a tolerance
+// set by each device's native precision (float32 on Cell and GPU,
+// float64 on the Opteron and MTA-2).
+//
+// This is the cross-device correctness gate behind every number in
+// EXPERIMENTS.md: a performance model that computes the wrong physics
+// reports nothing.
+//
+// Usage:
+//
+//	mdvalidate                 # 512 atoms, 10 steps
+//	mdvalidate -atoms 2048 -steps 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		atoms = flag.Int("atoms", 512, "number of atoms")
+		steps = flag.Int("steps", 10, "velocity-Verlet steps")
+	)
+	flag.Parse()
+	if err := run(*atoms, *steps); err != nil {
+		fmt.Fprintln(os.Stderr, "mdvalidate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(atoms, steps int) error {
+	w, err := core.StandardWorkload(atoms, steps)
+	if err != nil {
+		return err
+	}
+	refPE, refKE, err := core.ReferenceEnergies(w)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d atoms, %d steps (seed %d)\n", atoms, steps, uint64(core.StdSeed))
+	fmt.Printf("reference (float64): PE %.9f  KE %.9f\n\n", refPE, refKE)
+
+	devs, err := core.Devices()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("", "device", "variant", "PE", "KE", "|ΔPE|/|PE|", "tolerance", "verdict")
+	failures := 0
+	for _, name := range []string{"opteron", "mta", "cell", "gpu"} {
+		dev := devs[name]
+		res, err := dev.Run(w)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tol := core.TolDouble
+		if name == "cell" || name == "gpu" {
+			tol = core.TolSingle
+		}
+		verdict := "ok"
+		if err := core.Validate(res, w, tol); err != nil {
+			verdict = "FAIL"
+			failures++
+		}
+		rel := relDiff(res.PE, refPE)
+		t.AddRow(name, res.Variant,
+			fmt.Sprintf("%.9f", res.PE), fmt.Sprintf("%.9f", res.KE),
+			fmt.Sprintf("%.2e", rel), fmt.Sprintf("%.0e", tol), verdict)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d device(s) failed physics validation", failures)
+	}
+	fmt.Println("\nall devices reproduce the reference physics")
+	return nil
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if m < 0 {
+		m = -m
+	}
+	if bb := b; bb < 0 {
+		if -bb > m {
+			m = -bb
+		}
+	} else if bb > m {
+		m = bb
+	}
+	return d / m
+}

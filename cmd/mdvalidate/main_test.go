@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunValidatesAllDevices(t *testing.T) {
+	if err := run(108, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadWorkload(t *testing.T) {
+	if err := run(0, 3); err == nil {
+		t.Fatal("zero atoms accepted")
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if relDiff(1, 1) != 0 {
+		t.Fatal("equal values")
+	}
+	if got := relDiff(-2, -1); got != 0.5 {
+		t.Fatalf("relDiff(-2,-1) = %v, want 0.5", got)
+	}
+	if got := relDiff(1, 2); got != 0.5 {
+		t.Fatalf("relDiff(1,2) = %v, want 0.5", got)
+	}
+}

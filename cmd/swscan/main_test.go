@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDemo(t *testing.T) {
+	if err := run("", "", "", 3, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithFiles(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "db.fasta")
+	if err := os.WriteFile(db, []byte(">s1 first\nACGTACGTACGT\n>s2\nTTTTTTTT\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("ACGTACGT", "", db, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	qf := filepath.Join(dir, "q.fasta")
+	if err := os.WriteFile(qf, []byte(">q\nACGTACGT\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", qf, db, 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "", 3, false); err == nil {
+		t.Fatal("missing query accepted")
+	}
+	if err := run("ACGT", "", "", 3, false); err == nil {
+		t.Fatal("missing db accepted")
+	}
+	if err := run("ACGT", "", "/nonexistent/db.fasta", 3, false); err == nil {
+		t.Fatal("missing db file accepted")
+	}
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.fasta")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("ACGT", "", empty, 3, false); err == nil {
+		t.Fatal("empty db accepted")
+	}
+	if err := run("", empty, empty, 3, false); err == nil {
+		t.Fatal("empty query file accepted")
+	}
+}

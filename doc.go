@@ -1,0 +1,15 @@
+// Package repro reproduces "Analysis of a Computational Biology
+// Simulation Technique on Emerging Processing Architectures" (Meredith,
+// Alam, Vetter; IPDPS 2007) as a Go library: the paper's Lennard-Jones
+// molecular-dynamics kernel plus functional, cycle-accounted models of
+// the four machines it was characterized on — a 2.2 GHz Opteron
+// baseline, the STI Cell Broadband Engine, a 2006-era GPU stream
+// processor, and the Cray MTA-2.
+//
+// The root package carries the benchmark harness (bench_test.go): one
+// benchmark per table and figure of the paper's evaluation section,
+// each reporting the modeled runtimes as custom metrics, alongside
+// micro-benchmarks of the substrates. cmd/paperbench prints the same
+// artifacts as tables; DESIGN.md maps every system and experiment to
+// its module; EXPERIMENTS.md records paper-vs-measured for each one.
+package repro

@@ -1,0 +1,116 @@
+// Bioseq runs the sequence-alignment algorithms from the paper's
+// related work (section 4) on the modeled devices: Smith-Waterman on
+// the GPU stream processor (W. Liu et al.; Y. Liu et al.) and on the
+// Cray MTA-2 (Bokhari & Sauer), with the CPU reference as the oracle.
+// It prints an alignment, then compares the modeled runtimes and their
+// structure across sequence lengths.
+//
+//	go run ./examples/bioseq
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gpu"
+	"repro/internal/mta"
+	"repro/internal/report"
+	"repro/internal/seqalign"
+	"repro/internal/xrand"
+)
+
+func main() {
+	fmt.Println("== A local alignment, end to end ==")
+	sc := seqalign.Scoring{Match: 3, Mismatch: -3, Gap: -2}
+	a := []byte("TGTTACGG")
+	b := []byte("GGTTGACTA")
+	al, err := seqalign.SWAlign(a, b, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %s\n  %s\n  score %d, identity %.0f%%\n",
+		al.AlignedA, al.AlignedB, al.Score, 100*al.Identity())
+
+	gdev, err := gpu.New(gpu.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mdev, err := mta.New(mta.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== Devices agree on the score, disagree on the cost ==")
+	fmt.Printf("%8s  %8s  %14s  %14s\n", "length", "score", "GPU (modeled)", "MTA (modeled)")
+	rng := xrand.New(2007)
+	for _, n := range []int{32, 128, 512} {
+		sa := randomSeq(rng, n)
+		sb := randomSeq(rng, n)
+		ref, err := seqalign.SWScore(sa, sb, seqalign.DefaultScoring())
+		if err != nil {
+			log.Fatal(err)
+		}
+		gScore, gbd, err := seqalign.SWGPU(gdev, sa, sb, seqalign.DefaultScoring())
+		if err != nil {
+			log.Fatal(err)
+		}
+		mScore, mbd, err := seqalign.SWMTA(mdev, sa, sb, seqalign.DefaultScoring())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if gScore != ref || mScore != ref {
+			log.Fatalf("score mismatch at n=%d: ref %d, gpu %d, mta %d", n, ref, gScore, mScore)
+		}
+		fmt.Printf("%8d  %8d  %14s  %14s\n", n, ref,
+			report.Seconds(gbd.Total()), report.Seconds(mbd.Total()))
+	}
+	fmt.Println("\nthe GPU pays one dispatch per anti-diagonal (2n-1 of them), so short")
+	fmt.Println("pairs are overhead-bound — which is why the published GPU alignment")
+	fmt.Println("work scans whole databases; the MTA's fine-grained streams eat the")
+	fmt.Println("wavefront directly, losing only on the short head/tail diagonals.")
+
+	fmt.Println("\n== Database scanning: the formulation that makes GPUs win ==")
+	// One shader invocation per subject, one dispatch for the whole
+	// database — versus one dispatch per anti-diagonal per pair.
+	query := randomSeq(rng, 64)
+	db := make([][]byte, 48)
+	for i := range db {
+		db[i] = randomSeq(rng, 64)
+	}
+	hits, scanBD, err := seqalign.SWGPUScan(gdev, query, db, seqalign.DefaultScoring())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pairwise float64
+	for _, s := range db {
+		_, bd, err := seqalign.SWGPU(gdev, query, s, seqalign.DefaultScoring())
+		if err != nil {
+			log.Fatal(err)
+		}
+		pairwise += bd.Total()
+	}
+	fmt.Printf("  48 subjects, per-pair wavefront: %s   database scan: %s   (%.0fx)\n",
+		report.Seconds(pairwise), report.Seconds(scanBD.Total()), pairwise/scanBD.Total())
+	best := seqalign.TopHits(hits, 1)[0]
+	fmt.Printf("  best hit: subject %d, score %d\n", best.Index, best.Score)
+
+	fmt.Println("\n== Where the GPU's time goes (n=512, per-pair mode) ==")
+	sa := randomSeq(rng, 512)
+	sb := randomSeq(rng, 512)
+	_, gbd, err := seqalign.SWGPU(gdev, sa, sb, seqalign.DefaultScoring())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, label := range gbd.Labels() {
+		fmt.Printf("  %-18s %s\n", label, report.Seconds(gbd.Component(label)))
+	}
+}
+
+func randomSeq(rng *xrand.Source, n int) []byte {
+	const alphabet = "ACGT"
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = alphabet[rng.Intn(4)]
+	}
+	return s
+}

@@ -1,0 +1,91 @@
+// Cellport walks the paper's Cell Broadband Engine porting story end to
+// end (section 5.1): the six SIMD-optimization rungs of the SPE
+// acceleration kernel (Figure 5), then the thread-launch amortization
+// that makes eight SPEs scale (Figure 6), ending at the Table 1
+// configuration.
+//
+//	go run ./examples/cellport
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/report"
+)
+
+func main() {
+	const atoms, steps = 1024, 10
+	w, err := core.StandardWorkload(atoms, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Step 1: SIMD-optimize the acceleration kernel on one SPE ==")
+	fmt.Println("(each rung computes identical physics; only the instruction mix changes)")
+	proc, err := cell.New(cell.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	w1 := w
+	w1.Steps = 1
+	labels := []string{}
+	values := []float64{}
+	for v := cell.Variant(0); v < cell.NumVariants; v++ {
+		sec, err := proc.AccelKernelTime(w1, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		labels = append(labels, v.String())
+		values = append(values, sec)
+	}
+	if err := report.BarChart(os.Stdout, "", labels, values, 40); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cumulative speedup original -> simd-accel: %.2fx\n", values[0]/values[len(values)-1])
+
+	fmt.Println("\n== Step 2: parallelize across SPEs — and hit the launch overhead ==")
+	for _, nspe := range []int{1, 8} {
+		res := runCell(w, nspe, cell.RespawnEachStep)
+		fmt.Printf("  %d SPE, respawn every step:  total %-9s (spawn %s, %.0f%% of runtime)\n",
+			nspe, report.Seconds(res.Seconds()), report.Seconds(res.Time.Component("spawn")),
+			100*res.Time.Component("spawn")/res.Seconds())
+	}
+
+	fmt.Println("\n== Step 3: launch once, signal with mailboxes ==")
+	var one, eight *device.Result
+	for _, nspe := range []int{1, 8} {
+		res := runCell(w, nspe, cell.LaunchOnce)
+		fmt.Printf("  %d SPE, launch-once+mailbox: total %-9s (spawn %s, %.0f%% of runtime)\n",
+			nspe, report.Seconds(res.Seconds()), report.Seconds(res.Time.Component("spawn")),
+			100*res.Time.Component("spawn")/res.Seconds())
+		if nspe == 1 {
+			one = res
+		} else {
+			eight = res
+		}
+	}
+	fmt.Printf("\n8-SPE speedup over 1 SPE after amortization: %.1fx (the paper reports 4.5x at 2048 atoms)\n",
+		one.Seconds()/eight.Seconds())
+	fmt.Printf("physics identical across all configurations: PE(1 SPE) = %.4f, PE(8 SPE) = %.4f\n",
+		one.PE, eight.PE)
+}
+
+func runCell(w device.Workload, nspe int, mode cell.Mode) *device.Result {
+	dev, err := core.NewCell(nspe, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dev.Run(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := core.Validate(res, w, core.TolSingle); err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

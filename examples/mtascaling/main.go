@@ -1,0 +1,95 @@
+// Mtascaling retells the paper's MTA-2 story (section 5.3): the
+// compiler refuses to multithread the force loop because of its
+// reduction, the paper's restructuring + directive fixes it, the fully
+// multithreaded kernel then crushes the partially multithreaded one
+// (Figure 8), and the cache-less machine scales smoothly with workload
+// size while the Opteron bends (Figure 9). A full/empty-bit reduction
+// rounds out the tour.
+//
+//	go run ./examples/mtascaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mta"
+	"repro/internal/report"
+)
+
+func main() {
+	fmt.Println("== The compiler's verdict on the force loop ==")
+	original := mta.ForceLoopSpec(false)
+	fmt.Printf("  original source:    %s\n", mta.Diagnose(original))
+	half := original
+	half.Restructured = true
+	fmt.Printf("  restructured only:  %s\n", mta.Diagnose(half))
+	fixed := mta.ForceLoopSpec(true)
+	if mta.Parallelizes(fixed) {
+		fmt.Println("  restructured + #pragma mta assert no dependence: parallelized ✓")
+	}
+
+	fmt.Println("\n== Figure 8: what that single loop costs (10 steps) ==")
+	full, err := core.NewMTA(mta.FullyThreaded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	part, err := core.NewMTA(mta.PartiallyThreaded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%8s  %16s  %20s  %s\n", "atoms", "fully threaded", "partially threaded", "gap")
+	for _, n := range []int{256, 512, 1024, 2048} {
+		w, err := core.StandardWorkload(n, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rf, err := full.Run(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rp, err := part.Run(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d  %16s  %20s  %.0fx\n", n,
+			report.Seconds(rf.Seconds()), report.Seconds(rp.Seconds()),
+			rp.Seconds()/rf.Seconds())
+	}
+
+	fmt.Println("\n== Figure 9: workload scaling, MTA vs Opteron (normalized to 256 atoms) ==")
+	rows, err := core.Fig9([]int{256, 1024, 4096}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%8s  %10s  %10s\n", "atoms", "MTA", "Opteron")
+	for _, r := range rows {
+		fmt.Printf("%8d  %10.1f  %10.1f\n", r.N, r.MTARel, r.OpteronRel)
+	}
+	fmt.Println("the Opteron grows faster once its arrays fall out of L1; the MTA has no caches to fall out of.")
+
+	fmt.Println("\n== Full/empty bits: the MTA's word-level synchronization ==")
+	mem := mta.NewFEMemory(1)
+	if err := mem.WriteXF(0, 0); err != nil {
+		log.Fatal(err)
+	}
+	// Many logical streams accumulating into one synchronized word.
+	for stream := 1; stream <= 128; stream++ {
+		if err := mem.AtomicAdd(0, float64(stream)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sum, err := mem.ReadFF(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  128 streams accumulated sum(1..128) = %.0f via ReadFE/WriteEF pairs (%d sync ops)\n",
+		sum, mem.SyncOps())
+	// And the deadlock detection that keeps serial simulations honest:
+	if _, err := mem.ReadFE(0); err == nil {
+		if _, err := mem.ReadFE(0); err != nil {
+			fmt.Printf("  second consume without a producer: %v ✓\n", err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: build an initial condition, run the reference
+// molecular-dynamics kernel (Lennard-Jones + velocity Verlet, exactly
+// the paper's Figure 4 pseudo-code), and watch the conserved quantities.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/lattice"
+	"repro/internal/md"
+)
+
+func main() {
+	// 864 atoms of reduced-units Lennard-Jones liquid on an FCC
+	// lattice: the classic argon-like state point.
+	state, err := lattice.Generate(lattice.Config{
+		N:           864,
+		Density:     0.8442,
+		Temperature: 0.728,
+		Kind:        lattice.FCC,
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The shifted potential keeps total energy continuous at the
+	// cutoff, so conservation is easy to see.
+	sys, err := md.NewSystem(state, md.Params[float64]{
+		Box:     state.Box,
+		Cutoff:  2.5,
+		Dt:      0.004,
+		Shifted: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("box %.4f, %d atoms, density %.4f\n", state.Box, sys.N(),
+		float64(sys.N())/(state.Box*state.Box*state.Box))
+	fmt.Printf("%6s  %14s  %14s  %14s  %10s\n", "step", "potential", "kinetic", "total", "temp")
+
+	e0 := sys.TotalEnergy()
+	for step := 0; step <= 200; step += 20 {
+		fmt.Printf("%6d  %14.6f  %14.6f  %14.6f  %10.4f\n",
+			sys.Steps, sys.PE, sys.KE, sys.TotalEnergy(), sys.Temperature())
+		sys.Run(20)
+	}
+	drift := (sys.TotalEnergy() - e0) / e0
+	fmt.Printf("\nrelative energy drift over %d steps: %.2e\n", sys.Steps, drift)
+	mom := sys.Momentum()
+	fmt.Printf("net momentum: (%.2e, %.2e, %.2e) — conserved at ~machine epsilon\n",
+		mom.X, mom.Y, mom.Z)
+}

@@ -1,0 +1,150 @@
+// Package brook is a miniature stream-programming layer over the GPU
+// model, after the Brook language the paper cites (I. Buck, "Brook —
+// Data Parallel Computation on Graphics Hardware"; section 4 notes
+// GROMACS was accelerated through it). Section 3.2 describes the
+// motivation: "a variety of solutions have now been announced or
+// released to abstract or bypass the specialized graphics knowledge
+// traditionally needed" — Brook programs never mention textures,
+// passes, or framebuffers.
+//
+// The abstraction is three operations over 1-D streams of float4:
+//
+//	Map     — apply a kernel elementwise, with read-only gather streams
+//	Reduce  — fold a stream to one value (compiled to the multi-pass
+//	          GPU reduction)
+//	Read    — bring a stream's contents back to the host
+//
+// Every operation compiles onto internal/gpu passes, so the modeled
+// costs (pipeline compute, dispatches, PCIe) are exactly what the
+// underlying graphics API would pay — which is the point: the
+// abstraction is free to write, not free to run.
+package brook
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// Value is one stream element.
+type Value = gpu.Float4
+
+// Stream is a 1-D device-resident sequence of float4 values.
+type Stream struct {
+	name string
+	tex  *gpu.Texture
+	rt   *Runtime
+}
+
+// Runtime owns the device and the cost accounting for one program.
+type Runtime struct {
+	dev  *gpu.Device
+	time *sim.Breakdown
+	next int
+}
+
+// NewRuntime wraps a GPU device.
+func NewRuntime(dev *gpu.Device) *Runtime {
+	return &Runtime{dev: dev, time: sim.NewBreakdown()}
+}
+
+// Time returns the accumulated modeled cost of every operation so far.
+func (rt *Runtime) Time() *sim.Breakdown { return rt.time }
+
+// StreamOf uploads host data as a new stream (a PCIe transfer).
+func (rt *Runtime) StreamOf(data []Value) *Stream {
+	rt.next++
+	s := &Stream{name: fmt.Sprintf("stream%d", rt.next), tex: gpu.NewTexture(fmt.Sprintf("stream%d", rt.next), data), rt: rt}
+	rt.time.Add("pcie", rt.dev.TransferSec(16*len(data)))
+	return s
+}
+
+// Len returns the stream length.
+func (s *Stream) Len() int { return s.tex.Len() }
+
+// Kernel is a Brook map kernel: it computes output element i from its
+// own gather reads. The gather function reads element j of the named
+// input stream; ops tallies arithmetic instructions.
+type Kernel func(i int, gather func(stream int, j int) Value, ops func(n int)) Value
+
+// Map applies the kernel over [0, outLen) with the given gather
+// streams, producing a new stream. Gather streams are indexed by their
+// position in the argument list.
+func (rt *Runtime) Map(outLen int, k Kernel, gathers ...*Stream) (*Stream, error) {
+	if outLen <= 0 {
+		return nil, fmt.Errorf("brook: map output length must be positive, got %d", outLen)
+	}
+	texs := make([]*gpu.Texture, len(gathers))
+	names := make([]string, len(gathers))
+	for i, g := range gathers {
+		if g.rt != rt {
+			return nil, fmt.Errorf("brook: stream %q belongs to another runtime", g.name)
+		}
+		texs[i] = g.tex
+		names[i] = g.tex.Name()
+	}
+	shader := gpu.ShaderFunc(func(smp *gpu.Sampler, i int) gpu.Float4 {
+		gather := func(stream, j int) Value {
+			if stream < 0 || stream >= len(names) {
+				panic(fmt.Sprintf("brook: kernel gathered from stream %d of %d", stream, len(names)))
+			}
+			return smp.Fetch(names[stream], j)
+		}
+		return k(i, gather, smp.ALU)
+	})
+	pass, err := gpu.NewPass(shader, outLen, texs...)
+	if err != nil {
+		return nil, fmt.Errorf("brook: %w", err)
+	}
+	out, sec := rt.dev.Dispatch(pass)
+	rt.time.Add("compute+dispatch", sec)
+	rt.next++
+	return &Stream{
+		name: fmt.Sprintf("stream%d", rt.next),
+		tex:  gpu.NewTexture(fmt.Sprintf("stream%d", rt.next), out),
+		rt:   rt,
+	}, nil
+}
+
+// Reduce folds the x components of the stream to one value using the
+// multi-pass GPU reduction, then reads the single texel back.
+func (rt *Runtime) Reduce(s *Stream) (float32, error) {
+	if s.rt != rt {
+		return 0, fmt.Errorf("brook: stream %q belongs to another runtime", s.name)
+	}
+	data := make([]Value, s.Len())
+	for i := range data {
+		data[i] = s.tex.At(i)
+	}
+	sum, _, sec := rt.dev.ReduceSum(data)
+	rt.time.Add("compute+dispatch", sec)
+	rt.time.Add("pcie", rt.dev.TransferSec(16))
+	return sum, nil
+}
+
+// Read brings the stream's contents back to the host (a PCIe
+// transfer).
+func (rt *Runtime) Read(s *Stream) ([]Value, error) {
+	if s.rt != rt {
+		return nil, fmt.Errorf("brook: stream %q belongs to another runtime", s.name)
+	}
+	out := make([]Value, s.Len())
+	for i := range out {
+		out[i] = s.tex.At(i)
+	}
+	rt.time.Add("pcie", rt.dev.TransferSec(16*len(out)))
+	return out, nil
+}
+
+// Write replaces the stream's contents (a PCIe upload).
+func (rt *Runtime) Write(s *Stream, data []Value) error {
+	if s.rt != rt {
+		return fmt.Errorf("brook: stream %q belongs to another runtime", s.name)
+	}
+	if err := s.tex.Update(data); err != nil {
+		return err
+	}
+	rt.time.Add("pcie", rt.dev.TransferSec(16*len(data)))
+	return nil
+}

@@ -1,0 +1,232 @@
+package brook
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/lattice"
+	"repro/internal/md"
+	"repro/internal/vec"
+)
+
+func newRT(t testing.TB) *Runtime {
+	t.Helper()
+	dev, err := gpu.New(gpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRuntime(dev)
+}
+
+func TestMapElementwise(t *testing.T) {
+	rt := newRT(t)
+	in := rt.StreamOf([]Value{{1}, {2}, {3}})
+	out, err := rt.Map(3, func(i int, gather func(int, int) Value, ops func(int)) Value {
+		v := gather(0, i)
+		ops(1)
+		return Value{2 * v[0]}
+	}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rt.Read(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v[0] != float32(2*(i+1)) {
+			t.Fatalf("out[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestMapGatherAcrossStreams(t *testing.T) {
+	rt := newRT(t)
+	a := rt.StreamOf([]Value{{1}, {2}})
+	b := rt.StreamOf([]Value{{10}, {20}})
+	sum, err := rt.Map(2, func(i int, gather func(int, int) Value, ops func(int)) Value {
+		ops(1)
+		return Value{gather(0, i)[0] + gather(1, i)[0]}
+	}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rt.Read(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0] != 11 || got[1][0] != 22 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	rt := newRT(t)
+	data := make([]Value, 33)
+	var want float32
+	for i := range data {
+		data[i] = Value{float32(i)}
+		want += float32(i)
+	}
+	s := rt.StreamOf(data)
+	sum, err := rt.Reduce(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != want {
+		t.Fatalf("reduce = %v, want %v", sum, want)
+	}
+}
+
+func TestWriteUpdatesStream(t *testing.T) {
+	rt := newRT(t)
+	s := rt.StreamOf([]Value{{1}})
+	if err := rt.Write(s, []Value{{9}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rt.Read(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0] != 9 {
+		t.Fatalf("got %v", got)
+	}
+	if err := rt.Write(s, make([]Value, 5)); err == nil {
+		t.Fatal("size-changing write accepted")
+	}
+}
+
+func TestCrossRuntimeStreamsRejected(t *testing.T) {
+	rt1 := newRT(t)
+	rt2 := newRT(t)
+	s := rt1.StreamOf([]Value{{1}})
+	if _, err := rt2.Map(1, func(i int, g func(int, int) Value, ops func(int)) Value { return Value{} }, s); err == nil {
+		t.Fatal("foreign stream accepted by Map")
+	}
+	if _, err := rt2.Read(s); err == nil {
+		t.Fatal("foreign stream accepted by Read")
+	}
+	if _, err := rt2.Reduce(s); err == nil {
+		t.Fatal("foreign stream accepted by Reduce")
+	}
+	if err := rt2.Write(s, []Value{{2}}); err == nil {
+		t.Fatal("foreign stream accepted by Write")
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	rt := newRT(t)
+	if _, err := rt.Map(0, func(i int, g func(int, int) Value, ops func(int)) Value { return Value{} }); err == nil {
+		t.Fatal("zero-length map accepted")
+	}
+}
+
+func TestOutOfRangeGatherPanics(t *testing.T) {
+	rt := newRT(t)
+	in := rt.StreamOf([]Value{{1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gather from unbound stream did not panic")
+		}
+	}()
+	rt.Map(1, func(i int, gather func(int, int) Value, ops func(int)) Value {
+		return gather(5, 0)
+	}, in)
+}
+
+func TestEveryOperationIsCosted(t *testing.T) {
+	rt := newRT(t)
+	s := rt.StreamOf(make([]Value, 64))
+	before := rt.Time().Total()
+	if before <= 0 {
+		t.Fatal("upload not costed")
+	}
+	out, err := rt.Map(64, func(i int, g func(int, int) Value, ops func(int)) Value {
+		ops(4)
+		return g(0, i)
+	}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterMap := rt.Time().Total()
+	if afterMap <= before {
+		t.Fatal("map not costed")
+	}
+	if _, err := rt.Reduce(out); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Time().Total() <= afterMap {
+		t.Fatal("reduce not costed")
+	}
+}
+
+func TestMDForcesMatchesReference(t *testing.T) {
+	st, err := lattice.Generate(lattice.Config{
+		N: 108, Density: 0.8442, Temperature: 0.728, Kind: lattice.FCC, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := md.Params[float32]{Box: float32(st.Box), Cutoff: 2.5, Dt: 0.004}
+	pos := make([]vec.V3[float32], len(st.Pos))
+	for i := range pos {
+		pos[i] = vec.FromV3f64[float32](st.Pos[i])
+	}
+	wantAcc := make([]vec.V3[float32], len(pos))
+	wantPE := md.ComputeForcesFull(p, pos, wantAcc)
+
+	rt := newRT(t)
+	acc, pe, bd, err := MDForces(rt, pos, p.Box, p.Cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(float64(pe-wantPE)) / math.Abs(float64(wantPE)); rel > 2e-4 {
+		t.Fatalf("PE = %v, want %v", pe, wantPE)
+	}
+	for i := range acc {
+		if float64(acc[i].Sub(wantAcc[i]).Norm()) > 1e-4*(1+float64(wantAcc[i].Norm())) {
+			t.Fatalf("acc[%d] = %+v, want %+v", i, acc[i], wantAcc[i])
+		}
+	}
+	if bd.Total() <= 0 {
+		t.Fatal("no modeled cost")
+	}
+}
+
+func TestBrookAbstractionCostsMoreThanHandPort(t *testing.T) {
+	// The Brook program pays extra passes (PE projection + multi-pass
+	// reduction) the paper's hand-written port avoided — the abstraction
+	// is convenient, not free.
+	st, err := lattice.Generate(lattice.Config{
+		N: 256, Density: 0.8442, Temperature: 0.728, Kind: lattice.FCC, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]vec.V3[float32], len(st.Pos))
+	for i := range pos {
+		pos[i] = vec.FromV3f64[float32](st.Pos[i])
+	}
+	rt := newRT(t)
+	_, _, bd, err := MDForces(rt, pos, float32(st.Box), 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hand port's per-step cost: one dispatch + two transfers +
+	// compute. Reconstruct it from the same device config.
+	cfg := gpu.DefaultConfig()
+	handDispatches := 1
+	brookCost := bd.Component("compute+dispatch")
+	if brookCost <= float64(handDispatches)*cfg.DispatchSec*2 {
+		t.Fatalf("Brook dispatch cost %v should exceed the hand port's single dispatch", brookCost)
+	}
+}
+
+func TestMDForcesEmpty(t *testing.T) {
+	rt := newRT(t)
+	acc, pe, bd, err := MDForces(rt, nil, 10, 2.5)
+	if err != nil || acc != nil || pe != 0 || bd.Total() != 0 {
+		t.Fatalf("empty MDForces: %v %v %v %v", acc, pe, bd, err)
+	}
+}

@@ -1,0 +1,309 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{SizeBytes: 64 * 1024, LineBytes: 64, Ways: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{SizeBytes: 1024, LineBytes: 0, Ways: 1},
+		{SizeBytes: 1024, LineBytes: 48, Ways: 1},   // not power of two
+		{SizeBytes: 1024, LineBytes: 64, Ways: 0},   // no ways
+		{SizeBytes: 1000, LineBytes: 64, Ways: 2},   // not divisible
+		{SizeBytes: 64 * 3, LineBytes: 64, Ways: 1}, // 3 sets: not power of two
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid config", cfg)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 1024, LineBytes: 64, Ways: 2})
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("second access to same line missed")
+	}
+	if !c.Access(63) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(64) {
+		t.Fatal("next-line cold access hit")
+	}
+}
+
+func TestHitsPlusMissesEqualsAccesses(t *testing.T) {
+	prop := func(addrs []uint32) bool {
+		c, err := New(Config{SizeBytes: 2048, LineBytes: 64, Ways: 4})
+		if err != nil {
+			return false
+		}
+		for _, a := range addrs {
+			c.Access(uint64(a))
+		}
+		return c.Hits()+c.Misses() == int64(len(addrs)) && c.Accesses() == int64(len(addrs))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessAfterAccessAlwaysHits(t *testing.T) {
+	// Immediately re-touching any address must hit (the line was just
+	// allocated).
+	prop := func(addrs []uint32) bool {
+		c, err := New(Config{SizeBytes: 4096, LineBytes: 64, Ways: 2})
+		if err != nil {
+			return false
+		}
+		for _, a := range addrs {
+			c.Access(uint64(a))
+			if !c.Access(uint64(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct-mapped 2-line cache (2 sets x 1 way): lines mapping to the
+	// same set evict each other.
+	c := mustNew(t, Config{SizeBytes: 128, LineBytes: 64, Ways: 1})
+	c.Access(0)   // set 0
+	c.Access(128) // set 0, evicts line 0
+	if c.Access(0) {
+		t.Fatal("evicted line still hit")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	// Fully associative 4-way set: touch A B C D, then A (refresh),
+	// then E — B must be the victim, not A.
+	c := mustNew(t, Config{SizeBytes: 256, LineBytes: 64, Ways: 4})
+	a, b0, c0, d, e := uint64(0), uint64(256), uint64(512), uint64(768), uint64(1024)
+	c.Access(a)
+	c.Access(b0)
+	c.Access(c0)
+	c.Access(d)
+	c.Access(a) // refresh A
+	c.Access(e) // evicts B (LRU)
+	if !c.Contains(a) {
+		t.Fatal("A was evicted despite refresh")
+	}
+	if c.Contains(b0) {
+		t.Fatal("B survived despite being LRU")
+	}
+	if !c.Contains(c0) || !c.Contains(d) || !c.Contains(e) {
+		t.Fatal("C/D/E should be resident")
+	}
+}
+
+func TestWorkingSetWithinWaysNeverEvicts(t *testing.T) {
+	// Property: cycling over k distinct lines of one set, k <= ways,
+	// only cold-misses.
+	prop := func(kRaw uint8, rounds uint8) bool {
+		ways := 8
+		k := int(kRaw%uint8(ways)) + 1
+		c, err := New(Config{SizeBytes: int64Size(64 * ways * 4), LineBytes: 64, Ways: ways})
+		if err != nil {
+			return false
+		}
+		sets := c.Config().Sets()
+		stride := uint64(sets * 64) // same set every time
+		n := int(rounds%8) + 2
+		for r := 0; r < n; r++ {
+			for i := 0; i < k; i++ {
+				c.Access(uint64(i) * stride)
+			}
+		}
+		return c.Misses() == int64(k)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func int64Size(x int) int { return x }
+
+func TestCyclicOverCapacityAlwaysMisses(t *testing.T) {
+	// Cycling over ways+1 lines of one set under LRU misses every time.
+	ways := 4
+	c := mustNew(t, Config{SizeBytes: 64 * ways * 2, LineBytes: 64, Ways: ways})
+	sets := c.Config().Sets()
+	stride := uint64(sets * 64)
+	k := ways + 1
+	const rounds = 10
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < k; i++ {
+			c.Access(uint64(i) * stride)
+		}
+	}
+	if c.Hits() != 0 {
+		t.Fatalf("LRU thrash produced %d hits, want 0", c.Hits())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 1024, LineBytes: 64, Ways: 2})
+	c.Access(0)
+	c.Access(0)
+	c.Reset()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatal("counters survived Reset")
+	}
+	if c.Access(0) {
+		t.Fatal("contents survived Reset")
+	}
+}
+
+func TestContainsDoesNotPerturb(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 1024, LineBytes: 64, Ways: 2})
+	c.Access(0)
+	h, m := c.Hits(), c.Misses()
+	c.Contains(0)
+	c.Contains(999999)
+	if c.Hits() != h || c.Misses() != m {
+		t.Fatal("Contains changed counters")
+	}
+}
+
+func TestStreamingPassMatchesSimulator(t *testing.T) {
+	// The analytic streaming model must agree exactly with the real
+	// simulator for cyclic sequential scans of aligned arrays, both
+	// under and over capacity.
+	cfg := Config{SizeBytes: 4096, LineBytes: 64, Ways: 4}
+	for _, arrayBytes := range []int64{1024, 2048, 4096, 8192, 16384} {
+		c := mustNew(t, cfg)
+		const passes = 5
+		for p := 0; p < passes; p++ {
+			missesBefore := c.Misses()
+			for a := int64(0); a < arrayBytes; a += 8 {
+				c.Access(uint64(a))
+			}
+			got := c.Misses() - missesBefore
+			want := StreamingPass(arrayBytes, int64(cfg.SizeBytes), int64(cfg.LineBytes), p == 0)
+			if got != want {
+				t.Fatalf("array=%dB pass=%d: simulator misses %d, analytic %d", arrayBytes, p, got, want)
+			}
+		}
+	}
+}
+
+func TestStreamingSweepConsistent(t *testing.T) {
+	prop := func(bRaw uint16, pRaw uint8) bool {
+		bytes := (int64(bRaw%64) + 1) * 64
+		passes := int(pRaw%6) + 1
+		capacity, line := int64(2048), int64(64)
+		total := StreamingSweep(bytes, capacity, line, passes)
+		manual := StreamingPass(bytes, capacity, line, true)
+		for p := 1; p < passes; p++ {
+			manual += StreamingPass(bytes, capacity, line, false)
+		}
+		return total == manual
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamingPassEdgeCases(t *testing.T) {
+	if StreamingPass(0, 1024, 64, true) != 0 {
+		t.Fatal("zero-byte pass should not miss")
+	}
+	if StreamingPass(-5, 1024, 64, true) != 0 {
+		t.Fatal("negative bytes should not miss")
+	}
+	if StreamingSweep(128, 1024, 64, 0) != 0 {
+		t.Fatal("zero passes should not miss")
+	}
+	// Partial line rounds up.
+	if StreamingPass(65, 1024, 64, true) != 2 {
+		t.Fatal("partial trailing line not counted")
+	}
+}
+
+func TestHierarchyCosts(t *testing.T) {
+	h, err := NewHierarchy(
+		Config{SizeBytes: 128, LineBytes: 64, Ways: 1}, // tiny L1: 2 lines
+		Config{SizeBytes: 1024, LineBytes: 64, Ways: 2},
+		Latencies{L1Hit: 1, L2Hit: 10, Memory: 100},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold: miss both levels.
+	if got := h.Access(0); got != 111 {
+		t.Fatalf("cold access cost %v, want 111", got)
+	}
+	// Now resident in both: L1 hit.
+	if got := h.Access(0); got != 1 {
+		t.Fatalf("warm access cost %v, want 1", got)
+	}
+	// Evict from L1 (same set), keep in L2.
+	h.Access(128) // set 0 of L1, evicts line 0 there; L2 has room
+	if got := h.Access(0); got != 11 {
+		t.Fatalf("L2-hit access cost %v, want 11", got)
+	}
+	if h.Cycles() != 111+1+111+11 {
+		t.Fatalf("accumulated cycles %v", h.Cycles())
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h, err := NewHierarchy(
+		Config{SizeBytes: 1024, LineBytes: 64, Ways: 2},
+		Config{SizeBytes: 4096, LineBytes: 64, Ways: 4},
+		Latencies{L1Hit: 1, L2Hit: 10, Memory: 100},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0)
+	h.Reset()
+	if h.Cycles() != 0 {
+		t.Fatal("cycles survived Reset")
+	}
+	if got := h.Access(0); got != 111 {
+		t.Fatalf("post-reset access cost %v, want 111 (cold)", got)
+	}
+}
+
+func TestHierarchyRejectsBadConfigs(t *testing.T) {
+	if _, err := NewHierarchy(Config{}, Config{SizeBytes: 1024, LineBytes: 64, Ways: 2}, Latencies{}); err == nil {
+		t.Fatal("bad L1 accepted")
+	}
+	if _, err := NewHierarchy(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2}, Config{}, Latencies{}); err == nil {
+		t.Fatal("bad L2 accepted")
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	c, err := New(Config{SizeBytes: 64 * 1024, LineBytes: 64, Ways: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*8) % (256 * 1024))
+	}
+}

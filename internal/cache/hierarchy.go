@@ -1,0 +1,103 @@
+package cache
+
+import "fmt"
+
+// Latencies are the modeled access costs of a two-level hierarchy, in
+// core cycles.
+type Latencies struct {
+	L1Hit  float64 // cost of an L1 hit (usually folded into the op cost; may be 0)
+	L2Hit  float64 // additional cost when L1 misses but L2 hits
+	Memory float64 // additional cost when both levels miss
+}
+
+// Hierarchy is an L1+L2 cache pair with a latency model. L2 is accessed
+// only on L1 misses (non-inclusive, exclusive of timing subtleties —
+// a first-order model).
+type Hierarchy struct {
+	L1, L2 *Cache
+	Lat    Latencies
+
+	cycles float64
+}
+
+// NewHierarchy builds a hierarchy from the two level configs.
+func NewHierarchy(l1, l2 Config, lat Latencies) (*Hierarchy, error) {
+	c1, err := New(l1)
+	if err != nil {
+		return nil, fmt.Errorf("L1: %w", err)
+	}
+	c2, err := New(l2)
+	if err != nil {
+		return nil, fmt.Errorf("L2: %w", err)
+	}
+	return &Hierarchy{L1: c1, L2: c2, Lat: lat}, nil
+}
+
+// Access touches addr and returns the modeled cycle cost of this
+// access. The cost is also accumulated into Cycles.
+func (h *Hierarchy) Access(addr uint64) float64 {
+	cost := h.Lat.L1Hit
+	if !h.L1.Access(addr) {
+		if h.L2.Access(addr) {
+			cost += h.Lat.L2Hit
+		} else {
+			cost += h.Lat.L2Hit + h.Lat.Memory
+		}
+	}
+	h.cycles += cost
+	return cost
+}
+
+// Cycles returns the total accumulated access cost.
+func (h *Hierarchy) Cycles() float64 { return h.cycles }
+
+// Reset clears both levels and the cycle counter.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.L2.Reset()
+	h.cycles = 0
+}
+
+// StreamingPass is the closed-form model of one sequential pass over a
+// contiguous array of `bytes` bytes through an LRU cache level of
+// capacity `capacity` with `lineBytes` lines, when the same array is
+// scanned cyclically over and over (the MD force loop's pattern).
+//
+// For the steady state (all passes after the first):
+//   - if the array fits (bytes <= capacity): zero misses — every line
+//     stays resident;
+//   - otherwise: every line misses — cyclic sequential access through
+//     LRU always evicts the line that will be needed soonest (the
+//     classic LRU worst case).
+//
+// The first (cold) pass misses every line regardless.
+//
+// The form is exact — not approximate — when the array is aligned to
+// the set stride and spans a whole number of lines per set, because
+// then every set sees the same cyclic sub-sequence of lines and LRU
+// behaves identically in each; TestStreamingPassMatchesSimulator pins
+// this against the real simulator.
+func StreamingPass(bytes, capacity, lineBytes int64, cold bool) (misses int64) {
+	if bytes <= 0 {
+		return 0
+	}
+	lines := (bytes + lineBytes - 1) / lineBytes
+	if cold {
+		return lines
+	}
+	if bytes <= capacity {
+		return 0
+	}
+	return lines
+}
+
+// StreamingSweep models p cyclic passes over the array: one cold pass
+// plus p-1 steady-state passes.
+func StreamingSweep(bytes, capacity, lineBytes int64, passes int) (misses int64) {
+	if passes <= 0 {
+		return 0
+	}
+	misses = StreamingPass(bytes, capacity, lineBytes, true)
+	misses += int64(passes-1) * StreamingPass(bytes, capacity, lineBytes, false)
+	return misses
+}

@@ -1,0 +1,492 @@
+// Package cell models the STI Cell Broadband Engine as the paper uses
+// it (section 5.1): a PPE orchestrating one to eight SPEs, each with a
+// 256 KB local store, to which the acceleration computation — and only
+// it — is offloaded.
+//
+// The model composes internal/spu's building blocks:
+//
+//   - each modeled SPE executes one of the six Figure 5 kernel variants
+//     over its slice of atoms, with real float32 physics and every
+//     emulated instruction tallied;
+//   - position data is DMA-ed into each local store every time step and
+//     the acceleration slices are DMA-ed back, with the local-store
+//     allocator enforcing the 256 KB budget (large systems are tiled);
+//   - SPE threads are either respawned every time step or launched once
+//     and signalled through mailboxes (the paper's launch-overhead
+//     amortization, Figure 6);
+//   - the PPE performs the velocity-Verlet integration between force
+//     evaluations, and can also run the entire kernel by itself
+//     (Table 1's "Cell, PPE only" row) — a slow in-order core modeled
+//     with its own cost table.
+//
+// Physics from every configuration is validated against internal/md in
+// the tests; modeled time reproduces Figure 5, Figure 6, and the Cell
+// rows of Table 1.
+package cell
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/md"
+	"repro/internal/sim"
+	"repro/internal/spu"
+	"repro/internal/vec"
+)
+
+// Model selects the programming model. The paper uses the asynchronous
+// thread runtime (task-parallel) model for its case study and notes
+// that "data parallel programming models like that of OpenMP are also
+// an attractive approach" (section 3.1) — the model Williams et al.'s
+// related work evaluates exclusively. Both are provided; the figures
+// use TaskParallel.
+type Model int
+
+const (
+	// TaskParallel is the paper's model: SPE threads run the offloaded
+	// function independently, orchestrated by the PPE through spawns
+	// and mailboxes; the PPE performs the integration between offloads.
+	TaskParallel Model = iota
+	// DataParallel is the OpenMP-like model: every loop — the force
+	// loop and the O(N) integration loops — is divided across the SPEs,
+	// separated by barrier synchronizations. Workers are spawned once.
+	DataParallel
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case TaskParallel:
+		return "task-parallel"
+	case DataParallel:
+		return "data-parallel"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Mode selects the SPE thread-management strategy of Figure 6.
+type Mode int
+
+const (
+	// LaunchOnce spawns SPE threads on the first time step only and
+	// signals subsequent steps through mailboxes — the paper's fix that
+	// amortizes launch overhead across all time steps.
+	LaunchOnce Mode = iota
+	// RespawnEachStep creates fresh SPE threads every time step — the
+	// naive structure whose overhead grows with SPE count.
+	RespawnEachStep
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case LaunchOnce:
+		return "amortized"
+	case RespawnEachStep:
+		return "respawn"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes the Cell model.
+type Config struct {
+	NSPE    int     // SPEs used for the offload (1..8); ignored when PPEOnly
+	Mode    Mode    // thread management strategy (TaskParallel only)
+	Model   Model   // programming model (task-parallel or data-parallel)
+	Kernel  Variant // which Figure 5 kernel the SPEs run
+	PPEOnly bool    // run everything on the PPE (Table 1's worst row)
+
+	ClockHz  float64       // SPE/PPE clock (3.2 GHz)
+	SPECosts sim.CostTable // per-op cycles on an SPE
+	PPECosts sim.CostTable // per-op cycles on the PPE (in-order, scalar)
+
+	SpawnSec   float64 // OS cost of creating one SPE thread
+	MailboxSec float64 // one blocking mailbox message
+	DMASetup   float64 // per-DMA-transfer latency
+	DMABw      float64 // DMA bandwidth, bytes/s
+
+	// StepOverheadSec is the serial PPE-side orchestration per time
+	// step (buffer management, result gathering) that does not shrink
+	// with SPE count. It bounds the parallel speedup exactly as the
+	// paper observes.
+	StepOverheadSec float64
+
+	// BarrierSec is the cost of one all-SPE barrier synchronization in
+	// the data-parallel model.
+	BarrierSec float64
+}
+
+// DefaultConfig returns the calibrated Cell model: a 3.2 GHz blade with
+// the most-optimized kernel on 8 SPEs, amortized launches.
+func DefaultConfig() Config {
+	var spe sim.CostTable
+	spe[sim.OpVec] = 1 // dual-issue full-width pipes
+	spe[sim.OpVecDiv] = 6
+	spe[sim.OpVecSqrt] = 6
+	spe[sim.OpFAdd] = 2 // scalar code pays shuffle overhead
+	spe[sim.OpFMul] = 2
+	spe[sim.OpFDiv] = 10
+	spe[sim.OpFSqrt] = 12
+	spe[sim.OpCmp] = 1.5
+	// Branches on the SPE are never free: even a not-taken branch
+	// occupies an issue slot and blocks dual issue around it, and a
+	// taken data-dependent branch is a full pipeline flush. Removing
+	// them (the copysign step) is worth more than the raw flush count
+	// suggests, which is why the paper's first rung wins at all.
+	spe[sim.OpBranch] = 2
+	spe[sim.OpBranchMiss] = 18 // no branch prediction: taken = flush
+	spe[sim.OpLoad] = 1.5      // local store, fixed latency, pipelined
+	spe[sim.OpStore] = 1.5
+	spe[sim.OpInt] = 1
+
+	var ppe sim.CostTable
+	ppe[sim.OpVec] = 2 // VMX exists but the port is scalar; rarely used
+	ppe[sim.OpVecDiv] = 12
+	ppe[sim.OpVecSqrt] = 12
+	ppe[sim.OpFAdd] = 5 // in-order core, long FP latency, no OoO to hide it
+	ppe[sim.OpFMul] = 5
+	ppe[sim.OpFDiv] = 40
+	ppe[sim.OpFSqrt] = 56
+	ppe[sim.OpCmp] = 2.5
+	ppe[sim.OpBranch] = 1
+	ppe[sim.OpBranchMiss] = 23
+	ppe[sim.OpLoad] = 2.5
+	ppe[sim.OpStore] = 2.5
+	ppe[sim.OpInt] = 1
+
+	return Config{
+		NSPE:            8,
+		Mode:            LaunchOnce,
+		Kernel:          SIMDAccel,
+		ClockHz:         3.2e9,
+		SPECosts:        spe,
+		PPECosts:        ppe,
+		SpawnSec:        3e-3, // SPE thread creation through the 2.6 kernel
+		MailboxSec:      1e-6,
+		DMASetup:        0.5e-6,
+		DMABw:           25.6e9,
+		StepOverheadSec: 1e-3,
+		BarrierSec:      2e-6,
+	}
+}
+
+// Processor is the modeled Cell chip.
+type Processor struct {
+	cfg Config
+}
+
+// New validates cfg and returns the processor.
+func New(cfg Config) (*Processor, error) {
+	if !cfg.PPEOnly && (cfg.NSPE < 1 || cfg.NSPE > 8) {
+		return nil, fmt.Errorf("cell: NSPE must be in 1..8, got %d", cfg.NSPE)
+	}
+	if cfg.Kernel < 0 || cfg.Kernel >= NumVariants {
+		return nil, fmt.Errorf("cell: unknown kernel variant %d", int(cfg.Kernel))
+	}
+	if cfg.ClockHz <= 0 {
+		return nil, fmt.Errorf("cell: clock must be positive")
+	}
+	return &Processor{cfg: cfg}, nil
+}
+
+// Name implements device.Device.
+func (c *Processor) Name() string { return "cell" }
+
+// Variant label used in results, e.g. "8spe/amortized/simd-accel".
+func (c *Processor) variantLabel() string {
+	if c.cfg.PPEOnly {
+		return "ppe-only"
+	}
+	if c.cfg.Model == DataParallel {
+		return fmt.Sprintf("%dspe/data-parallel/%v", c.cfg.NSPE, c.cfg.Kernel)
+	}
+	return fmt.Sprintf("%dspe/%v/%v", c.cfg.NSPE, c.cfg.Mode, c.cfg.Kernel)
+}
+
+// kernelParamsFor builds the compiled-in constants from a workload.
+func kernelParamsFor(w device.Workload) kernelParams {
+	return kernelParams{
+		box:     float32(w.State.Box),
+		halfBox: float32(w.State.Box) / 2,
+		cutoff:  float32(w.Cutoff),
+		eps:     1,
+		sigma2:  1,
+	}
+}
+
+// Run implements device.Device.
+func (c *Processor) Run(w device.Workload) (*device.Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	p := md.Params[float32]{Box: float32(w.State.Box), Cutoff: float32(w.Cutoff), Dt: float32(w.Dt)}
+	sys, err := md.NewSystem(w.State, p)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.PPEOnly {
+		return c.runPPEOnly(w, sys)
+	}
+	return c.runSPE(w, sys)
+}
+
+// runPPEOnly executes every part of the kernel on the PPE with the
+// scalar Original code and PPE costs.
+func (c *Processor) runPPEOnly(w device.Workload, sys *md.System[float32]) (*device.Result, error) {
+	kp := kernelParamsFor(w)
+	ctx := &spu.Context{}
+	forces := func() float32 {
+		pe := runKernel(Original, ctx, kp, sys.Pos, sys.Acc, 0, sys.N())
+		return pe / 2
+	}
+	for s := 0; s < w.Steps; s++ {
+		sys.StepWith(forces)
+		countPPEIntegration(&ctx.L, sys.N())
+	}
+	bd := sim.NewBreakdown()
+	clock := sim.Clock{Hz: c.cfg.ClockHz}
+	bd.Add("compute", clock.Seconds(ctx.L.Cycles(c.cfg.PPECosts)))
+	return &device.Result{
+		Device:  c.Name(),
+		Variant: c.variantLabel(),
+		N:       sys.N(),
+		Steps:   w.Steps,
+		PE:      float64(sys.PE),
+		KE:      float64(sys.KE),
+		Time:    bd,
+		Ledger:  ctx.L,
+	}, nil
+}
+
+// runSPE executes the offloaded configuration: the acceleration
+// computation on NSPE SPEs, everything else on the PPE.
+func (c *Processor) runSPE(w device.Workload, sys *md.System[float32]) (*device.Result, error) {
+	n := sys.N()
+	nspe := c.cfg.NSPE
+	kp := kernelParamsFor(w)
+
+	// One persistent context (ledger) per SPE; compute time per step is
+	// the max across SPEs since they run concurrently.
+	ctxs := make([]*spu.Context, nspe)
+	for s := range ctxs {
+		ctxs[s] = &spu.Context{}
+	}
+	ppe := &sim.Ledger{}
+
+	tileAtoms, err := planLocalStore(n, nspe)
+	if err != nil {
+		return nil, err
+	}
+
+	dma := &spu.DMA{SetupSec: c.cfg.DMASetup, BytesPerSec: c.cfg.DMABw}
+	mbox := &spu.Mailbox{LatencySec: c.cfg.MailboxSec}
+
+	bd := sim.NewBreakdown()
+	clock := sim.Clock{Hz: c.cfg.ClockHz}
+
+	// Thread spawns: per step when respawning, once when amortized;
+	// spawns are serviced serially by the PPE/OS.
+	bounds := sliceBounds(n, nspe)
+	forces := func() float32 {
+		var totalPE float32
+		var maxCycles float64
+		var maxDMASec float64
+		for s := 0; s < nspe; s++ {
+			lo, hi := bounds[s], bounds[s+1]
+			before := ctxs[s].L.Cycles(c.cfg.SPECosts)
+			pe := runKernel(c.cfg.Kernel, ctxs[s], kp, sys.Pos, sys.Acc, lo, hi)
+			totalPE += pe
+			cycles := ctxs[s].L.Cycles(c.cfg.SPECosts) - before
+
+			// DMA: stream the whole position array through the tile
+			// buffer, then write back this SPE's acceleration slice.
+			var dmaSec float64
+			for off := 0; off < n; off += tileAtoms {
+				chunk := tileAtoms
+				if off+chunk > n {
+					chunk = n - off
+				}
+				sec, err := dma.Transfer(chunk * quadBytes)
+				if err != nil {
+					panic(err) // sizes are internally computed; cannot be negative
+				}
+				dmaSec += sec
+			}
+			sec, err := dma.Transfer((hi - lo) * quadBytes)
+			if err != nil {
+				panic(err)
+			}
+			dmaSec += sec
+
+			if cycles > maxCycles {
+				maxCycles = cycles
+			}
+			if dmaSec > maxDMASec {
+				maxDMASec = dmaSec
+			}
+		}
+		bd.Add("compute", clock.Seconds(maxCycles))
+		bd.Add("dma", maxDMASec)
+
+		switch {
+		case c.cfg.Model == DataParallel:
+			// Three parallel regions per step (half-kick+drift, forces,
+			// half-kick+energy reduction), each closed by an all-SPE
+			// barrier.
+			bd.Add("barrier", 3*c.cfg.BarrierSec)
+		case c.cfg.Mode == RespawnEachStep:
+			bd.Add("spawn", float64(nspe)*c.cfg.SpawnSec)
+		default:
+			// Two blocking mailbox messages per SPE per step (go, done),
+			// serviced serially by the PPE.
+			var mboxSec float64
+			for s := 0; s < 2*nspe; s++ {
+				mboxSec += mbox.Signal()
+			}
+			bd.Add("mailbox", mboxSec)
+		}
+		bd.Add("ppe", c.cfg.StepOverheadSec)
+		return totalPE / 2
+	}
+
+	if (c.cfg.Mode == LaunchOnce || c.cfg.Model == DataParallel) && w.Steps > 0 {
+		bd.Add("spawn", float64(nspe)*c.cfg.SpawnSec)
+	}
+
+	for s := 0; s < w.Steps; s++ {
+		sys.StepWith(forces)
+		if c.cfg.Model == DataParallel {
+			// The O(N) integration loops are themselves divided across
+			// the SPEs instead of running serially on the PPE.
+			var il sim.Ledger
+			countPPEIntegration(&il, n)
+			bd.Add("integration", clock.Seconds(il.Cycles(c.cfg.SPECosts)/float64(nspe)))
+		} else {
+			countPPEIntegration(ppe, n)
+		}
+	}
+	bd.Add("ppe", clock.Seconds(ppe.Cycles(c.cfg.PPECosts)))
+
+	// Merge per-SPE ledgers for the diagnostic result.
+	var merged sim.Ledger
+	for _, ctx := range ctxs {
+		merged.Merge(&ctx.L)
+	}
+	return &device.Result{
+		Device:  c.Name(),
+		Variant: c.variantLabel(),
+		N:       n,
+		Steps:   w.Steps,
+		PE:      float64(sys.PE),
+		KE:      float64(sys.KE),
+		Time:    bd,
+		Ledger:  merged,
+	}, nil
+}
+
+// quadBytes is the local-store footprint of one atom's position or
+// acceleration: a 16-byte aligned float32 quadword.
+const quadBytes = 16
+
+// planLocalStore lays out one SPE's local store for an n-atom workload
+// split nspe ways and returns the position-tile size in atoms: the
+// whole array when it fits alongside the code, stack, and this SPE's
+// acceleration slice, or the largest halving that does (the j-loop then
+// streams the array through the tile with multiple DMA transfers per
+// pass, double-buffered on real hardware).
+func planLocalStore(n, nspe int) (tileAtoms int, err error) {
+	ls := spu.NewLocalStore()
+	const reservedForCodeAndStack = 64 * 1024
+	if err := ls.Alloc("code+stack", reservedForCodeAndStack); err != nil {
+		return 0, err
+	}
+	sliceBytes := (n/nspe + 1) * quadBytes
+	if err := ls.Alloc("acc-slice", sliceBytes); err != nil {
+		return 0, fmt.Errorf("cell: acceleration slice alone overflows the local store: %w", err)
+	}
+	tileAtoms = n
+	for ls.Available() < tileAtoms*quadBytes && tileAtoms > 64 {
+		tileAtoms /= 2
+	}
+	if err := ls.Alloc("pos-tile", tileAtoms*quadBytes); err != nil {
+		return 0, fmt.Errorf("cell: cannot fit even a %d-atom tile: %w", tileAtoms, err)
+	}
+	return tileAtoms, nil
+}
+
+// sliceBounds splits n atoms into nspe near-equal contiguous slices and
+// returns the nspe+1 boundaries.
+func sliceBounds(n, nspe int) []int {
+	b := make([]int, nspe+1)
+	for s := 0; s <= nspe; s++ {
+		b[s] = s * n / nspe
+	}
+	return b
+}
+
+// countPPEIntegration accrues the O(N) velocity-Verlet bookkeeping the
+// PPE performs between force offloads.
+func countPPEIntegration(l *sim.Ledger, n int) {
+	an := int64(n)
+	l.Add(sim.OpFMul, 9*an)
+	l.Add(sim.OpFAdd, 9*an)
+	l.Add(sim.OpCmp, 6*an)
+	l.Add(sim.OpFAdd, 3*an/2)
+	l.Add(sim.OpFMul, 3*an)
+	l.Add(sim.OpFAdd, 3*an)
+	l.Add(sim.OpLoad, 9*an)
+	l.Add(sim.OpStore, 9*an)
+	l.Add(sim.OpInt, 4*an)
+}
+
+// AccelKernelTime measures the Figure 5 quantity: the modeled runtime
+// of one acceleration computation over all atoms on a single SPE with
+// the given kernel variant (no integration, no launches, no DMA).
+func (c *Processor) AccelKernelTime(w device.Workload, v Variant) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	p := md.Params[float32]{Box: float32(w.State.Box), Cutoff: float32(w.Cutoff), Dt: float32(w.Dt)}
+	sys, err := md.NewSystem(w.State, p)
+	if err != nil {
+		return 0, err
+	}
+	ctx := &spu.Context{}
+	runKernel(v, ctx, kernelParamsFor(w), sys.Pos, sys.Acc, 0, sys.N())
+	clock := sim.Clock{Hz: c.cfg.ClockHz}
+	return clock.Seconds(ctx.L.Cycles(c.cfg.SPECosts)), nil
+}
+
+// KernelAccel exposes one kernel-variant execution for validation: it
+// fills acc for atoms [0,n) and returns the potential energy, using a
+// fresh context.
+func KernelAccel(v Variant, w device.Workload, pos []vec.V3[float32], acc []vec.V3[float32]) float32 {
+	ctx := &spu.Context{}
+	pe := runKernel(v, ctx, kernelParamsFor(w), pos, acc, 0, len(pos))
+	return pe / 2
+}
+
+var _ device.Device = (*Processor)(nil)
+
+// DualIssueBound returns a lower bound on SPE cycles for a kernel
+// ledger under perfect dual issue: the SPE fetches one instruction per
+// cycle into each of two pipelines — even (arithmetic) and odd
+// (loads/stores, shuffles, branches) — so a perfectly scheduled kernel
+// runs in max(evenOps, oddOps) cycles plus the unavoidable taken-branch
+// flushes. The cost-table estimate used for the figures must never be
+// below this bound (pinned by a test); the gap between them is the
+// scheduling slack a hand-tuned assembly kernel could still harvest.
+func (c *Processor) DualIssueBound(l *sim.Ledger) float64 {
+	even := float64(l.Count(sim.OpFAdd) + l.Count(sim.OpFMul) + l.Count(sim.OpFDiv) +
+		l.Count(sim.OpFSqrt) + l.Count(sim.OpVec) + l.Count(sim.OpVecDiv) +
+		l.Count(sim.OpVecSqrt) + l.Count(sim.OpCmp) + l.Count(sim.OpInt))
+	odd := float64(l.Count(sim.OpLoad) + l.Count(sim.OpStore) + l.Count(sim.OpBranch))
+	flushes := float64(l.Count(sim.OpBranchMiss)) * c.cfg.SPECosts[sim.OpBranchMiss]
+	m := even
+	if odd > m {
+		m = odd
+	}
+	return m + flushes
+}

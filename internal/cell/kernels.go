@@ -1,0 +1,319 @@
+package cell
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/spu"
+	"repro/internal/vec"
+)
+
+// Variant identifies one rung of the paper's Figure 5 SIMD-optimization
+// ladder for the SPE acceleration kernel. Each variant computes
+// identical physics (the tests pin all six against the reference
+// implementation); they differ only in how much of the per-pair
+// pipeline runs through the SIMD datapath versus scalar code with
+// branches, which is exactly what the figure measures.
+type Variant int
+
+const (
+	// Original is the direct scalar port: per-axis loads and
+	// subtractions, an "if" test per axis for the unit-cell reflection
+	// (ruinous on the branch-predictor-less SPE), scalar length and
+	// Lennard-Jones evaluation.
+	Original Variant = iota
+	// Copysign replaces the reflection "if" with branch-free extra
+	// math — the paper's first step, "a small speedup".
+	Copysign
+	// SIMDReflect searches all three axes of the unit-cell reflection
+	// simultaneously with SIMD intrinsics — the paper's big win
+	// ("running over 1.5x faster than the original").
+	SIMDReflect
+	// SIMDDirection also forms the direction vector with one quadword
+	// load and one vector subtract (paper: 21% improvement).
+	SIMDDirection
+	// SIMDLength also computes the squared length with a vector
+	// multiply and horizontal add (paper: 15% improvement).
+	SIMDLength
+	// SIMDAccel also vectorizes the force-to-acceleration update for
+	// interacting pairs; few pairs interact, so the gain is small
+	// (paper: 3%).
+	SIMDAccel
+
+	// NumVariants is the number of ladder rungs.
+	NumVariants
+)
+
+var variantNames = [NumVariants]string{
+	"original", "copysign", "simd-reflect", "simd-direction", "simd-length", "simd-accel",
+}
+
+// String implements fmt.Stringer with the Figure 5 bar labels.
+func (v Variant) String() string {
+	if v < 0 || v >= NumVariants {
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+	return variantNames[v]
+}
+
+// kernelParams are the constants the paper's port compiles into the SPE
+// program: box geometry and LJ coefficients, in float32.
+type kernelParams struct {
+	box, halfBox float32
+	cutoff       float32
+	eps, sigma2  float32 // well depth and sigma²
+}
+
+// runKernel executes the given variant for atoms [lo, hi) against all
+// atoms, writing accelerations into acc[lo:hi] and returning this
+// slice's potential-energy contribution (each unordered pair is seen by
+// both members, so the caller halves the total). All modeled operations
+// flow through ctx's ledger.
+func runKernel(v Variant, ctx *spu.Context, kp kernelParams, pos []vec.V3[float32], acc []vec.V3[float32], lo, hi int) float32 {
+	switch v {
+	case Original:
+		return kernelOriginal(ctx, kp, pos, acc, lo, hi)
+	case Copysign:
+		return kernelCopysign(ctx, kp, pos, acc, lo, hi)
+	case SIMDReflect:
+		return kernelSIMDReflect(ctx, kp, pos, acc, lo, hi)
+	case SIMDDirection:
+		return kernelSIMD(ctx, kp, pos, acc, lo, hi, false, false)
+	case SIMDLength:
+		return kernelSIMD(ctx, kp, pos, acc, lo, hi, true, false)
+	case SIMDAccel:
+		return kernelSIMD(ctx, kp, pos, acc, lo, hi, true, true)
+	default:
+		panic(fmt.Sprintf("cell: unknown kernel variant %d", int(v)))
+	}
+}
+
+// ljScalar evaluates the Lennard-Jones pair interaction in scalar SPE
+// code and returns (v, f) with f such that a_i += f * d. Shared by
+// every variant: the paper's ladder never vectorizes the LJ arithmetic
+// itself (each pair's interaction is a scalar computation).
+func ljScalar(ctx *spu.Context, kp kernelParams, r2 float32) (pv, f float32) {
+	sr2 := ctx.Div(ctx.Mul(kp.sigma2, 1), r2) // sigma²/r²
+	sr6 := ctx.Mul(ctx.Mul(sr2, sr2), sr2)
+	sr12 := ctx.Mul(sr6, sr6)
+	pv = ctx.Mul(4*kp.eps, ctx.Sub(sr12, sr6))
+	f = ctx.Div(ctx.Mul(24*kp.eps, ctx.Sub(ctx.Add(sr12, sr12), sr6)), r2)
+	return pv, f
+}
+
+// kernelOriginal is the straight scalar port (Figure 5 bar 1).
+func kernelOriginal(ctx *spu.Context, kp kernelParams, pos []vec.V3[float32], acc []vec.V3[float32], lo, hi int) float32 {
+	var pe float32
+	n := len(pos)
+	for i := lo; i < hi; i++ {
+		xi, yi, zi := ctx.Load3(pos[i])
+		var ax, ay, az float32
+		for j := 0; j < n; j++ {
+			ctx.LoopIter()
+			ctx.Branch(j == i) // skip-self test
+			if j == i {
+				continue
+			}
+			xj, yj, zj := ctx.Load3(pos[j])
+			dx := ctx.Sub(xi, xj)
+			dy := ctx.Sub(yi, yj)
+			dz := ctx.Sub(zi, zj)
+			dx = reflectBranchy(ctx, dx, kp)
+			dy = reflectBranchy(ctx, dy, kp)
+			dz = reflectBranchy(ctx, dz, kp)
+			r2 := ctx.Add(ctx.Add(ctx.Mul(dx, dx), ctx.Mul(dy, dy)), ctx.Mul(dz, dz))
+			r := ctx.Sqrt(r2)
+			interacting := !ctx.Cmp(r, kp.cutoff) && r2 > 0
+			ctx.Branch(interacting)
+			if !interacting {
+				continue
+			}
+			pv, f := ljScalar(ctx, kp, r2)
+			pe = ctx.Add(pe, pv)
+			ax = ctx.Add(ax, ctx.Mul(f, dx))
+			ay = ctx.Add(ay, ctx.Mul(f, dy))
+			az = ctx.Add(az, ctx.Mul(f, dz))
+		}
+		acc[i] = ctx.Store3(ax, ay, az)
+	}
+	return pe
+}
+
+// reflectBranchy is the per-axis minimum-image step with "if" tests:
+// cheap when not taken, an 18-cycle pipeline flush when taken — and
+// with wrapped coordinates the first test is taken for a quarter of
+// all pairs per axis.
+func reflectBranchy(ctx *spu.Context, d float32, kp kernelParams) float32 {
+	over := ctx.Cmp(d, kp.halfBox)
+	ctx.Branch(over)
+	if over {
+		return ctx.Sub(d, kp.box)
+	}
+	under := ctx.Cmp(-kp.halfBox, d)
+	ctx.Branch(under)
+	if under {
+		return ctx.Add(d, kp.box)
+	}
+	return d
+}
+
+// reflectCopysign is the branch-free scalar replacement (Figure 5 bar
+// 2): d -= copysign(box, d) * (|d| > box/2), evaluated as straight-line
+// math.
+func reflectCopysign(ctx *spu.Context, d float32, kp kernelParams) float32 {
+	a := ctx.Abs(d)
+	var mask float32
+	if ctx.Cmp(a, kp.halfBox) { // compare produces a mask, no branch issued
+		mask = 1
+	}
+	corr := ctx.Mul(ctx.Copysign(kp.box, d), mask)
+	return ctx.Sub(d, corr)
+}
+
+// kernelCopysign is Original with the branch-free reflection.
+func kernelCopysign(ctx *spu.Context, kp kernelParams, pos []vec.V3[float32], acc []vec.V3[float32], lo, hi int) float32 {
+	var pe float32
+	n := len(pos)
+	for i := lo; i < hi; i++ {
+		xi, yi, zi := ctx.Load3(pos[i])
+		var ax, ay, az float32
+		for j := 0; j < n; j++ {
+			ctx.LoopIter()
+			ctx.Branch(j == i)
+			if j == i {
+				continue
+			}
+			xj, yj, zj := ctx.Load3(pos[j])
+			dx := reflectCopysign(ctx, ctx.Sub(xi, xj), kp)
+			dy := reflectCopysign(ctx, ctx.Sub(yi, yj), kp)
+			dz := reflectCopysign(ctx, ctx.Sub(zi, zj), kp)
+			r2 := ctx.Add(ctx.Add(ctx.Mul(dx, dx), ctx.Mul(dy, dy)), ctx.Mul(dz, dz))
+			r := ctx.Sqrt(r2)
+			interacting := !ctx.Cmp(r, kp.cutoff) && r2 > 0
+			ctx.Branch(interacting)
+			if !interacting {
+				continue
+			}
+			pv, f := ljScalar(ctx, kp, r2)
+			pe = ctx.Add(pe, pv)
+			ax = ctx.Add(ax, ctx.Mul(f, dx))
+			ay = ctx.Add(ay, ctx.Mul(f, dy))
+			az = ctx.Add(az, ctx.Mul(f, dz))
+		}
+		acc[i] = ctx.Store3(ax, ay, az)
+	}
+	return pe
+}
+
+// reflectSIMD performs the unit-cell reflection on all three axes at
+// once: abs, compare, copysign, multiply, subtract — five vector
+// instructions instead of three branchy scalar chains (Figure 5 bar 3).
+func reflectSIMD(ctx *spu.Context, d spu.V4, hVec, boxVec spu.V4) spu.V4 {
+	a := ctx.VAbs(d)
+	mask := ctx.VCmpGT(a, hVec)
+	corr := ctx.VMul(mask, ctx.VCopysign(boxVec, d))
+	return ctx.VSub(d, corr)
+}
+
+// pack3 moves three scalars into SIMD lanes (two shuffles on hardware).
+func pack3(ctx *spu.Context, x, y, z float32) spu.V4 {
+	ctx.L.Add(sim.OpVec, 2)
+	return spu.V4{x, y, z, 0}
+}
+
+// extract3 moves three SIMD lanes back to scalars (rotates/extracts).
+func extract3(ctx *spu.Context, v spu.V4) (x, y, z float32) {
+	ctx.L.Add(sim.OpVec, 2)
+	return v[0], v[1], v[2]
+}
+
+// kernelSIMDReflect keeps scalar loads/diffs but vectorizes the
+// reflection.
+func kernelSIMDReflect(ctx *spu.Context, kp kernelParams, pos []vec.V3[float32], acc []vec.V3[float32], lo, hi int) float32 {
+	var pe float32
+	n := len(pos)
+	hVec := ctx.VSplat(kp.halfBox) // hoisted out of the pair loop
+	boxVec := ctx.VSplat(kp.box)
+	for i := lo; i < hi; i++ {
+		xi, yi, zi := ctx.Load3(pos[i])
+		var ax, ay, az float32
+		for j := 0; j < n; j++ {
+			ctx.LoopIter()
+			ctx.Branch(j == i)
+			if j == i {
+				continue
+			}
+			xj, yj, zj := ctx.Load3(pos[j])
+			d := pack3(ctx, ctx.Sub(xi, xj), ctx.Sub(yi, yj), ctx.Sub(zi, zj))
+			d = reflectSIMD(ctx, d, hVec, boxVec)
+			dx, dy, dz := extract3(ctx, d)
+			r2 := ctx.Add(ctx.Add(ctx.Mul(dx, dx), ctx.Mul(dy, dy)), ctx.Mul(dz, dz))
+			r := ctx.Sqrt(r2)
+			interacting := !ctx.Cmp(r, kp.cutoff) && r2 > 0
+			ctx.Branch(interacting)
+			if !interacting {
+				continue
+			}
+			pv, f := ljScalar(ctx, kp, r2)
+			pe = ctx.Add(pe, pv)
+			ax = ctx.Add(ax, ctx.Mul(f, dx))
+			ay = ctx.Add(ay, ctx.Mul(f, dy))
+			az = ctx.Add(az, ctx.Mul(f, dz))
+		}
+		acc[i] = ctx.Store3(ax, ay, az)
+	}
+	return pe
+}
+
+// kernelSIMD is the shared body of the last three ladder rungs: SIMD
+// direction vector always; SIMD length and SIMD acceleration toggled.
+func kernelSIMD(ctx *spu.Context, kp kernelParams, pos []vec.V3[float32], acc []vec.V3[float32], lo, hi int, simdLength, simdAccel bool) float32 {
+	var pe float32
+	n := len(pos)
+	hVec := ctx.VSplat(kp.halfBox)
+	boxVec := ctx.VSplat(kp.box)
+	for i := lo; i < hi; i++ {
+		pi := ctx.LoadV(pos[i])
+		var ax, ay, az float32
+		var aVec spu.V4
+		for j := 0; j < n; j++ {
+			ctx.LoopIter()
+			ctx.Branch(j == i)
+			if j == i {
+				continue
+			}
+			d := ctx.VSub(pi, ctx.LoadV(pos[j]))
+			d = reflectSIMD(ctx, d, hVec, boxVec)
+
+			var r2 float32
+			if simdLength {
+				r2 = ctx.HAdd3(ctx.VMul(d, d))
+			} else {
+				dx, dy, dz := extract3(ctx, d)
+				r2 = ctx.Add(ctx.Add(ctx.Mul(dx, dx), ctx.Mul(dy, dy)), ctx.Mul(dz, dz))
+			}
+			r := ctx.Sqrt(r2)
+			interacting := !ctx.Cmp(r, kp.cutoff) && r2 > 0
+			ctx.Branch(interacting)
+			if !interacting {
+				continue
+			}
+			pv, f := ljScalar(ctx, kp, r2)
+			pe = ctx.Add(pe, pv)
+			if simdAccel {
+				aVec = ctx.VMadd(ctx.VSplat(f), d, aVec)
+			} else {
+				dx, dy, dz := extract3(ctx, d)
+				ax = ctx.Add(ax, ctx.Mul(f, dx))
+				ay = ctx.Add(ay, ctx.Mul(f, dy))
+				az = ctx.Add(az, ctx.Mul(f, dz))
+			}
+		}
+		if simdAccel {
+			acc[i] = ctx.StoreV(aVec)
+		} else {
+			acc[i] = ctx.Store3(ax, ay, az)
+		}
+	}
+	return pe
+}

@@ -1,0 +1,105 @@
+// Package device defines the common contract between the experiment
+// runner (internal/core) and the four architecture models (the Opteron
+// baseline, the Cell BE, the GPU, and the Cray MTA-2).
+//
+// A device takes a Workload — an initial condition plus MD parameters —
+// runs the paper's kernel on its modeled hardware in its native
+// precision, and returns a Result carrying both the physics output
+// (energies, used by core's cross-validation against the reference
+// implementation) and the modeled runtime with its component breakdown.
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lattice"
+	"repro/internal/sim"
+)
+
+// Workload describes one MD run. All devices receive the identical
+// initial condition, which is what makes the physics cross-checkable.
+type Workload struct {
+	State  *lattice.State // initial positions/velocities and box (float64)
+	Cutoff float64        // interaction cutoff
+	Dt     float64        // integration time step
+	Steps  int            // number of velocity-Verlet steps (>= 0)
+}
+
+// Validate reports whether the workload is runnable.
+func (w Workload) Validate() error {
+	if w.State == nil {
+		return fmt.Errorf("device: workload has no initial state")
+	}
+	if len(w.State.Pos) == 0 {
+		return fmt.Errorf("device: workload has zero atoms")
+	}
+	if w.Cutoff <= 0 {
+		return fmt.Errorf("device: cutoff must be positive, got %v", w.Cutoff)
+	}
+	if 2*w.Cutoff > w.State.Box {
+		return fmt.Errorf("device: cutoff %v exceeds half the box %v", w.Cutoff, w.State.Box)
+	}
+	if w.Dt <= 0 {
+		return fmt.Errorf("device: dt must be positive, got %v", w.Dt)
+	}
+	if w.Steps < 0 {
+		return fmt.Errorf("device: steps must be non-negative, got %d", w.Steps)
+	}
+	if len(w.State.Vel) != len(w.State.Pos) {
+		return fmt.Errorf("device: %d velocities for %d positions", len(w.State.Vel), len(w.State.Pos))
+	}
+	for i, p := range w.State.Pos {
+		if !finite(p.X) || !finite(p.Y) || !finite(p.Z) {
+			return fmt.Errorf("device: position %d is not finite: %+v", i, p)
+		}
+	}
+	for i, v := range w.State.Vel {
+		if !finite(v.X) || !finite(v.Y) || !finite(v.Z) {
+			return fmt.Errorf("device: velocity %d is not finite: %+v", i, v)
+		}
+	}
+	return nil
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// N returns the atom count.
+func (w Workload) N() int {
+	if w.State == nil {
+		return 0
+	}
+	return len(w.State.Pos)
+}
+
+// Result is the outcome of running a workload on a device.
+type Result struct {
+	Device  string // device name, e.g. "cell"
+	Variant string // device-specific configuration, e.g. "8spe/amortized"
+	N       int
+	Steps   int
+
+	// Physics outputs, widened to float64 regardless of the device's
+	// native precision. These are the values core validates.
+	PE, KE float64
+
+	// Modeled runtime split into named components ("compute", "dma",
+	// "spawn", "mailbox", "pcie", "dispatch", ...). Time.Total() is the
+	// number every figure plots.
+	Time *sim.Breakdown
+
+	// Ledger holds the modeled operation counts behind the compute
+	// component (diagnostic; not all devices fill every class).
+	Ledger sim.Ledger
+}
+
+// Seconds returns the total modeled runtime.
+func (r *Result) Seconds() float64 { return r.Time.Total() }
+
+// Device is one modeled architecture.
+type Device interface {
+	// Name identifies the device ("opteron", "cell", "gpu", "mta").
+	Name() string
+	// Run executes the workload and returns the modeled result.
+	Run(w Workload) (*Result, error)
+}

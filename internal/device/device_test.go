@@ -1,0 +1,99 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/sim"
+)
+
+func validState(t *testing.T) *lattice.State {
+	t.Helper()
+	st, err := lattice.Generate(lattice.Config{
+		N: 64, Density: 0.8, Temperature: 1, Kind: lattice.FCC, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	st := validState(t)
+	good := Workload{State: st, Cutoff: 2.0, Dt: 0.004, Steps: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mod  func(*Workload)
+	}{
+		{"nil state", func(w *Workload) { w.State = nil }},
+		{"zero atoms", func(w *Workload) { w.State = &lattice.State{Box: 5} }},
+		{"zero cutoff", func(w *Workload) { w.Cutoff = 0 }},
+		{"negative cutoff", func(w *Workload) { w.Cutoff = -1 }},
+		{"cutoff too large", func(w *Workload) { w.Cutoff = st.Box }},
+		{"zero dt", func(w *Workload) { w.Dt = 0 }},
+		{"negative steps", func(w *Workload) { w.Steps = -1 }},
+	}
+	for _, c := range cases {
+		w := good
+		c.mod(&w)
+		if err := w.Validate(); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestWorkloadZeroStepsValid(t *testing.T) {
+	w := Workload{State: validState(t), Cutoff: 2.0, Dt: 0.004, Steps: 0}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("zero-step workload rejected: %v", err)
+	}
+}
+
+func TestWorkloadN(t *testing.T) {
+	w := Workload{}
+	if w.N() != 0 {
+		t.Fatal("nil-state N != 0")
+	}
+	w.State = validState(t)
+	if w.N() != 64 {
+		t.Fatalf("N = %d", w.N())
+	}
+}
+
+func TestResultSeconds(t *testing.T) {
+	bd := sim.NewBreakdown()
+	bd.Add("compute", 1.5)
+	bd.Add("dma", 0.5)
+	r := &Result{Time: bd}
+	if r.Seconds() != 2.0 {
+		t.Fatalf("Seconds = %v", r.Seconds())
+	}
+}
+
+func TestWorkloadValidateRejectsNonFiniteState(t *testing.T) {
+	st := validState(t)
+	w := Workload{State: st, Cutoff: 2.0, Dt: 0.004, Steps: 1}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st.Pos[3].Y = nan()
+	if err := w.Validate(); err == nil {
+		t.Fatal("NaN position accepted")
+	}
+	st.Pos[3].Y = 1
+	st.Vel[5].Z = inf()
+	if err := w.Validate(); err == nil {
+		t.Fatal("Inf velocity accepted")
+	}
+	st.Vel[5].Z = 0
+	st.Vel = st.Vel[:10]
+	if err := w.Validate(); err == nil {
+		t.Fatal("mismatched velocity count accepted")
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+func inf() float64 { one := 1.0; z := 0.0; return one / z }

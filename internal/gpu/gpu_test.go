@@ -1,0 +1,336 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/lattice"
+	"repro/internal/md"
+	"repro/internal/vec"
+)
+
+func workload(t *testing.T, n, steps int) device.Workload {
+	t.Helper()
+	st, err := lattice.Generate(lattice.Config{
+		N: n, Density: 0.8442, Temperature: 0.728, Kind: lattice.FCC, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutoff := 2.5
+	if 2*cutoff > st.Box {
+		cutoff = st.Box / 2 * 0.99
+	}
+	return device.Workload{State: st, Cutoff: cutoff, Dt: 0.004, Steps: steps}
+}
+
+func mustNew(t *testing.T, cfg Config) *Device {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestShaderPhysicsMatchesReference(t *testing.T) {
+	w := workload(t, 108, 1)
+	p := md.Params[float32]{Box: float32(w.State.Box), Cutoff: float32(w.Cutoff), Dt: float32(w.Dt)}
+	n := len(w.State.Pos)
+	pos := make([]vec.V3[float32], n)
+	for i := range pos {
+		pos[i] = vec.FromV3f64[float32](w.State.Pos[i])
+	}
+	wantAcc := make([]vec.V3[float32], n)
+	wantPE := md.ComputeForcesFull(p, pos, wantAcc)
+
+	shader := mdShader(n, p.Box, p.Cutoff)
+	pass, err := NewPass(shader, n, NewTexture("pos", packPositions(pos)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, fetches, alu := pass.run()
+	if fetches != int64(n)+int64(n)*int64(n) {
+		t.Errorf("fetches = %d, want %d", fetches, n+n*n)
+	}
+	if alu != int64(n)*int64(n)*16 {
+		t.Errorf("alu = %d, want %d", alu, n*n*16)
+	}
+	var pe float32
+	for i := range out {
+		got := vec.V3[float32]{X: out[i][0], Y: out[i][1], Z: out[i][2]}
+		if float64(got.Sub(wantAcc[i]).Norm()) > 1e-4*(1+float64(wantAcc[i].Norm())) {
+			t.Fatalf("acc[%d] = %+v, want %+v", i, got, wantAcc[i])
+		}
+		pe += out[i][3]
+	}
+	pe /= 2
+	if rel := math.Abs(float64(pe-wantPE)) / math.Abs(float64(wantPE)); rel > 2e-4 {
+		t.Fatalf("PE = %v, want %v (rel %v)", pe, wantPE, rel)
+	}
+}
+
+func TestShaderNoNaNFromMaskedPairs(t *testing.T) {
+	// Self-pairs (r2 == 0) and distant pairs must not poison the
+	// accumulation with NaN through the guarded reciprocal.
+	pos := []vec.V3[float32]{{X: 1, Y: 1, Z: 1}, {X: 9, Y: 9, Z: 9}}
+	shader := mdShader(2, 20, 2.5)
+	pass, err := NewPass(shader, 2, NewTexture("pos", packPositions(pos)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, _ := pass.run()
+	for i, o := range out {
+		for c, v := range o {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("out[%d][%d] = %v", i, c, v)
+			}
+		}
+	}
+}
+
+func TestDevicePhysicsOverSteps(t *testing.T) {
+	w := workload(t, 64, 10)
+	res, err := mustNew(t, DefaultConfig()).Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := md.Params[float32]{Box: float32(w.State.Box), Cutoff: float32(w.Cutoff), Dt: float32(w.Dt)}
+	sys, err := md.NewSystem(w.State, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < w.Steps; i++ {
+		sys.StepWith(func() float32 { return md.ComputeForcesFull(sys.P, sys.Pos, sys.Acc) })
+	}
+	if rel := math.Abs(res.PE-float64(sys.PE)) / math.Abs(float64(sys.PE)); rel > 1e-3 {
+		t.Fatalf("PE diverged: %v vs %v", res.PE, sys.PE)
+	}
+}
+
+func TestPerStepCostsScaleWithN(t *testing.T) {
+	d := mustNew(t, DefaultConfig())
+	small, err := d.Run(workload(t, 256, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := d.Run(workload(t, 1024, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute is O(N^2): 16x.
+	if r := big.Time.Component("compute") / small.Time.Component("compute"); r < 14 || r > 18 {
+		t.Fatalf("compute ratio = %v, want ~16", r)
+	}
+	// Dispatch is O(1) per step.
+	if big.Time.Component("dispatch") != small.Time.Component("dispatch") {
+		t.Fatal("dispatch should be size-independent")
+	}
+	// PCIe has a latency floor plus an O(N) term.
+	if big.Time.Component("pcie") <= small.Time.Component("pcie") {
+		t.Fatal("pcie should grow with N")
+	}
+}
+
+func TestFixedCostsDominateAtSmallN(t *testing.T) {
+	// The Figure 7 crossover: at tiny N the GPU's per-step fixed costs
+	// dwarf compute.
+	d := mustNew(t, DefaultConfig())
+	res, err := d.Run(workload(t, 64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := res.Time.Component("dispatch") + res.Time.Component("pcie")
+	if fixed < res.Time.Component("compute") {
+		t.Fatalf("fixed per-step costs (%v) should dominate compute (%v) at N=64",
+			fixed, res.Time.Component("compute"))
+	}
+}
+
+func TestStartupExcludedByDefault(t *testing.T) {
+	w := workload(t, 64, 2)
+	d := mustNew(t, DefaultConfig())
+	res, err := d.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time.Component("startup") != 0 {
+		t.Fatal("startup included by default")
+	}
+	cfg := DefaultConfig()
+	cfg.IncludeStartup = true
+	res2, err := mustNew(t, cfg).Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Time.Component("startup") != cfg.StartupSec {
+		t.Fatalf("startup = %v, want %v", res2.Time.Component("startup"), cfg.StartupSec)
+	}
+}
+
+func TestTextureRules(t *testing.T) {
+	tex := NewTexture("a", make([]Float4, 4))
+	if _, err := NewPass(nil, 4, tex); err == nil {
+		t.Fatal("nil shader accepted")
+	}
+	if _, err := NewPass(ShaderFunc(func(s *Sampler, i int) Float4 { return Float4{} }), 0, tex); err == nil {
+		t.Fatal("zero output length accepted")
+	}
+	dup := NewTexture("a", make([]Float4, 4))
+	if _, err := NewPass(ShaderFunc(func(s *Sampler, i int) Float4 { return Float4{} }), 4, tex, dup); err == nil {
+		t.Fatal("duplicate binding accepted")
+	}
+	many := make([]*Texture, MaxBoundTextures+1)
+	for i := range many {
+		many[i] = NewTexture(string(rune('a'+i)), make([]Float4, 1))
+	}
+	if _, err := NewPass(ShaderFunc(func(s *Sampler, i int) Float4 { return Float4{} }), 1, many...); err == nil {
+		t.Fatal("binding limit not enforced")
+	}
+}
+
+func TestUnboundFetchPanics(t *testing.T) {
+	pass, err := NewPass(ShaderFunc(func(s *Sampler, i int) Float4 {
+		return s.Fetch("nope", 0)
+	}), 1, NewTexture("pos", make([]Float4, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbound fetch did not panic")
+		}
+	}()
+	pass.run()
+}
+
+func TestTextureIsCopiedOnCreate(t *testing.T) {
+	// A texture must not alias host memory: inputs are read-only on the
+	// device until explicitly re-uploaded.
+	host := []Float4{{1, 2, 3, 4}}
+	tex := NewTexture("pos", host)
+	host[0][0] = 99
+	s := &Sampler{textures: map[string]*Texture{"pos": tex}}
+	if got := s.Fetch("pos", 0); got[0] != 1 {
+		t.Fatalf("texture aliases host memory: %v", got)
+	}
+}
+
+func TestTextureUpdateSizeMismatch(t *testing.T) {
+	tex := NewTexture("pos", make([]Float4, 4))
+	if err := tex.Update(make([]Float4, 5)); err == nil {
+		t.Fatal("size-mismatched update accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Pipelines = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero pipelines accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.CoreHz = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero clock accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.PCIeBytesPerSec = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero PCIe bandwidth accepted")
+	}
+}
+
+func TestMorePipelinesFasterCompute(t *testing.T) {
+	w := workload(t, 256, 2)
+	cfg16 := DefaultConfig()
+	cfg16.Pipelines = 16
+	cfg24 := DefaultConfig()
+	cfg24.Pipelines = 24
+	r16, err := mustNew(t, cfg16).Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r24, err := mustNew(t, cfg24).Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 24.0 / 16.0
+	got := r16.Time.Component("compute") / r24.Time.Component("compute")
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("pipeline scaling = %v, want %v", got, want)
+	}
+}
+
+func TestSamplerNegativeALUPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative ALU did not panic")
+		}
+	}()
+	(&Sampler{}).ALU(-1)
+}
+
+func TestReduceSum(t *testing.T) {
+	d := mustNew(t, DefaultConfig())
+	data := make([]Float4, 100)
+	var want float32
+	for i := range data {
+		data[i] = Float4{float32(i), 0, 0, 0}
+		want += float32(i)
+	}
+	sum, passes, sec := d.ReduceSum(data)
+	if sum != want {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+	// 100 -> 50 -> 25 -> 13 -> 7 -> 4 -> 2 -> 1: 7 passes.
+	if passes != 7 {
+		t.Fatalf("passes = %d, want 7", passes)
+	}
+	if sec <= 6*DefaultConfig().DispatchSec {
+		t.Fatalf("reduction time %v should include a dispatch per pass", sec)
+	}
+}
+
+func TestReduceSumEdgeCases(t *testing.T) {
+	d := mustNew(t, DefaultConfig())
+	if sum, passes, sec := d.ReduceSum(nil); sum != 0 || passes != 0 || sec != 0 {
+		t.Fatal("empty reduction not free")
+	}
+	if sum, passes, _ := d.ReduceSum([]Float4{{42}}); sum != 42 || passes != 0 {
+		t.Fatalf("single-element reduction: %v, %d", sum, passes)
+	}
+	// Odd length with no pair for the last element.
+	sum, _, _ := d.ReduceSum([]Float4{{1}, {2}, {3}})
+	if sum != 6 {
+		t.Fatalf("odd reduction = %v", sum)
+	}
+}
+
+func TestPEReductionAblation(t *testing.T) {
+	// The paper's claim: the multi-pass reduction is strictly worse than
+	// the w-component readback, and the physics is unchanged.
+	w := workload(t, 256, 3)
+	free, err := mustNew(t, DefaultConfig()).Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.PEViaReduction = true
+	reduced, err := mustNew(t, cfg).Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduced.Time.Component("reduction") <= 0 {
+		t.Fatal("no reduction time accounted")
+	}
+	if reduced.Seconds() <= free.Seconds() {
+		t.Fatalf("reduction path (%v) not slower than w-component path (%v)",
+			reduced.Seconds(), free.Seconds())
+	}
+	// Same physics to float32 tree-vs-linear summation tolerance.
+	if rel := math.Abs(reduced.PE-free.PE) / math.Abs(free.PE); rel > 1e-5 {
+		t.Fatalf("reduction changed PE: %v vs %v", reduced.PE, free.PE)
+	}
+}

@@ -1,0 +1,172 @@
+// Package gpu models the 2006-era programmable graphics pipeline the
+// paper targets (section 3.2/5.2): a stream processor with P parallel
+// pixel pipelines executing a gather-only shader program once per
+// output location, fed and drained across a PCIe bus.
+//
+// The framework enforces the streaming restrictions the paper calls
+// "a set of design challenges":
+//
+//   - arrays are either inputs (read-only Textures) or outputs, never
+//     both — a shader cannot read and write the same memory;
+//   - a shader invocation may gather from any input location but owns
+//     exactly ONE output location, fixed before it runs (its return
+//     value);
+//   - there is no communication between shader invocations, which is
+//     why the per-atom potential-energy contribution rides back in the
+//     4th component of the float4 acceleration and is summed on the
+//     CPU — the paper's "for free" readback trick;
+//   - the number of bound input textures is limited.
+//
+// Execution is functional (real float32 physics) with cost accounting:
+// texture fetches and ALU operations are tallied per dispatch and
+// divided across the pipelines, and every time step pays the PCIe
+// upload/readback plus a dispatch overhead. The one-time startup
+// (context creation + JIT compile of the shader) is tracked separately
+// and excluded from steady-state results, exactly as the paper's
+// Figure 7 does.
+package gpu
+
+import "fmt"
+
+// Float4 is one RGBA texel: the GPU's native element.
+type Float4 [4]float32
+
+// MaxBoundTextures is the input-binding limit of the modeled part.
+const MaxBoundTextures = 16
+
+// Texture is a read-only input array of float4 texels.
+type Texture struct {
+	name string
+	data []Float4
+}
+
+// NewTexture copies data into a texture (uploads are explicit PCIe
+// transfers accounted by the device; the copy here models the GPU-side
+// buffer being distinct from host memory).
+func NewTexture(name string, data []Float4) *Texture {
+	t := &Texture{name: name, data: make([]Float4, len(data))}
+	copy(t.data, data)
+	return t
+}
+
+// Len returns the number of texels.
+func (t *Texture) Len() int { return len(t.data) }
+
+// Name returns the binding name.
+func (t *Texture) Name() string { return t.name }
+
+// At returns texel i without cost accounting — a host-side inspection
+// helper (device code reads through Sampler.Fetch, which is costed).
+func (t *Texture) At(i int) Float4 { return t.data[i] }
+
+// Update overwrites the texture contents (a new upload), keeping size.
+func (t *Texture) Update(data []Float4) error {
+	if len(data) != len(t.data) {
+		return fmt.Errorf("gpu: texture %q update size %d != %d", t.name, len(data), len(t.data))
+	}
+	copy(t.data, data)
+	return nil
+}
+
+// Sampler is the only handle a shader gets to its inputs. Every Fetch
+// and every ALU op is tallied; there is no way to write through it.
+type Sampler struct {
+	textures map[string]*Texture
+	// Single-binding fast path: most passes bind one texture and fetch
+	// from it O(N²) times, so the map lookup is hoisted.
+	soloName string
+	solo     *Texture
+
+	fetches int64
+	alu     int64
+}
+
+// Fetch reads texel i of the named bound texture.
+func (s *Sampler) Fetch(tex string, i int) Float4 {
+	s.fetches++
+	if tex == s.soloName {
+		return s.solo.data[i]
+	}
+	t, ok := s.textures[tex]
+	if !ok {
+		s.fetches--
+		panic(fmt.Sprintf("gpu: shader fetched unbound texture %q", tex))
+	}
+	return t.data[i]
+}
+
+// ALU tallies n float4 arithmetic instructions executed by the shader.
+// Shaders call it alongside their Go arithmetic so the cost model sees
+// the real instruction mix.
+func (s *Sampler) ALU(n int) {
+	if n < 0 {
+		panic("gpu: negative ALU count")
+	}
+	s.alu += int64(n)
+}
+
+// Fetches returns the tally of texture reads.
+func (s *Sampler) Fetches() int64 { return s.fetches }
+
+// ALUOps returns the tally of arithmetic instructions.
+func (s *Sampler) ALUOps() int64 { return s.alu }
+
+// Shader is one compiled fragment program: Execute computes the single
+// output texel at index i, gathering inputs through the sampler. Any
+// constants must be baked in at construction ("compiled into the shader
+// program source using the provided JIT compiler", section 5.2).
+type Shader interface {
+	Execute(s *Sampler, i int) Float4
+}
+
+// ShaderFunc adapts a function to the Shader interface.
+type ShaderFunc func(s *Sampler, i int) Float4
+
+// Execute implements Shader.
+func (f ShaderFunc) Execute(s *Sampler, i int) Float4 { return f(s, i) }
+
+// Pass is one configured render-to-texture pass: bound inputs, a
+// shader, and an output length.
+type Pass struct {
+	shader   Shader
+	textures map[string]*Texture
+	outLen   int
+}
+
+// NewPass builds a pass. Binding more than MaxBoundTextures inputs or
+// reusing a binding name fails, as on real hardware.
+func NewPass(shader Shader, outLen int, inputs ...*Texture) (*Pass, error) {
+	if shader == nil {
+		return nil, fmt.Errorf("gpu: pass needs a shader")
+	}
+	if outLen <= 0 {
+		return nil, fmt.Errorf("gpu: output length must be positive, got %d", outLen)
+	}
+	if len(inputs) > MaxBoundTextures {
+		return nil, fmt.Errorf("gpu: %d input textures exceed the binding limit %d", len(inputs), MaxBoundTextures)
+	}
+	ts := make(map[string]*Texture, len(inputs))
+	for _, t := range inputs {
+		if _, dup := ts[t.name]; dup {
+			return nil, fmt.Errorf("gpu: duplicate texture binding %q", t.name)
+		}
+		ts[t.name] = t
+	}
+	return &Pass{shader: shader, textures: ts, outLen: outLen}, nil
+}
+
+// run executes the pass functionally and returns the output buffer plus
+// the fetch/ALU tallies.
+func (p *Pass) run() (out []Float4, fetches, alu int64) {
+	s := &Sampler{textures: p.textures}
+	if len(p.textures) == 1 {
+		for name, t := range p.textures {
+			s.soloName, s.solo = name, t
+		}
+	}
+	out = make([]Float4, p.outLen)
+	for i := 0; i < p.outLen; i++ {
+		out[i] = p.shader.Execute(s, i)
+	}
+	return out, s.fetches, s.alu
+}

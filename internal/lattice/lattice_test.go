@@ -1,0 +1,219 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func TestGenerateCounts(t *testing.T) {
+	for _, kind := range []Kind{SimpleCubic, FCC} {
+		for _, n := range []int{1, 2, 7, 32, 100, 256, 500, 2048} {
+			st, err := Generate(Config{N: n, Density: 0.8, Temperature: 1.0, Kind: kind, Seed: 1})
+			if err != nil {
+				t.Fatalf("%v n=%d: %v", kind, n, err)
+			}
+			if len(st.Pos) != n || len(st.Vel) != n {
+				t.Fatalf("%v n=%d: got %d positions, %d velocities", kind, n, len(st.Pos), len(st.Vel))
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{N: 0, Density: 1, Temperature: 1},
+		{N: -5, Density: 1, Temperature: 1},
+		{N: 10, Density: 0, Temperature: 1},
+		{N: 10, Density: -1, Temperature: 1},
+		{N: 10, Density: 1, Temperature: -0.5},
+		{N: 10, Density: 1, Temperature: 1, Kind: Kind(99)},
+	}
+	for _, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("Generate(%+v) succeeded, want error", cfg)
+		}
+	}
+}
+
+func TestPositionsInsideBox(t *testing.T) {
+	for _, kind := range []Kind{SimpleCubic, FCC} {
+		st, err := Generate(Config{N: 500, Density: 0.8442, Temperature: 0.7, Kind: kind, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range st.Pos {
+			if p.X < 0 || p.X >= st.Box || p.Y < 0 || p.Y >= st.Box || p.Z < 0 || p.Z >= st.Box {
+				t.Fatalf("%v atom %d outside box: %+v (box %v)", kind, i, p, st.Box)
+			}
+		}
+	}
+}
+
+func TestNoOverlappingSites(t *testing.T) {
+	for _, kind := range []Kind{SimpleCubic, FCC} {
+		st, err := Generate(Config{N: 256, Density: 0.8, Temperature: 0, Kind: kind, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Minimum-image pair distances must all be comfortably nonzero.
+		minDist2 := math.Inf(1)
+		for i := 0; i < len(st.Pos); i++ {
+			for j := i + 1; j < len(st.Pos); j++ {
+				d := st.Pos[i].Sub(st.Pos[j])
+				d.X -= st.Box * math.Round(d.X/st.Box)
+				d.Y -= st.Box * math.Round(d.Y/st.Box)
+				d.Z -= st.Box * math.Round(d.Z/st.Box)
+				if r2 := d.Norm2(); r2 < minDist2 {
+					minDist2 = r2
+				}
+			}
+		}
+		if minDist2 < 0.25 {
+			t.Fatalf("%v: closest pair at distance %v, lattice sites overlap", kind, math.Sqrt(minDist2))
+		}
+	}
+}
+
+func TestZeroNetMomentum(t *testing.T) {
+	st, err := Generate(Config{N: 1000, Density: 0.8, Temperature: 1.5, Kind: FCC, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum vec.V3[float64]
+	for _, v := range st.Vel {
+		sum = sum.Add(v)
+	}
+	if sum.Norm() > 1e-10*float64(len(st.Vel)) {
+		t.Fatalf("net momentum %v, want ~0", sum)
+	}
+}
+
+func TestTemperatureExact(t *testing.T) {
+	for _, target := range []float64{0.1, 0.728, 2.5} {
+		st, err := Generate(Config{N: 500, Density: 0.8, Temperature: target, Kind: SimpleCubic, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Temperature(st.Vel)
+		if math.Abs(got-target) > 1e-12*target {
+			t.Fatalf("temperature = %v, want %v", got, target)
+		}
+	}
+}
+
+func TestZeroTemperatureMeansAtRest(t *testing.T) {
+	st, err := Generate(Config{N: 64, Density: 0.8, Temperature: 0, Kind: SimpleCubic, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range st.Vel {
+		if v.Norm2() != 0 {
+			t.Fatalf("atom %d moving at T=0: %+v", i, v)
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	cfg := Config{N: 128, Density: 0.8, Temperature: 1, Kind: FCC, Seed: 7}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+			t.Fatalf("same seed produced different states at atom %d", i)
+		}
+	}
+}
+
+func TestBoxLengthDensityRelation(t *testing.T) {
+	prop := func(nRaw uint16, dRaw float64) bool {
+		n := int(nRaw%4096) + 1
+		density := math.Abs(math.Mod(dRaw, 2)) + 0.1
+		box := BoxLength(n, density)
+		return math.Abs(float64(n)/(box*box*box)-density) < 1e-9*density
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveDriftIdempotent(t *testing.T) {
+	rng := xrand.New(8)
+	vel := MaxwellVelocities(100, 1.0, rng)
+	RemoveDrift(vel)
+	snapshot := make([]vec.V3[float64], len(vel))
+	copy(snapshot, vel)
+	RemoveDrift(vel)
+	for i := range vel {
+		if vel[i].Sub(snapshot[i]).Norm() > 1e-12 {
+			t.Fatalf("RemoveDrift not idempotent at %d", i)
+		}
+	}
+}
+
+func TestRemoveDriftEmpty(t *testing.T) {
+	RemoveDrift(nil) // must not panic
+	if Temperature(nil) != 0 {
+		t.Fatal("Temperature(nil) != 0")
+	}
+}
+
+func TestMaxwellVariance(t *testing.T) {
+	rng := xrand.New(9)
+	const n = 100000
+	const temp = 1.3
+	vel := MaxwellVelocities(n, temp, rng)
+	var sum2 float64
+	for _, v := range vel {
+		sum2 += v.X * v.X
+	}
+	variance := sum2 / n
+	if math.Abs(variance-temp) > 0.03*temp {
+		t.Fatalf("x-component variance %v, want ~%v", variance, temp)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if SimpleCubic.String() != "sc" || FCC.String() != "fcc" {
+		t.Fatal("Kind.String")
+	}
+	if Kind(42).String() == "" {
+		t.Fatal("unknown Kind.String empty")
+	}
+}
+
+func TestFCCNearestNeighborDistance(t *testing.T) {
+	// For a full FCC lattice (N = 4 m^3) the nearest-neighbor distance
+	// is a/sqrt(2) where a is the cell edge.
+	const m = 3
+	n := 4 * m * m * m
+	st, err := Generate(Config{N: n, Density: 1.0, Temperature: 0, Kind: FCC, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := st.Box / m
+	want := a / math.Sqrt2
+	// distance from atom 0 to its nearest neighbor
+	best := math.Inf(1)
+	for j := 1; j < n; j++ {
+		d := st.Pos[0].Sub(st.Pos[j])
+		d.X -= st.Box * math.Round(d.X/st.Box)
+		d.Y -= st.Box * math.Round(d.Y/st.Box)
+		d.Z -= st.Box * math.Round(d.Z/st.Box)
+		if r := d.Norm(); r < best {
+			best = r
+		}
+	}
+	if math.Abs(best-want) > 1e-9 {
+		t.Fatalf("FCC nearest neighbor distance %v, want %v", best, want)
+	}
+}

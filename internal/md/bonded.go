@@ -1,0 +1,142 @@
+package md
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Bonded interactions: the paper notes that "calculation of forces
+// between bonded atoms is straightforward and less computationally
+// intensive as there are only a very small numbers of bonded
+// interactions as compared to the non-bonded interactions" (section
+// 3.5), and its conclusion plans to move toward "full-scale
+// bio-molecular simulation frameworks". This file supplies that
+// straightforward part: harmonic bonds and harmonic angles over an
+// explicit topology, evaluated in O(#bonds + #angles).
+
+// Bond is a harmonic two-body term V = K (r - R0)².
+type Bond struct {
+	I, J int     // atom indices
+	K    float64 // force constant (energy / length²)
+	R0   float64 // equilibrium length
+}
+
+// Angle is a harmonic three-body term V = K (θ - Theta0)², with J the
+// vertex atom.
+type Angle struct {
+	I, J, K2 int     // atoms; J is the vertex
+	K        float64 // force constant (energy / rad²)
+	Theta0   float64 // equilibrium angle in radians
+}
+
+// Topology is the bonded structure of a molecular system.
+type Topology struct {
+	Bonds  []Bond
+	Angles []Angle
+}
+
+// Validate checks all indices against the atom count and the physical
+// parameters for sanity.
+func (t *Topology) Validate(n int) error {
+	for bi, b := range t.Bonds {
+		if b.I < 0 || b.I >= n || b.J < 0 || b.J >= n {
+			return fmt.Errorf("md: bond %d references atoms (%d,%d) outside [0,%d)", bi, b.I, b.J, n)
+		}
+		if b.I == b.J {
+			return fmt.Errorf("md: bond %d connects atom %d to itself", bi, b.I)
+		}
+		if b.K < 0 || b.R0 <= 0 {
+			return fmt.Errorf("md: bond %d has K=%v R0=%v", bi, b.K, b.R0)
+		}
+	}
+	for ai, a := range t.Angles {
+		if a.I < 0 || a.I >= n || a.J < 0 || a.J >= n || a.K2 < 0 || a.K2 >= n {
+			return fmt.Errorf("md: angle %d references atoms (%d,%d,%d) outside [0,%d)", ai, a.I, a.J, a.K2, n)
+		}
+		if a.I == a.J || a.J == a.K2 || a.I == a.K2 {
+			return fmt.Errorf("md: angle %d repeats an atom (%d,%d,%d)", ai, a.I, a.J, a.K2)
+		}
+		if a.K < 0 {
+			return fmt.Errorf("md: angle %d has K=%v", ai, a.K)
+		}
+	}
+	return nil
+}
+
+// BondedForces accumulates (does not clear) the bonded forces into acc
+// and returns the bonded potential energy. Positions must be wrapped;
+// bonds use the minimum image, so a molecule may straddle the boundary.
+func BondedForces(top *Topology, box float64, pos []vec.V3[float64], acc []vec.V3[float64]) (float64, error) {
+	if err := top.Validate(len(pos)); err != nil {
+		return 0, err
+	}
+	var pe float64
+	for _, b := range top.Bonds {
+		d := MinImage(pos[b.I].Sub(pos[b.J]), box)
+		r := d.Norm()
+		if r == 0 {
+			return 0, fmt.Errorf("md: bond (%d,%d) atoms coincide", b.I, b.J)
+		}
+		dr := r - b.R0
+		pe += b.K * dr * dr
+		// F_I = -dV/dr_I = -2K (r-R0) * d/r
+		f := -2 * b.K * dr / r
+		fd := d.Scale(f)
+		acc[b.I] = acc[b.I].Add(fd)
+		acc[b.J] = acc[b.J].Sub(fd)
+	}
+	for _, a := range top.Angles {
+		pe += angleForce(a, box, pos, acc)
+	}
+	return pe, nil
+}
+
+// angleForce applies one harmonic angle term and returns its energy.
+func angleForce(a Angle, box float64, pos []vec.V3[float64], acc []vec.V3[float64]) float64 {
+	// Vectors from the vertex J to the ends.
+	rij := MinImage(pos[a.I].Sub(pos[a.J]), box)
+	rkj := MinImage(pos[a.K2].Sub(pos[a.J]), box)
+	lij := rij.Norm()
+	lkj := rkj.Norm()
+	if lij == 0 || lkj == 0 {
+		return 0
+	}
+	cosT := vec.Clamp(rij.Dot(rkj)/(lij*lkj), -1, 1)
+	theta := math.Acos(cosT)
+	dT := theta - a.Theta0
+	pe := a.K * dT * dT
+
+	// F = -dV/dr = -2K(θ-θ0)·dθ/dr, and dθ/dcosθ = -1/sinθ, so the
+	// force is +2K(θ-θ0)/sinθ times the gradient of cosθ.
+	sinT := sqrtClamped(1 - cosT*cosT)
+	if sinT < 1e-8 {
+		return pe // collinear: gradient direction degenerate, skip force
+	}
+	c := 2 * a.K * dT / sinT
+	// dcosθ/dr_i and dcosθ/dr_k:
+	fi := rkj.Scale(1 / (lij * lkj)).Sub(rij.Scale(cosT / (lij * lij))).Scale(c)
+	fk := rij.Scale(1 / (lij * lkj)).Sub(rkj.Scale(cosT / (lkj * lkj))).Scale(c)
+	acc[a.I] = acc[a.I].Add(fi)
+	acc[a.K2] = acc[a.K2].Add(fk)
+	acc[a.J] = acc[a.J].Sub(fi.Add(fk))
+	return pe
+}
+
+func sqrtClamped(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return vec.Sqrt(x)
+}
+
+// LinearChain builds the topology of n atoms bonded in a chain with
+// the given bond constants, a convenient molecular test system.
+func LinearChain(n int, k, r0 float64) *Topology {
+	top := &Topology{}
+	for i := 0; i+1 < n; i++ {
+		top.Bonds = append(top.Bonds, Bond{I: i, J: i + 1, K: k, R0: r0})
+	}
+	return top
+}

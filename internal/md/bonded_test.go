@@ -1,0 +1,270 @@
+package md
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestTopologyValidate(t *testing.T) {
+	bad := []Topology{
+		{Bonds: []Bond{{I: -1, J: 0, K: 1, R0: 1}}},
+		{Bonds: []Bond{{I: 0, J: 5, K: 1, R0: 1}}},
+		{Bonds: []Bond{{I: 0, J: 0, K: 1, R0: 1}}},
+		{Bonds: []Bond{{I: 0, J: 1, K: -1, R0: 1}}},
+		{Bonds: []Bond{{I: 0, J: 1, K: 1, R0: 0}}},
+		{Angles: []Angle{{I: 0, J: 1, K2: 9, K: 1}}},
+		{Angles: []Angle{{I: 0, J: 0, K2: 1, K: 1}}},
+		{Angles: []Angle{{I: 0, J: 1, K2: 2, K: -1}}},
+	}
+	for i, top := range bad {
+		topCopy := top
+		if err := topCopy.Validate(3); err == nil {
+			t.Errorf("case %d accepted: %+v", i, top)
+		}
+	}
+	good := Topology{
+		Bonds:  []Bond{{I: 0, J: 1, K: 100, R0: 1}},
+		Angles: []Angle{{I: 0, J: 1, K2: 2, K: 50, Theta0: math.Pi}},
+	}
+	if err := good.Validate(3); err != nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+}
+
+func TestBondForceAtEquilibriumIsZero(t *testing.T) {
+	top := &Topology{Bonds: []Bond{{I: 0, J: 1, K: 100, R0: 1.5}}}
+	pos := []vec.V3[float64]{{X: 1, Y: 1, Z: 1}, {X: 2.5, Y: 1, Z: 1}}
+	acc := make([]vec.V3[float64], 2)
+	pe, err := BondedForces(top, 20, pos, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe != 0 {
+		t.Fatalf("PE at equilibrium = %v", pe)
+	}
+	if acc[0].Norm() > 1e-12 || acc[1].Norm() > 1e-12 {
+		t.Fatalf("forces at equilibrium: %+v %+v", acc[0], acc[1])
+	}
+}
+
+func TestBondForceDirection(t *testing.T) {
+	// Stretched bond pulls the atoms together.
+	top := &Topology{Bonds: []Bond{{I: 0, J: 1, K: 100, R0: 1.0}}}
+	pos := []vec.V3[float64]{{X: 1, Y: 1, Z: 1}, {X: 3, Y: 1, Z: 1}}
+	acc := make([]vec.V3[float64], 2)
+	if _, err := BondedForces(top, 20, pos, acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc[0].X <= 0 || acc[1].X >= 0 {
+		t.Fatalf("stretched bond pushes apart: %+v %+v", acc[0], acc[1])
+	}
+	// Compressed bond pushes apart.
+	pos[1].X = 1.5
+	acc[0], acc[1] = vec.V3[float64]{}, vec.V3[float64]{}
+	if _, err := BondedForces(top, 20, pos, acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc[0].X >= 0 || acc[1].X <= 0 {
+		t.Fatalf("compressed bond pulls together: %+v %+v", acc[0], acc[1])
+	}
+}
+
+func TestBondedNewtonThirdLaw(t *testing.T) {
+	top := &Topology{
+		Bonds:  []Bond{{I: 0, J: 1, K: 80, R0: 1.1}, {I: 1, J: 2, K: 80, R0: 1.1}},
+		Angles: []Angle{{I: 0, J: 1, K2: 2, K: 30, Theta0: 1.9}},
+	}
+	pos := []vec.V3[float64]{
+		{X: 1, Y: 1, Z: 1},
+		{X: 2.2, Y: 1.1, Z: 0.9},
+		{X: 2.9, Y: 2.0, Z: 1.3},
+	}
+	acc := make([]vec.V3[float64], 3)
+	if _, err := BondedForces(top, 20, pos, acc); err != nil {
+		t.Fatal(err)
+	}
+	var net vec.V3[float64]
+	for _, a := range acc {
+		net = net.Add(a)
+	}
+	if net.Norm() > 1e-10 {
+		t.Fatalf("net bonded force %v", net)
+	}
+}
+
+// TestBondedForceIsNegativeGradient checks every force component
+// against a central-difference derivative of the bonded energy.
+func TestBondedForceIsNegativeGradient(t *testing.T) {
+	top := &Topology{
+		Bonds:  []Bond{{I: 0, J: 1, K: 80, R0: 1.1}, {I: 1, J: 2, K: 60, R0: 1.3}},
+		Angles: []Angle{{I: 0, J: 1, K2: 2, K: 25, Theta0: 2.0}},
+	}
+	base := []vec.V3[float64]{
+		{X: 5, Y: 5, Z: 5},
+		{X: 6.1, Y: 5.2, Z: 4.9},
+		{X: 6.8, Y: 6.2, Z: 5.4},
+	}
+	const box = 20.0
+	energy := func(pos []vec.V3[float64]) float64 {
+		acc := make([]vec.V3[float64], len(pos))
+		pe, err := BondedForces(top, box, pos, acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pe
+	}
+	acc := make([]vec.V3[float64], len(base))
+	if _, err := BondedForces(top, box, base, acc); err != nil {
+		t.Fatal(err)
+	}
+	const h = 1e-6
+	for atom := 0; atom < len(base); atom++ {
+		for c := 0; c < 3; c++ {
+			perturb := func(delta float64) float64 {
+				pos := append([]vec.V3[float64](nil), base...)
+				switch c {
+				case 0:
+					pos[atom].X += delta
+				case 1:
+					pos[atom].Y += delta
+				case 2:
+					pos[atom].Z += delta
+				}
+				return energy(pos)
+			}
+			grad := (perturb(h) - perturb(-h)) / (2 * h)
+			var got float64
+			switch c {
+			case 0:
+				got = acc[atom].X
+			case 1:
+				got = acc[atom].Y
+			case 2:
+				got = acc[atom].Z
+			}
+			if math.Abs(got+grad) > 1e-4*(1+math.Abs(grad)) {
+				t.Fatalf("atom %d comp %d: force %v, -dE/dx %v", atom, c, got, -grad)
+			}
+		}
+	}
+}
+
+func TestBondAcrossPeriodicBoundary(t *testing.T) {
+	// A bond straddling the boundary must see the short distance.
+	top := &Topology{Bonds: []Bond{{I: 0, J: 1, K: 100, R0: 1.0}}}
+	pos := []vec.V3[float64]{{X: 0.4, Y: 5, Z: 5}, {X: 9.6, Y: 5, Z: 5}} // 0.8 apart via boundary
+	acc := make([]vec.V3[float64], 2)
+	pe, err := BondedForces(top, 10, pos, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100 * (0.8 - 1.0) * (0.8 - 1.0)
+	if math.Abs(pe-want) > 1e-12 {
+		t.Fatalf("PE = %v, want %v", pe, want)
+	}
+}
+
+func TestBondCoincidentAtomsError(t *testing.T) {
+	top := &Topology{Bonds: []Bond{{I: 0, J: 1, K: 1, R0: 1}}}
+	pos := []vec.V3[float64]{{X: 1, Y: 1, Z: 1}, {X: 1, Y: 1, Z: 1}}
+	acc := make([]vec.V3[float64], 2)
+	if _, err := BondedForces(top, 10, pos, acc); err == nil {
+		t.Fatal("coincident bonded atoms accepted")
+	}
+}
+
+func TestAngleEquilibrium(t *testing.T) {
+	// A 90-degree angle at its equilibrium: zero energy and force.
+	top := &Topology{Angles: []Angle{{I: 0, J: 1, K2: 2, K: 40, Theta0: math.Pi / 2}}}
+	pos := []vec.V3[float64]{
+		{X: 2, Y: 1, Z: 1},
+		{X: 1, Y: 1, Z: 1}, // vertex
+		{X: 1, Y: 2, Z: 1},
+	}
+	acc := make([]vec.V3[float64], 3)
+	pe, err := BondedForces(top, 20, pos, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pe) > 1e-12 {
+		t.Fatalf("PE = %v", pe)
+	}
+	for i, a := range acc {
+		if a.Norm() > 1e-10 {
+			t.Fatalf("force on atom %d at equilibrium: %+v", i, a)
+		}
+	}
+}
+
+func TestCollinearAngleNoNaN(t *testing.T) {
+	top := &Topology{Angles: []Angle{{I: 0, J: 1, K2: 2, K: 40, Theta0: 2.0}}}
+	pos := []vec.V3[float64]{
+		{X: 1, Y: 1, Z: 1},
+		{X: 2, Y: 1, Z: 1},
+		{X: 3, Y: 1, Z: 1}, // perfectly collinear: theta = pi
+	}
+	acc := make([]vec.V3[float64], 3)
+	pe, err := BondedForces(top, 20, pos, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(pe) {
+		t.Fatal("NaN energy for collinear angle")
+	}
+	for i, a := range acc {
+		if math.IsNaN(a.X) || math.IsNaN(a.Y) || math.IsNaN(a.Z) {
+			t.Fatalf("NaN force on atom %d", i)
+		}
+	}
+}
+
+func TestLinearChainTopology(t *testing.T) {
+	top := LinearChain(5, 100, 1.2)
+	if len(top.Bonds) != 4 {
+		t.Fatalf("%d bonds for 5-atom chain", len(top.Bonds))
+	}
+	if err := top.Validate(5); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range top.Bonds {
+		if b.I != i || b.J != i+1 || b.K != 100 || b.R0 != 1.2 {
+			t.Fatalf("bond %d = %+v", i, b)
+		}
+	}
+}
+
+func TestBondEnergyConservationInDynamics(t *testing.T) {
+	// A diatomic molecule oscillating in a big empty box conserves
+	// bonded + kinetic energy under velocity Verlet.
+	top := &Topology{Bonds: []Bond{{I: 0, J: 1, K: 50, R0: 1.0}}}
+	const box = 50.0
+	pos := []vec.V3[float64]{{X: 25, Y: 25, Z: 25}, {X: 26.3, Y: 25, Z: 25}} // stretched
+	vel := []vec.V3[float64]{{}, {}}
+	acc := make([]vec.V3[float64], 2)
+	pe, err := BondedForces(top, box, pos, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 0.001
+	e0 := pe + 0.5*(vel[0].Norm2()+vel[1].Norm2())
+	for step := 0; step < 5000; step++ {
+		for i := range vel {
+			vel[i] = vel[i].MulAdd(dt/2, acc[i])
+			pos[i] = Wrap(pos[i].MulAdd(dt, vel[i]), box)
+		}
+		acc[0], acc[1] = vec.V3[float64]{}, vec.V3[float64]{}
+		pe, err = BondedForces(top, box, pos, acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vel {
+			vel[i] = vel[i].MulAdd(dt/2, acc[i])
+		}
+	}
+	e1 := pe + 0.5*(vel[0].Norm2()+vel[1].Norm2())
+	if math.Abs(e1-e0) > 1e-4*math.Abs(e0) {
+		t.Fatalf("bonded energy drift: %v -> %v", e0, e1)
+	}
+}

@@ -1,0 +1,162 @@
+package md
+
+import (
+	"fmt"
+
+	"repro/internal/vec"
+)
+
+// CellList is the linked-cell method: the box is divided into a grid of
+// cells at least one cutoff wide, so an atom's interaction partners all
+// lie in its own cell or the 26 neighbors. Force evaluation becomes
+// O(N) at fixed density instead of O(N²).
+//
+// Like the neighbor pairlist, this is one of the standard optimizations
+// the paper's kernel deliberately omits (its whole point is the
+// irregular O(N²) access pattern); it lives here for the ablation
+// benches and as the scalable path for the full-framework extensions
+// the paper's conclusion anticipates.
+type CellList[T vec.Float] struct {
+	dims  int     // cells per box edge
+	width T       // cell edge length (>= cutoff)
+	heads []int32 // heads[c] = first atom in cell c, -1 if empty
+	next  []int32 // next[i] = next atom in i's cell, -1 at the end
+
+	builds int
+}
+
+// NewCellList sizes a grid for the given box and cutoff. It fails when
+// the box cannot hold a 3x3x3 grid of cutoff-wide cells (at that point
+// the direct method is both required and cheap).
+func NewCellList[T vec.Float](box, cutoff T) (*CellList[T], error) {
+	if box <= 0 || cutoff <= 0 {
+		return nil, fmt.Errorf("md: cell list needs positive box and cutoff, got %v, %v", box, cutoff)
+	}
+	dims := int(box / cutoff)
+	if dims < 3 {
+		return nil, fmt.Errorf("md: box %v holds only %d cutoff-wide cells per edge; need >= 3", box, dims)
+	}
+	return &CellList[T]{
+		dims:  dims,
+		width: box / T(dims),
+	}, nil
+}
+
+// Dims returns the grid dimension per edge.
+func (cl *CellList[T]) Dims() int { return cl.dims }
+
+// Builds returns how many times the grid has been rebuilt.
+func (cl *CellList[T]) Builds() int { return cl.builds }
+
+// cellIndex maps a wrapped position to its cell.
+func (cl *CellList[T]) cellIndex(p vec.V3[T]) int {
+	cx := int(p.X / cl.width)
+	cy := int(p.Y / cl.width)
+	cz := int(p.Z / cl.width)
+	// Positions exactly at the box edge (x == box after rounding) land
+	// one past the last cell; clamp.
+	if cx >= cl.dims {
+		cx = cl.dims - 1
+	}
+	if cy >= cl.dims {
+		cy = cl.dims - 1
+	}
+	if cz >= cl.dims {
+		cz = cl.dims - 1
+	}
+	return (cx*cl.dims+cy)*cl.dims + cz
+}
+
+// Build rebuilds the linked cells from the wrapped positions.
+func (cl *CellList[T]) Build(pos []vec.V3[T]) {
+	ncells := cl.dims * cl.dims * cl.dims
+	if cap(cl.heads) < ncells {
+		cl.heads = make([]int32, ncells)
+	}
+	cl.heads = cl.heads[:ncells]
+	for i := range cl.heads {
+		cl.heads[i] = -1
+	}
+	if cap(cl.next) < len(pos) {
+		cl.next = make([]int32, len(pos))
+	}
+	cl.next = cl.next[:len(pos)]
+	for i, p := range pos {
+		c := cl.cellIndex(p)
+		cl.next[i] = cl.heads[c]
+		cl.heads[c] = int32(i)
+	}
+	cl.builds++
+}
+
+// Forces evaluates the LJ forces using the cell grid, rebuilding it
+// from the current positions first (a rebuild is O(N) and must track
+// every step). acc is overwritten; the return value is the potential
+// energy. Results match ComputeForces to rounding.
+func (cl *CellList[T]) Forces(p Params[T], pos []vec.V3[T], acc []vec.V3[T]) T {
+	cl.Build(pos)
+	for i := range acc {
+		acc[i] = vec.V3[T]{}
+	}
+	rc2 := p.Cutoff * p.Cutoff
+	var pe T
+	d := cl.dims
+	for cx := 0; cx < d; cx++ {
+		for cy := 0; cy < d; cy++ {
+			for cz := 0; cz < d; cz++ {
+				c := (cx*d+cy)*d + cz
+				for i := cl.heads[c]; i >= 0; i = cl.next[i] {
+					pi := pos[i]
+					// Within the home cell: pairs i<j only.
+					for j := cl.next[i]; j >= 0; j = cl.next[j] {
+						pe += cl.pair(p, rc2, pos, acc, int(i), int(j), pi)
+					}
+					// Half of the 26 neighbor cells (to visit each
+					// unordered cell pair once).
+					for _, off := range halfNeighborOffsets {
+						nc := cl.wrapCell(cx+off[0], cy+off[1], cz+off[2])
+						for j := cl.heads[nc]; j >= 0; j = cl.next[j] {
+							pe += cl.pair(p, rc2, pos, acc, int(i), int(j), pi)
+						}
+					}
+				}
+			}
+		}
+	}
+	return pe
+}
+
+// pair applies one i-j interaction with the minimum image.
+func (cl *CellList[T]) pair(p Params[T], rc2 T, pos []vec.V3[T], acc []vec.V3[T], i, j int, pi vec.V3[T]) T {
+	dv := MinImage(pi.Sub(pos[j]), p.Box)
+	r2 := dv.Norm2()
+	if r2 >= rc2 || r2 == 0 {
+		return 0
+	}
+	v, f := LJPair(p, r2)
+	fd := dv.Scale(f)
+	acc[i] = acc[i].Add(fd)
+	acc[j] = acc[j].Sub(fd)
+	return v
+}
+
+// wrapCell folds a (possibly negative or overflowing) cell coordinate
+// back into the periodic grid.
+func (cl *CellList[T]) wrapCell(cx, cy, cz int) int {
+	d := cl.dims
+	cx = (cx%d + d) % d
+	cy = (cy%d + d) % d
+	cz = (cz%d + d) % d
+	return (cx*d+cy)*d + cz
+}
+
+// halfNeighborOffsets lists 13 of the 26 neighbor-cell offsets such
+// that every unordered pair of adjacent cells appears exactly once
+// (the standard half-shell enumeration).
+var halfNeighborOffsets = [13][3]int{
+	{1, 0, 0},
+	{1, 1, 0}, {0, 1, 0}, {-1, 1, 0},
+	{1, 0, 1}, {0, 0, 1}, {-1, 0, 1},
+	{1, 1, 1}, {0, 1, 1}, {-1, 1, 1},
+	{1, -1, 1}, {0, -1, 1}, {-1, -1, 1},
+}

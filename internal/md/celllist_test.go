@@ -1,0 +1,162 @@
+package md
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/vec"
+)
+
+func TestCellListRejectsBadGeometry(t *testing.T) {
+	if _, err := NewCellList[float64](0, 2.5); err == nil {
+		t.Fatal("zero box accepted")
+	}
+	if _, err := NewCellList[float64](10, 0); err == nil {
+		t.Fatal("zero cutoff accepted")
+	}
+	// Box of 7 with cutoff 2.5 -> 2 cells per edge: too few.
+	if _, err := NewCellList[float64](7, 2.5); err == nil {
+		t.Fatal("2-cell grid accepted")
+	}
+}
+
+func TestCellListMatchesReference(t *testing.T) {
+	// Needs a box >= 3 cutoffs: 864 atoms at standard density gives
+	// box ~10.1 with cutoff 2.5 -> 4 cells per edge.
+	s := makeSystem(t, 864, false)
+	cl, err := NewCellList(s.P.Box, s.P.Cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Dims() < 3 {
+		t.Fatalf("dims = %d", cl.Dims())
+	}
+	accRef := make([]vec.V3[float64], s.N())
+	accCL := make([]vec.V3[float64], s.N())
+	peRef := ComputeForces(s.P, s.Pos, accRef)
+	peCL := cl.Forces(s.P, s.Pos, accCL)
+	if math.Abs(peRef-peCL) > 1e-9*(1+math.Abs(peRef)) {
+		t.Fatalf("PE mismatch: ref %v, cells %v", peRef, peCL)
+	}
+	for i := range accRef {
+		if accRef[i].Sub(accCL[i]).Norm() > 1e-9*(1+accRef[i].Norm()) {
+			t.Fatalf("acc mismatch at %d: %+v vs %+v", i, accRef[i], accCL[i])
+		}
+	}
+}
+
+func TestCellListTrajectoryMatches(t *testing.T) {
+	ref := makeSystem(t, 500, false)
+	opt := ref.Clone()
+	cl, err := NewCellList(opt.P.Box, opt.P.Cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 30
+	for i := 0; i < steps; i++ {
+		ref.Step()
+		opt.StepWith(func() float64 { return cl.Forces(opt.P, opt.Pos, opt.Acc) })
+	}
+	for i := range ref.Pos {
+		if d := ref.Pos[i].Sub(opt.Pos[i]).Norm(); d > 1e-8 {
+			t.Fatalf("trajectories diverged at atom %d by %v", i, d)
+		}
+	}
+	if cl.Builds() != steps {
+		t.Fatalf("builds = %d, want %d", cl.Builds(), steps)
+	}
+}
+
+func TestCellListFloat32(t *testing.T) {
+	st, err := lattice.Generate(lattice.Config{
+		N: 500, Density: 0.8442, Temperature: 0.728, Kind: lattice.FCC, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := md32Params(st)
+	pos := make([]vec.V3[float32], len(st.Pos))
+	for i := range pos {
+		pos[i] = vec.FromV3f64[float32](st.Pos[i])
+	}
+	cl, err := NewCellList(p.Box, p.Cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accRef := make([]vec.V3[float32], len(pos))
+	accCL := make([]vec.V3[float32], len(pos))
+	peRef := ComputeForces(p, pos, accRef)
+	peCL := cl.Forces(p, pos, accCL)
+	if rel := math.Abs(float64(peRef-peCL)) / math.Abs(float64(peRef)); rel > 1e-4 {
+		t.Fatalf("float32 PE mismatch: %v vs %v", peRef, peCL)
+	}
+}
+
+func md32Params(st *lattice.State) Params[float32] {
+	return Params[float32]{Box: float32(st.Box), Cutoff: 2.5, Dt: 0.004}
+}
+
+func TestCellIndexInRange(t *testing.T) {
+	cl, err := NewCellList[float64](10, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncells := cl.Dims() * cl.Dims() * cl.Dims()
+	// Edge positions must clamp, not overflow.
+	for _, p := range []vec.V3[float64]{
+		{},
+		{X: 9.9999999999, Y: 9.9999999999, Z: 9.9999999999},
+		{X: 5, Y: 0, Z: 9.99},
+	} {
+		if c := cl.cellIndex(p); c < 0 || c >= ncells {
+			t.Fatalf("cellIndex(%+v) = %d out of [0,%d)", p, c, ncells)
+		}
+	}
+}
+
+func TestHalfNeighborOffsetsCoverAllPairs(t *testing.T) {
+	// The 13 half-shell offsets plus their negations plus zero must be
+	// exactly the 27 cube offsets.
+	seen := map[[3]int]bool{{0, 0, 0}: true}
+	for _, off := range halfNeighborOffsets {
+		neg := [3]int{-off[0], -off[1], -off[2]}
+		if seen[off] || seen[neg] {
+			t.Fatalf("offset %v duplicated (directly or as negation)", off)
+		}
+		seen[off] = true
+		seen[neg] = true
+	}
+	if len(seen) != 27 {
+		t.Fatalf("half shell covers %d offsets, want 27", len(seen))
+	}
+}
+
+func BenchmarkForcesDirectVsCellList(b *testing.B) {
+	st, err := lattice.Generate(lattice.Config{
+		N: 2048, Density: 0.8442, Temperature: 0.728, Kind: lattice.FCC, Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := Params[float64]{Box: st.Box, Cutoff: 2.5, Dt: 0.004}
+	sys, err := NewSystem(st, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ComputeForces(sys.P, sys.Pos, sys.Acc)
+		}
+	})
+	b.Run("celllist", func(b *testing.B) {
+		cl, err := NewCellList(p.Box, p.Cutoff)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cl.Forces(sys.P, sys.Pos, sys.Acc)
+		}
+	})
+}

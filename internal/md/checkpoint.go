@@ -1,0 +1,132 @@
+package md
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Checkpoint/restart: long production runs must survive interruption,
+// and a restart must continue the trajectory *bit-exactly* — otherwise
+// restarted and uninterrupted runs diverge and results stop being
+// reproducible. The format is a little-endian binary image of the full
+// float64 state with a magic header and version.
+
+const (
+	checkpointMagic   = uint32(0x4d444350) // "MDCP"
+	checkpointVersion = uint32(1)
+)
+
+// WriteCheckpoint serializes the complete system state.
+func WriteCheckpoint(w io.Writer, s *System[float64]) error {
+	bw := bufio.NewWriter(w)
+	head := []uint32{checkpointMagic, checkpointVersion}
+	for _, v := range head {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	scalars := []float64{s.P.Box, s.P.Cutoff, s.P.Dt, s.P.Epsilon, s.P.Sigma, s.PE, s.KE}
+	for _, v := range scalars {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	flags := uint32(0)
+	if s.P.Shifted {
+		flags = 1
+	}
+	if err := binary.Write(bw, binary.LittleEndian, flags); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(s.Steps)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(s.N())); err != nil {
+		return err
+	}
+	for _, arr := range [][]vec.V3[float64]{s.Pos, s.Vel, s.Acc} {
+		for _, v := range arr {
+			for _, c := range [3]float64{v.X, v.Y, v.Z} {
+				if err := binary.Write(bw, binary.LittleEndian, c); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCheckpoint reconstructs a system from a checkpoint stream.
+func ReadCheckpoint(r io.Reader) (*System[float64], error) {
+	br := bufio.NewReader(r)
+	var magic, version uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("md: reading checkpoint magic: %w", err)
+	}
+	if magic != checkpointMagic {
+		return nil, fmt.Errorf("md: not a checkpoint (magic %#x)", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("md: unsupported checkpoint version %d", version)
+	}
+	var scalars [7]float64
+	for i := range scalars {
+		if err := binary.Read(br, binary.LittleEndian, &scalars[i]); err != nil {
+			return nil, err
+		}
+	}
+	var flags uint32
+	if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
+		return nil, err
+	}
+	var steps, n uint64
+	if err := binary.Read(br, binary.LittleEndian, &steps); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	const maxAtoms = 1 << 26 // 64M atoms: refuse absurd headers
+	if n == 0 || n > maxAtoms {
+		return nil, fmt.Errorf("md: checkpoint claims %d atoms", n)
+	}
+	s := &System[float64]{
+		P: Params[float64]{
+			Box: scalars[0], Cutoff: scalars[1], Dt: scalars[2],
+			Epsilon: scalars[3], Sigma: scalars[4],
+			Shifted: flags&1 != 0,
+		},
+		PE:    scalars[5],
+		KE:    scalars[6],
+		Steps: int(steps),
+		Pos:   make([]vec.V3[float64], n),
+		Vel:   make([]vec.V3[float64], n),
+		Acc:   make([]vec.V3[float64], n),
+	}
+	if err := s.P.Validate(); err != nil {
+		return nil, fmt.Errorf("md: checkpoint parameters invalid: %w", err)
+	}
+	for _, arr := range [][]vec.V3[float64]{s.Pos, s.Vel, s.Acc} {
+		for i := range arr {
+			var c [3]float64
+			for j := range c {
+				if err := binary.Read(br, binary.LittleEndian, &c[j]); err != nil {
+					return nil, fmt.Errorf("md: truncated checkpoint: %w", err)
+				}
+				if math.IsNaN(c[j]) || math.IsInf(c[j], 0) {
+					return nil, fmt.Errorf("md: checkpoint contains non-finite state")
+				}
+			}
+			arr[i] = vec.V3[float64]{X: c[0], Y: c[1], Z: c[2]}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,125 @@
+package md
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTripBitExact(t *testing.T) {
+	s := makeSystem(t, 108, true)
+	s.Run(25)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.P != s.P || restored.Steps != s.Steps || restored.PE != s.PE || restored.KE != s.KE {
+		t.Fatalf("header mismatch: %+v vs %+v", restored.P, s.P)
+	}
+	for i := range s.Pos {
+		if restored.Pos[i] != s.Pos[i] || restored.Vel[i] != s.Vel[i] || restored.Acc[i] != s.Acc[i] {
+			t.Fatalf("state mismatch at atom %d", i)
+		}
+	}
+}
+
+func TestRestartContinuesBitExactly(t *testing.T) {
+	// Run 50 steps straight through; separately run 25, checkpoint,
+	// restore, run 25 more. The trajectories must be identical.
+	straight := makeSystem(t, 64, false)
+	interrupted := straight.Clone()
+	straight.Run(50)
+
+	interrupted.Run(25)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, interrupted); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.Run(25)
+
+	if restored.Steps != straight.Steps {
+		t.Fatalf("steps: %d vs %d", restored.Steps, straight.Steps)
+	}
+	for i := range straight.Pos {
+		if restored.Pos[i] != straight.Pos[i] || restored.Vel[i] != straight.Vel[i] {
+			t.Fatalf("restart diverged at atom %d", i)
+		}
+	}
+	if restored.PE != straight.PE || restored.KE != straight.KE {
+		t.Fatal("restart energies diverged")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a checkpoint at all",
+		"\x00\x00\x00\x00",
+	}
+	for i, in := range cases {
+		if _, err := ReadCheckpoint(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCheckpointRejectsTruncation(t *testing.T) {
+	s := makeSystem(t, 32, false)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{10, len(full) / 2, len(full) - 8} {
+		if _, err := ReadCheckpoint(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCheckpointRejectsCorruptHeader(t *testing.T) {
+	s := makeSystem(t, 32, false)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt the version field.
+	corrupted := append([]byte(nil), data...)
+	corrupted[4] = 0xFF
+	if _, err := ReadCheckpoint(bytes.NewReader(corrupted)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Corrupt the atom count to something absurd.
+	corrupted = append([]byte(nil), data...)
+	// magic(4) + version(4) + 7 float64(56) + flags(4) + steps(8) = 76;
+	// atom count lives at offset 76.
+	for i := 0; i < 8; i++ {
+		corrupted[76+i] = 0xFF
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader(corrupted)); err == nil {
+		t.Error("absurd atom count accepted")
+	}
+}
+
+func TestCheckpointRejectsNonFiniteState(t *testing.T) {
+	s := makeSystem(t, 32, false)
+	s.Vel[3].X = nanF()
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpoint(&buf); err == nil {
+		t.Fatal("NaN state accepted on read")
+	}
+}
+
+func nanF() float64 { z := 0.0; return z / z }

@@ -1,0 +1,68 @@
+package md
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// FuzzXYZReader must never panic on arbitrary input, and any frame it
+// accepts must survive a write/read round trip.
+func FuzzXYZReader(f *testing.F) {
+	f.Add("1\ncomment\nAr 1 2 3\n")
+	f.Add("0\nempty\n")
+	f.Add("2\nc\nAr 1 2 3\nAr 4 5 6\n")
+	f.Add("")
+	f.Add("x\n")
+	f.Add("1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		r := NewXYZReader(strings.NewReader(in))
+		for {
+			frame, err := r.ReadFrame()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			// Accepted frames must be internally consistent.
+			if len(frame.Symbols) != len(frame.Pos) {
+				t.Fatalf("frame with %d symbols, %d positions", len(frame.Symbols), len(frame.Pos))
+			}
+		}
+	})
+}
+
+// FuzzMinImageAgreement checks the three minimum-image formulations on
+// arbitrary in-range displacements.
+func FuzzMinImageAgreement(f *testing.F) {
+	f.Add(0.5, -0.5, 0.1)
+	f.Add(4.9, -4.9, 0.0)
+	f.Fuzz(func(t *testing.T, dx, dy, dz float64) {
+		const box = 10.0
+		clamp := func(x float64) float64 {
+			if x != x || x > 1e12 || x < -1e12 { // NaN or huge
+				return 0.25
+			}
+			for x >= box {
+				x -= box
+			}
+			for x <= -box {
+				x += box
+			}
+			return x
+		}
+		d := vec.V3[float64]{X: clamp(dx), Y: clamp(dy), Z: clamp(dz)}
+		a := MinImage(d, box)
+		b := MinImageCopysign(d, box)
+		c := MinImage27(d, box)
+		if a != b {
+			t.Fatalf("branch %v vs copysign %v for %v", a, b, d)
+		}
+		if diff := a.Norm2() - c.Norm2(); diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("branch norm %v vs 27-cell norm %v for %v", a.Norm2(), c.Norm2(), d)
+		}
+	})
+}

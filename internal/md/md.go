@@ -1,0 +1,227 @@
+// Package md implements the reference molecular-dynamics kernel the
+// paper ports to the Cell BE, the GPU, and the Cray MTA-2 (section 3.5):
+//
+//  1. advance velocities (half kick)
+//  2. compute forces on each of the N atoms: for every other atom,
+//     compute the minimum-image distance on the fly and, if it is within
+//     the cutoff, accumulate the 6-12 Lennard-Jones force — an O(N²)
+//     loop with no neighbor list, exactly as the paper specifies
+//  3. move atoms (drift)
+//  4. update (wrap) positions
+//  5. compute kinetic, potential, and total energy
+//
+// integrated with the velocity Verlet algorithm. The engine is generic
+// over float32/float64 because the paper's Cell and GPU ports are
+// single-precision while the MTA-2 and Opteron runs are double-
+// precision; the device models in internal/cell, internal/gpu,
+// internal/mta, and internal/opteron all reproduce this package's
+// numbers (it is the correctness oracle), adding only cycle accounting.
+//
+// The package also provides the neighbor-pairlist optimization the
+// paper cites as the standard cache-friendly technique but deliberately
+// does not use (section 3.4); it exists here for the ablation benches.
+package md
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+	"repro/internal/vec"
+)
+
+// Params are the physical and numerical parameters of a simulation, in
+// reduced Lennard-Jones units (sigma = epsilon = mass = k_B = 1 unless
+// overridden).
+type Params[T vec.Float] struct {
+	Box     T // cubic box side length
+	Cutoff  T // interaction cutoff distance r_c
+	Dt      T // integration time step
+	Epsilon T // LJ well depth (0 means 1)
+	Sigma   T // LJ diameter (0 means 1)
+
+	// Shifted, when true, subtracts V(r_c) from the pair potential so
+	// the energy is continuous at the cutoff. The paper's kernel uses
+	// the plain truncated potential (Shifted=false); the shifted form
+	// exists for the energy-conservation property tests, where the
+	// discontinuity of plain truncation would otherwise dominate.
+	Shifted bool
+}
+
+// Epsilon1 returns Epsilon with the zero-value default applied.
+func (p Params[T]) Epsilon1() T {
+	if p.Epsilon == 0 {
+		return 1
+	}
+	return p.Epsilon
+}
+
+// Sigma1 returns Sigma with the zero-value default applied.
+func (p Params[T]) Sigma1() T {
+	if p.Sigma == 0 {
+		return 1
+	}
+	return p.Sigma
+}
+
+// Validate reports whether the parameters describe a runnable system.
+func (p Params[T]) Validate() error {
+	if p.Box <= 0 {
+		return fmt.Errorf("md: box must be positive, got %v", p.Box)
+	}
+	if p.Cutoff <= 0 {
+		return fmt.Errorf("md: cutoff must be positive, got %v", p.Cutoff)
+	}
+	if p.Dt <= 0 {
+		return fmt.Errorf("md: dt must be positive, got %v", p.Dt)
+	}
+	if 2*p.Cutoff > p.Box {
+		return fmt.Errorf("md: cutoff %v exceeds half the box %v; minimum image is ambiguous", p.Cutoff, p.Box)
+	}
+	return nil
+}
+
+// System is the full dynamic state of a simulation.
+type System[T vec.Float] struct {
+	P   Params[T]
+	Pos []vec.V3[T] // wrapped into [0, Box)
+	Vel []vec.V3[T]
+	Acc []vec.V3[T]
+
+	// Energies from the most recent force evaluation / step.
+	PE T // potential energy
+	KE T // kinetic energy
+
+	Steps int // completed integration steps
+}
+
+// NewSystem builds a System at precision T from a generated initial
+// condition, evaluating forces once so that Acc and PE are valid before
+// the first step.
+func NewSystem[T vec.Float](st *lattice.State, p Params[T]) (*System[T], error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(st.Pos)
+	s := &System[T]{
+		P:   p,
+		Pos: make([]vec.V3[T], n),
+		Vel: make([]vec.V3[T], n),
+		Acc: make([]vec.V3[T], n),
+	}
+	for i := 0; i < n; i++ {
+		s.Pos[i] = vec.FromV3f64[T](st.Pos[i])
+		s.Vel[i] = vec.FromV3f64[T](st.Vel[i])
+	}
+	s.wrapAll()
+	s.PE = ComputeForces(s.P, s.Pos, s.Acc)
+	s.KE = KineticEnergy(s.Vel)
+	return s, nil
+}
+
+// N returns the number of atoms.
+func (s *System[T]) N() int { return len(s.Pos) }
+
+// TotalEnergy returns PE + KE from the latest evaluation.
+func (s *System[T]) TotalEnergy() T { return s.PE + s.KE }
+
+// Temperature returns the instantaneous reduced temperature 2KE/(3N).
+func (s *System[T]) Temperature() T {
+	if len(s.Vel) == 0 {
+		return 0
+	}
+	return 2 * s.KE / (3 * T(len(s.Vel)))
+}
+
+// Momentum returns the total momentum (unit masses).
+func (s *System[T]) Momentum() vec.V3[T] {
+	var p vec.V3[T]
+	for _, v := range s.Vel {
+		p = p.Add(v)
+	}
+	return p
+}
+
+// Clone returns a deep copy of the system, used to run the same state
+// on several devices.
+func (s *System[T]) Clone() *System[T] {
+	c := &System[T]{P: s.P, PE: s.PE, KE: s.KE, Steps: s.Steps}
+	c.Pos = append([]vec.V3[T](nil), s.Pos...)
+	c.Vel = append([]vec.V3[T](nil), s.Vel...)
+	c.Acc = append([]vec.V3[T](nil), s.Acc...)
+	return c
+}
+
+// wrapAll folds every position back into [0, Box).
+func (s *System[T]) wrapAll() {
+	for i := range s.Pos {
+		s.Pos[i] = Wrap(s.Pos[i], s.P.Box)
+	}
+}
+
+// Wrap folds one coordinate vector into [0, box) per component. It
+// assumes displacements per step are below one box length, which the
+// validated time steps guarantee by many orders of magnitude.
+func Wrap[T vec.Float](p vec.V3[T], box T) vec.V3[T] {
+	return vec.V3[T]{X: wrap1(p.X, box), Y: wrap1(p.Y, box), Z: wrap1(p.Z, box)}
+}
+
+func wrap1[T vec.Float](x, box T) T {
+	if x < 0 {
+		x += box
+	} else if x >= box {
+		x -= box
+	}
+	// Guard against accumulated drift larger than one box (never hit in
+	// practice, but keeps the invariant unconditional).
+	for x < 0 {
+		x += box
+	}
+	for x >= box {
+		x -= box
+	}
+	return x
+}
+
+// Step advances the system one velocity-Verlet step (kick-drift-kick)
+// using the reference O(N²) on-the-fly force evaluation.
+func (s *System[T]) Step() {
+	s.StepWith(func() T { return ComputeForces(s.P, s.Pos, s.Acc) })
+}
+
+// StepWith advances one velocity-Verlet step, delegating the force
+// evaluation (write Acc, return PE) to forces. Device models and the
+// pairlist variant plug in here so that the integrator is shared and
+// only the force kernel differs — mirroring the paper, where only the
+// acceleration computation is offloaded.
+func (s *System[T]) StepWith(forces func() T) {
+	dt := s.P.Dt
+	half := dt / 2
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].MulAdd(half, s.Acc[i]) // half kick
+	}
+	for i := range s.Pos {
+		s.Pos[i] = Wrap(s.Pos[i].MulAdd(dt, s.Vel[i]), s.P.Box) // drift + wrap
+	}
+	s.PE = forces()
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].MulAdd(half, s.Acc[i]) // second half kick
+	}
+	s.KE = KineticEnergy(s.Vel)
+	s.Steps++
+}
+
+// Run advances n steps with the reference force kernel.
+func (s *System[T]) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// KineticEnergy returns sum(v²)/2 over the velocity set (unit masses).
+func KineticEnergy[T vec.Float](vel []vec.V3[T]) T {
+	var ke T
+	for _, v := range vel {
+		ke += v.Norm2()
+	}
+	return ke / 2
+}

@@ -1,0 +1,110 @@
+package md
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestXYZRoundTrip(t *testing.T) {
+	s := makeSystem(t, 32, false)
+	var buf bytes.Buffer
+	w := NewXYZWriter(&buf, "Ar")
+	if err := w.WriteFrame("frame 0", s.Pos); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(3)
+	if err := w.WriteFrame("frame 1", s.Pos); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Frames() != 2 {
+		t.Fatalf("Frames = %d", w.Frames())
+	}
+
+	frames, err := NewXYZReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 {
+		t.Fatalf("read %d frames", len(frames))
+	}
+	if frames[0].Comment != "frame 0" || frames[1].Comment != "frame 1" {
+		t.Fatalf("comments: %q, %q", frames[0].Comment, frames[1].Comment)
+	}
+	for i, p := range s.Pos {
+		if frames[1].Pos[i] != p {
+			t.Fatalf("frame 1 atom %d: %+v != %+v (round trip must be exact)", i, frames[1].Pos[i], p)
+		}
+		if frames[1].Symbols[i] != "Ar" {
+			t.Fatalf("symbol %q", frames[1].Symbols[i])
+		}
+	}
+}
+
+func TestXYZEmptySymbolDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewXYZWriter(&buf, "")
+	if err := w.WriteFrame("c", []vec.V3[float64]{{X: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "X 1") {
+		t.Fatalf("default symbol missing: %q", buf.String())
+	}
+}
+
+func TestXYZRejectsMultilineComment(t *testing.T) {
+	w := NewXYZWriter(io.Discard, "Ar")
+	if err := w.WriteFrame("bad\ncomment", nil); err == nil {
+		t.Fatal("multiline comment accepted")
+	}
+}
+
+func TestXYZReaderEOF(t *testing.T) {
+	r := NewXYZReader(strings.NewReader(""))
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestXYZReaderErrors(t *testing.T) {
+	cases := []string{
+		"not-a-number\ncomment\n",
+		"-3\ncomment\n",
+		"2\ncomment\nAr 1 2 3\n",         // truncated
+		"1\ncomment\nAr 1 2\n",           // short line
+		"1\ncomment\nAr one two three\n", // bad floats
+		"1\n",                            // missing comment
+	}
+	for i, in := range cases {
+		if _, err := NewXYZReader(strings.NewReader(in)).ReadFrame(); err == nil {
+			t.Errorf("case %d parsed: %q", i, in)
+		}
+	}
+}
+
+func TestXYZZeroAtoms(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewXYZWriter(&buf, "Ar")
+	if err := w.WriteFrame("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewXYZReader(&buf).ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Pos) != 0 || f.Comment != "empty" {
+		t.Fatalf("frame = %+v", f)
+	}
+}

@@ -1,0 +1,332 @@
+// Package mdrun composes the MD building blocks into the kind of
+// simulation front end the paper's future plans point at ("full-scale
+// bio-molecular simulation frameworks"): one Config selects the force
+// method (the paper's direct O(N²) kernel, the Verlet pairlist, or the
+// linked-cell grid), an optional bonded topology, an optional
+// thermostat, trajectory output, and on-line observables (temperature
+// averages, RDF, MSD, pressure); one Run produces a Summary.
+//
+// All force methods integrate the identical physics (pinned by tests),
+// so switching between them is purely a performance decision — the same
+// property the device models rely on.
+package mdrun
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/lattice"
+	"repro/internal/md"
+)
+
+// ForceMethod selects the non-bonded force evaluation.
+type ForceMethod int
+
+const (
+	// Direct is the paper's kernel: O(N²), distances on the fly.
+	Direct ForceMethod = iota
+	// Pairlist is the Verlet neighbor list (cutoff + skin).
+	Pairlist
+	// CellGrid is the linked-cell O(N) method.
+	CellGrid
+)
+
+// String implements fmt.Stringer.
+func (f ForceMethod) String() string {
+	switch f {
+	case Direct:
+		return "direct"
+	case Pairlist:
+		return "pairlist"
+	case CellGrid:
+		return "cellgrid"
+	default:
+		return fmt.Sprintf("ForceMethod(%d)", int(f))
+	}
+}
+
+// ThermostatKind selects temperature control.
+type ThermostatKind int
+
+const (
+	// NVE runs without a thermostat (constant energy).
+	NVE ThermostatKind = iota
+	// Rescale hard-rescales to the target every RescaleInterval steps.
+	Rescale
+	// Berendsen couples weakly with time constant Tau.
+	Berendsen
+	// Langevin couples stochastically with friction Gamma (canonical
+	// sampling; noise stream seeded from Config.Seed+1).
+	Langevin
+)
+
+// String implements fmt.Stringer.
+func (t ThermostatKind) String() string {
+	switch t {
+	case NVE:
+		return "nve"
+	case Rescale:
+		return "rescale"
+	case Berendsen:
+		return "berendsen"
+	case Langevin:
+		return "langevin"
+	default:
+		return fmt.Sprintf("ThermostatKind(%d)", int(t))
+	}
+}
+
+// Config describes a full simulation.
+type Config struct {
+	// System.
+	Atoms       int
+	Density     float64
+	Temperature float64
+	Lattice     lattice.Kind
+	Seed        uint64
+
+	// Numerics.
+	Cutoff  float64
+	Dt      float64
+	Shifted bool // shift the LJ potential to zero at the cutoff
+
+	// Forces.
+	Method       ForceMethod
+	PairlistSkin float64 // used by Pairlist (default 0.4)
+
+	// Optional bonded topology (nil for the pure LJ fluid).
+	Topology *md.Topology
+
+	// Temperature control.
+	Thermostat      ThermostatKind
+	RescaleInterval int     // Rescale: steps between kicks (default 10)
+	Tau             float64 // Berendsen: coupling constant (default 25*Dt)
+	Gamma           float64 // Langevin: friction (default 5.0)
+
+	// Trajectory output (nil to disable).
+	Trajectory      io.Writer
+	TrajectoryEvery int // frames every N steps (default 10)
+
+	// Observables.
+	SampleRDF   bool
+	RDFBins     int // default 50
+	SampleEvery int // observable sampling stride (default 10)
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.PairlistSkin == 0 {
+		c.PairlistSkin = 0.4
+	}
+	if c.RescaleInterval == 0 {
+		c.RescaleInterval = 10
+	}
+	if c.Tau == 0 {
+		c.Tau = 25 * c.Dt
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 5.0
+	}
+	if c.TrajectoryEvery == 0 {
+		c.TrajectoryEvery = 10
+	}
+	if c.RDFBins == 0 {
+		c.RDFBins = 50
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 10
+	}
+	return c
+}
+
+// Summary reports a completed run.
+type Summary struct {
+	Steps int
+
+	InitialEnergy float64
+	FinalEnergy   float64
+	// MeanTemperature averages the sampled instantaneous temperatures.
+	MeanTemperature float64
+	// Pressure is the final-configuration virial pressure.
+	Pressure float64
+	// MSD is the mean-square displacement over the whole run.
+	MSD float64
+	// RDF results (nil unless Config.SampleRDF).
+	RDFCenters, RDF []float64
+	// FramesWritten counts trajectory frames.
+	FramesWritten int
+}
+
+// Runner holds a configured simulation.
+type Runner struct {
+	cfg Config
+	sys *md.System[float64]
+
+	forces func() float64
+	bonded *md.Topology
+	therm  md.Thermostat[float64]
+	traj   *md.XYZWriter
+	rdf    *md.RDF
+	msd    *md.MSD
+}
+
+// New builds and validates a runner; forces are evaluated once so the
+// initial energy is meaningful.
+func New(cfg Config) (*Runner, error) {
+	cfg = cfg.withDefaults()
+	st, err := lattice.Generate(lattice.Config{
+		N: cfg.Atoms, Density: cfg.Density, Temperature: cfg.Temperature,
+		Kind: cfg.Lattice, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := md.Params[float64]{Box: st.Box, Cutoff: cfg.Cutoff, Dt: cfg.Dt, Shifted: cfg.Shifted}
+	sys, err := md.NewSystem(st, p)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{cfg: cfg, sys: sys, bonded: cfg.Topology}
+
+	if r.bonded != nil {
+		if err := r.bonded.Validate(sys.N()); err != nil {
+			return nil, err
+		}
+	}
+
+	nonbonded, err := r.buildForces()
+	if err != nil {
+		return nil, err
+	}
+	r.forces = func() float64 {
+		pe := nonbonded()
+		if r.bonded != nil {
+			bpe, err := md.BondedForces(r.bonded, sys.P.Box, sys.Pos, sys.Acc)
+			if err != nil {
+				// Bonded failures (coincident atoms) indicate a blown-up
+				// trajectory; surface through panic/recover at Run.
+				panic(err)
+			}
+			pe += bpe
+		}
+		return pe
+	}
+
+	switch cfg.Thermostat {
+	case NVE:
+	case Rescale:
+		r.therm, err = md.NewRescaleThermostat(cfg.Temperature, cfg.RescaleInterval)
+	case Berendsen:
+		r.therm, err = md.NewBerendsenThermostat(cfg.Temperature, cfg.Dt, cfg.Tau)
+	case Langevin:
+		r.therm, err = md.NewLangevinThermostat(cfg.Temperature, cfg.Dt, cfg.Gamma, cfg.Seed+1)
+	default:
+		err = fmt.Errorf("mdrun: unknown thermostat %d", int(cfg.Thermostat))
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.Trajectory != nil {
+		r.traj = md.NewXYZWriter(cfg.Trajectory, "Ar")
+	}
+	if cfg.SampleRDF {
+		rMax := cfg.Cutoff
+		if rMax > st.Box/2 {
+			rMax = st.Box / 2 * 0.99
+		}
+		r.rdf, err = md.NewRDF(st.Box, rMax, cfg.RDFBins)
+		if err != nil {
+			return nil, err
+		}
+	}
+	r.msd = md.NewMSD(st.Box, sys.Pos)
+	return r, nil
+}
+
+// buildForces wires the selected non-bonded method.
+func (r *Runner) buildForces() (func() float64, error) {
+	sys := r.sys
+	switch r.cfg.Method {
+	case Direct:
+		return func() float64 { return md.ComputeForces(sys.P, sys.Pos, sys.Acc) }, nil
+	case Pairlist:
+		nl, err := md.NewNeighborList[float64](r.cfg.PairlistSkin)
+		if err != nil {
+			return nil, err
+		}
+		return func() float64 { return nl.Forces(sys.P, sys.Pos, sys.Acc) }, nil
+	case CellGrid:
+		cl, err := md.NewCellList(sys.P.Box, sys.P.Cutoff)
+		if err != nil {
+			return nil, err
+		}
+		return func() float64 { return cl.Forces(sys.P, sys.Pos, sys.Acc) }, nil
+	default:
+		return nil, fmt.Errorf("mdrun: unknown force method %d", int(r.cfg.Method))
+	}
+}
+
+// System exposes the live state (read-mostly; used by tests and tools).
+func (r *Runner) System() *md.System[float64] { return r.sys }
+
+// Run advances the simulation the given number of steps and returns
+// the summary.
+func (r *Runner) Run(steps int) (summary *Summary, err error) {
+	if steps < 0 {
+		return nil, fmt.Errorf("mdrun: steps must be non-negative, got %d", steps)
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			if e, ok := rec.(error); ok {
+				summary, err = nil, fmt.Errorf("mdrun: %w", e)
+				return
+			}
+			panic(rec)
+		}
+	}()
+
+	sys := r.sys
+	sum := &Summary{Steps: steps, InitialEnergy: sys.TotalEnergy()}
+	var tempSum float64
+	tempSamples := 0
+	for s := 1; s <= steps; s++ {
+		sys.StepWith(r.forces)
+		if r.therm != nil {
+			r.therm.Apply(sys.Vel, sys.Temperature())
+			sys.KE = md.KineticEnergy(sys.Vel)
+		}
+		if err := r.msd.Track(sys.Pos); err != nil {
+			return nil, err
+		}
+		if s%r.cfg.SampleEvery == 0 {
+			tempSum += sys.Temperature()
+			tempSamples++
+			if r.rdf != nil {
+				r.rdf.Accumulate(sys.Pos)
+			}
+		}
+		if r.traj != nil && s%r.cfg.TrajectoryEvery == 0 {
+			comment := fmt.Sprintf("step %d PE %.6f KE %.6f", sys.Steps, sys.PE, sys.KE)
+			if err := r.traj.WriteFrame(comment, sys.Pos); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if r.traj != nil {
+		if err := r.traj.Flush(); err != nil {
+			return nil, err
+		}
+		sum.FramesWritten = r.traj.Frames()
+	}
+	sum.FinalEnergy = sys.TotalEnergy()
+	if tempSamples > 0 {
+		sum.MeanTemperature = tempSum / float64(tempSamples)
+	}
+	sum.Pressure = md.Pressure(sys.P, sys.Pos, sys.Temperature())
+	sum.MSD = r.msd.Value()
+	if r.rdf != nil {
+		sum.RDFCenters, sum.RDF = r.rdf.Result()
+	}
+	return sum, nil
+}

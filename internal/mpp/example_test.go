@@ -1,0 +1,20 @@
+package mpp_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/mpp"
+)
+
+// The paper's motivation, computed: a 100K-atom system stops scaling
+// efficiently at a few hundred processors, far below a 64K-core MPP.
+func ExampleConfig_ScalingLimit() {
+	limit, err := mpp.DefaultConfig().ScalingLimit(100000, 0.5, 65536)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("efficient up to ~%d processors (machine has 65536)\n", limit)
+	// Output:
+	// efficient up to ~512 processors (machine has 65536)
+}

@@ -1,0 +1,134 @@
+// Package mpp models the strong-scaling behaviour of conventional
+// message-passing molecular dynamics on a massively parallel processor —
+// the paper's motivation (section 2): "Blue Gene/L, the most powerful
+// supercomputer system today, has 64K processing cores, while the
+// current scaling limits of most MD algorithms available in popular
+// bio-molecular simulation frameworks is a few hundred processors"
+// (citing Alam et al., PPoPP 2006).
+//
+// The model is the standard spatial-decomposition cost balance:
+//
+//	T(p) = a·N/p                      local force work
+//	     + b·(N/p)^(2/3)              halo (surface) exchange
+//	     + (L_link + L_red·log2 p)    latency + the per-step global
+//	                                  energy reduction
+//
+// Compute shrinks linearly with p, the halo shrinks only with the
+// surface-to-volume ratio, and the log-depth reduction *grows* — so
+// efficiency collapses at a processor count set by the atom count and
+// the interconnect, not by the machine's size. That collapse point is
+// the "few hundred processors" of the paper's motivation, and the
+// reason it turns to single-chip accelerators instead.
+package mpp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config holds the machine and algorithm constants.
+type Config struct {
+	// PerAtomComputeSec is the per-step force work per atom on one
+	// processor (neighbor-listed production code, ~µs/atom on 2006
+	// cores).
+	PerAtomComputeSec float64
+	// HaloBytesPerAtom is the boundary data shipped per surface atom.
+	HaloBytesPerAtom float64
+	// BandwidthBytesPerSec is the per-link interconnect bandwidth.
+	BandwidthBytesPerSec float64
+	// LinkLatencySec is the fixed per-step message latency.
+	LinkLatencySec float64
+	// ReduceLatencySec is the per-stage cost of the log-depth global
+	// reduction every MD step performs (energies, virial).
+	ReduceLatencySec float64
+}
+
+// DefaultConfig approximates a 2006 MPP (Blue Gene/L-class network,
+// commodity-core compute rates).
+func DefaultConfig() Config {
+	return Config{
+		PerAtomComputeSec:    2e-6,
+		HaloBytesPerAtom:     400,
+		BandwidthBytesPerSec: 150e6,
+		LinkLatencySec:       5e-6,
+		ReduceLatencySec:     15e-6,
+	}
+}
+
+// Validate checks the constants.
+func (c Config) Validate() error {
+	if c.PerAtomComputeSec <= 0 || c.HaloBytesPerAtom < 0 ||
+		c.BandwidthBytesPerSec <= 0 || c.LinkLatencySec < 0 || c.ReduceLatencySec < 0 {
+		return fmt.Errorf("mpp: non-physical constants: %+v", c)
+	}
+	return nil
+}
+
+// StepTime returns the modeled per-step wall time on p processors,
+// split into compute and communication.
+func (c Config) StepTime(atoms, procs int) (total, compute, comm float64, err error) {
+	if err := c.Validate(); err != nil {
+		return 0, 0, 0, err
+	}
+	if atoms <= 0 {
+		return 0, 0, 0, fmt.Errorf("mpp: atoms must be positive, got %d", atoms)
+	}
+	if procs <= 0 {
+		return 0, 0, 0, fmt.Errorf("mpp: procs must be positive, got %d", procs)
+	}
+	local := float64(atoms) / float64(procs)
+	compute = c.PerAtomComputeSec * local
+	if procs > 1 {
+		surface := math.Pow(local, 2.0/3.0)
+		halo := c.HaloBytesPerAtom * surface / c.BandwidthBytesPerSec
+		reduce := c.ReduceLatencySec * math.Log2(float64(procs))
+		comm = halo + c.LinkLatencySec + reduce
+	}
+	return compute + comm, compute, comm, nil
+}
+
+// Speedup returns T(1)/T(p).
+func (c Config) Speedup(atoms, procs int) (float64, error) {
+	t1, _, _, err := c.StepTime(atoms, 1)
+	if err != nil {
+		return 0, err
+	}
+	tp, _, _, err := c.StepTime(atoms, procs)
+	if err != nil {
+		return 0, err
+	}
+	return t1 / tp, nil
+}
+
+// Efficiency returns Speedup(p)/p.
+func (c Config) Efficiency(atoms, procs int) (float64, error) {
+	s, err := c.Speedup(atoms, procs)
+	if err != nil {
+		return 0, err
+	}
+	return s / float64(procs), nil
+}
+
+// ScalingLimit returns the largest power-of-two processor count (up to
+// maxProcs) whose parallel efficiency stays at or above floor — the
+// quantity behind "the current scaling limits ... is a few hundred
+// processors".
+func (c Config) ScalingLimit(atoms int, floor float64, maxProcs int) (int, error) {
+	if floor <= 0 || floor > 1 {
+		return 0, fmt.Errorf("mpp: efficiency floor must be in (0,1], got %v", floor)
+	}
+	if maxProcs < 1 {
+		return 0, fmt.Errorf("mpp: maxProcs must be positive, got %d", maxProcs)
+	}
+	limit := 1
+	for p := 1; p <= maxProcs; p *= 2 {
+		e, err := c.Efficiency(atoms, p)
+		if err != nil {
+			return 0, err
+		}
+		if e >= floor {
+			limit = p
+		}
+	}
+	return limit, nil
+}

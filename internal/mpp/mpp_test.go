@@ -1,0 +1,133 @@
+package mpp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStepTimeValidation(t *testing.T) {
+	c := DefaultConfig()
+	if _, _, _, err := c.StepTime(0, 1); err == nil {
+		t.Fatal("zero atoms accepted")
+	}
+	if _, _, _, err := c.StepTime(100, 0); err == nil {
+		t.Fatal("zero procs accepted")
+	}
+	bad := DefaultConfig()
+	bad.PerAtomComputeSec = 0
+	if _, _, _, err := bad.StepTime(100, 1); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := c.ScalingLimit(100, 0, 64); err == nil {
+		t.Fatal("zero floor accepted")
+	}
+	if _, err := c.ScalingLimit(100, 0.5, 0); err == nil {
+		t.Fatal("zero maxProcs accepted")
+	}
+}
+
+func TestSingleProcessorHasNoComm(t *testing.T) {
+	_, compute, comm, err := DefaultConfig().StepTime(10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comm != 0 {
+		t.Fatalf("comm on one processor = %v", comm)
+	}
+	if compute <= 0 {
+		t.Fatal("no compute time")
+	}
+}
+
+func TestSpeedupRisesThenSaturates(t *testing.T) {
+	c := DefaultConfig()
+	const atoms = 100000
+	prev := 0.0
+	peaked := false
+	var peakP int
+	for p := 1; p <= 65536; p *= 2 {
+		s, err := c.Speedup(atoms, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < prev {
+			peaked = true
+			if peakP == 0 {
+				peakP = p / 2
+			}
+		}
+		prev = s
+	}
+	if !peaked {
+		t.Fatal("speedup never saturated — communication model inert")
+	}
+}
+
+func TestScalingLimitIsFewHundredProcessors(t *testing.T) {
+	// The paper's motivation claim, quantitatively: a typical ~100K-atom
+	// bio-molecular system stops scaling efficiently at a few hundred
+	// processors — far below Blue Gene/L's 64K cores.
+	limit, err := DefaultConfig().ScalingLimit(100000, 0.5, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limit < 64 || limit > 1024 {
+		t.Fatalf("scaling limit = %d processors, want a few hundred", limit)
+	}
+}
+
+func TestScalingLimitGrowsWithProblemSize(t *testing.T) {
+	c := DefaultConfig()
+	small, err := c.ScalingLimit(20000, 0.5, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := c.ScalingLimit(2000000, 0.5, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large <= small {
+		t.Fatalf("scaling limit did not grow with N: %d -> %d", small, large)
+	}
+}
+
+func TestEfficiencyMonotoneDecreasing(t *testing.T) {
+	prop := func(pRaw uint8) bool {
+		p := 1 << (pRaw % 12)
+		e1, err1 := DefaultConfig().Efficiency(50000, p)
+		e2, err2 := DefaultConfig().Efficiency(50000, 2*p)
+		return err1 == nil && err2 == nil && e2 <= e1+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEfficiencyAtOneIsOne(t *testing.T) {
+	e, err := DefaultConfig().Efficiency(10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 1 {
+		t.Fatalf("E(1) = %v", e)
+	}
+}
+
+func TestCommGrowsWithLogP(t *testing.T) {
+	c := DefaultConfig()
+	c.HaloBytesPerAtom = 0 // isolate the reduction term
+	c.LinkLatencySec = 0
+	_, _, comm256, err := c.StepTime(100000, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, comm65536, err := c.StepTime(100000, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// log2(65536)/log2(256) = 16/8 = 2.
+	ratio := comm65536 / comm256
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("reduction scaling = %v, want ~2", ratio)
+	}
+}

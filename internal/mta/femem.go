@@ -1,0 +1,115 @@
+package mta
+
+import "fmt"
+
+// FEMemory models the MTA's word-level full/empty bits: every memory
+// word carries a state bit, and synchronized loads/stores block until
+// the word is in the required state. Bokhari & Sauer's MTA-2 sequence-
+// alignment codes (the related work the paper cites) rely on exactly
+// these operations for fine-grained synchronization.
+//
+// This model executes sequentially, so an operation that would block
+// forever in a serial context (reading an empty word with no producer
+// left, writing a full word with no consumer left) is reported as a
+// deadlock error instead of hanging.
+type FEMemory struct {
+	full []bool
+	val  []float64
+
+	syncOps int64
+}
+
+// NewFEMemory returns n words, all empty.
+func NewFEMemory(n int) *FEMemory {
+	return &FEMemory{full: make([]bool, n), val: make([]float64, n)}
+}
+
+// Len returns the word count.
+func (m *FEMemory) Len() int { return len(m.val) }
+
+// SyncOps returns how many synchronized operations were performed
+// (each pays a memory-latency trip in the timing model).
+func (m *FEMemory) SyncOps() int64 { return m.syncOps }
+
+func (m *FEMemory) check(i int) error {
+	if i < 0 || i >= len(m.val) {
+		return fmt.Errorf("mta: full/empty index %d out of range [0,%d)", i, len(m.val))
+	}
+	return nil
+}
+
+// WriteEF waits for empty, writes, and sets full ("write when empty,
+// leave full").
+func (m *FEMemory) WriteEF(i int, v float64) error {
+	if err := m.check(i); err != nil {
+		return err
+	}
+	if m.full[i] {
+		return fmt.Errorf("mta: WriteEF to full word %d would deadlock", i)
+	}
+	m.val[i] = v
+	m.full[i] = true
+	m.syncOps++
+	return nil
+}
+
+// ReadFE waits for full, reads, and sets empty ("read when full, leave
+// empty") — the consume half of producer/consumer and of atomic
+// updates.
+func (m *FEMemory) ReadFE(i int) (float64, error) {
+	if err := m.check(i); err != nil {
+		return 0, err
+	}
+	if !m.full[i] {
+		return 0, fmt.Errorf("mta: ReadFE from empty word %d would deadlock", i)
+	}
+	m.full[i] = false
+	m.syncOps++
+	return m.val[i], nil
+}
+
+// ReadFF waits for full and reads, leaving the word full (a plain
+// synchronized read).
+func (m *FEMemory) ReadFF(i int) (float64, error) {
+	if err := m.check(i); err != nil {
+		return 0, err
+	}
+	if !m.full[i] {
+		return 0, fmt.Errorf("mta: ReadFF from empty word %d would deadlock", i)
+	}
+	m.syncOps++
+	return m.val[i], nil
+}
+
+// WriteXF writes unconditionally and sets full (initialization).
+func (m *FEMemory) WriteXF(i int, v float64) error {
+	if err := m.check(i); err != nil {
+		return err
+	}
+	m.val[i] = v
+	m.full[i] = true
+	return nil
+}
+
+// Purge empties a word unconditionally.
+func (m *FEMemory) Purge(i int) error {
+	if err := m.check(i); err != nil {
+		return err
+	}
+	m.full[i] = false
+	return nil
+}
+
+// IsFull reports the word's state without synchronizing.
+func (m *FEMemory) IsFull(i int) bool { return i >= 0 && i < len(m.full) && m.full[i] }
+
+// AtomicAdd performs the MTA idiom for a synchronized accumulation:
+// ReadFE (locks the word) followed by WriteEF of the sum. This is how a
+// shared reduction target is updated safely from many streams.
+func (m *FEMemory) AtomicAdd(i int, delta float64) error {
+	v, err := m.ReadFE(i)
+	if err != nil {
+		return err
+	}
+	return m.WriteEF(i, v+delta)
+}

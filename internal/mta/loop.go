@@ -1,0 +1,68 @@
+package mta
+
+import "fmt"
+
+// LoopSpec describes a source loop the way the MTA compiler's
+// dependence analysis sees it. The compiler parallelizes a loop
+// automatically unless it finds a loop-carried dependence; a scalar
+// reduction (pe += ...) is such a dependence. The paper's fix for the
+// force loop was to move the reduction into the loop body (so each
+// iteration updates a private partial) and assert independence with a
+// directive — both must be present for the compiler to accept it.
+type LoopSpec struct {
+	Name  string
+	Trips int
+
+	// Reduction marks a scalar accumulation carried across iterations
+	// as written in the original source.
+	Reduction bool
+	// Restructured marks that the reduction was moved inside the loop
+	// body into per-iteration partials (the paper's code change).
+	Restructured bool
+	// NoDepPragma marks the compiler directive asserting the loop has
+	// no remaining dependences.
+	NoDepPragma bool
+
+	// OtherDependence marks any non-reduction loop-carried dependence
+	// (e.g. a recurrence); such loops never parallelize automatically.
+	OtherDependence bool
+}
+
+// Parallelizes reports whether the modeled compiler multithreads the
+// loop.
+func Parallelizes(l LoopSpec) bool {
+	if l.OtherDependence && !l.NoDepPragma {
+		return false
+	}
+	if l.Reduction {
+		return l.Restructured && l.NoDepPragma
+	}
+	return true
+}
+
+// Diagnose returns the compiler message for a loop that does not
+// parallelize, or "" if it does.
+func Diagnose(l LoopSpec) string {
+	if Parallelizes(l) {
+		return ""
+	}
+	if l.Reduction && !l.Restructured {
+		return fmt.Sprintf("loop %q not parallelized: dependence on reduction operation", l.Name)
+	}
+	if l.Reduction && !l.NoDepPragma {
+		return fmt.Sprintf("loop %q not parallelized: restructured reduction needs a no-dependence directive", l.Name)
+	}
+	return fmt.Sprintf("loop %q not parallelized: loop-carried dependence", l.Name)
+}
+
+// ForceLoopSpec returns the step-2 force loop as the paper describes
+// it: a reduction-carrying O(N²) loop, optionally with the paper's two
+// fixes applied (restructured reduction + no-dependence directive).
+func ForceLoopSpec(optimized bool) LoopSpec {
+	return LoopSpec{
+		Name:         "forces",
+		Reduction:    true,
+		Restructured: optimized,
+		NoDepPragma:  optimized,
+	}
+}

@@ -1,0 +1,75 @@
+package mta
+
+import "fmt"
+
+// The Cray XMT projection: the paper's conclusion anticipates
+// "significant performance gains from the upcoming XMT technology"
+// while section 3.3 warns that the XMT "will not have the MTA-2's
+// nearly uniform memory access latency, so data placement and access
+// locality will be an important consideration". This file models that
+// future-work machine so the anticipation can be tested: same
+// 128-stream multithreaded processors, a higher clock, systems of up
+// to 8000 processors — and a memory latency that now depends on how
+// much of the data is placed locally.
+
+// XMT machine parameters, from the Eldorado/XMT announcements the
+// paper cites.
+const (
+	XMTClockHz = 500e6 // "will operate at a higher clock rate"
+	XMTMaxCPUs = 8000  // "allows systems with up to 8000 processors"
+
+	// xmtLocalLatency is the cost of a reference satisfied by the
+	// processor's own memory; xmtRemoteLatency crosses the (Seastar)
+	// network. The MTA-2's uniform ~150 falls between them: locality
+	// now matters, in both directions.
+	xmtLocalLatency  = 90
+	xmtRemoteLatency = 1400
+)
+
+// XMTConfig builds a machine Config approximating an XMT node group:
+// processors in [1, XMTMaxCPUs], and locality in [0,1] giving the
+// fraction of memory references the programmer managed to place
+// locally. The blended memory latency feeds the same stream-saturation
+// model as the MTA-2; everything else (streams per processor, the loop
+// compiler) carries over.
+func XMTConfig(processors int, locality float64) (Config, error) {
+	if processors < 1 || processors > XMTMaxCPUs {
+		return Config{}, fmt.Errorf("mta: XMT processors must be in [1,%d], got %d", XMTMaxCPUs, processors)
+	}
+	if locality < 0 || locality > 1 {
+		return Config{}, fmt.Errorf("mta: XMT locality must be in [0,1], got %v", locality)
+	}
+	cfg := DefaultConfig()
+	cfg.ClockHz = XMTClockHz
+	cfg.Processors = processors
+	cfg.MemLatencyCycles = locality*xmtLocalLatency + (1-locality)*xmtRemoteLatency
+	return cfg, nil
+}
+
+// XMTProjection compares the MTA-2 against XMT configurations on the
+// same workload-independent basis: the speedup factor for a saturated
+// parallel loop with the given instruction mix (memory-op fraction
+// memFrac of all instructions). It captures the paper's anticipation
+// quantitatively: when the machine stays saturated the XMT wins by the
+// clock ratio and the processor count; when poor locality pushes the
+// average latency beyond what 128 streams can hide, the win erodes.
+func XMTProjection(memFrac float64, processors int, locality float64) (speedup float64, err error) {
+	if memFrac < 0 || memFrac > 1 {
+		return 0, fmt.Errorf("mta: memory fraction must be in [0,1], got %v", memFrac)
+	}
+	base := DefaultConfig()
+	xmt, err := XMTConfig(processors, locality)
+	if err != nil {
+		return 0, err
+	}
+	perInstr := func(cfg Config) float64 {
+		avgLat := memFrac*cfg.MemLatencyCycles + (1-memFrac)*cfg.ALULatencyCycles
+		util := float64(cfg.Streams) / avgLat
+		if util > 1 {
+			util = 1
+		}
+		// seconds per instruction per processor-pool
+		return 1 / (util * cfg.ClockHz * float64(cfg.Processors))
+	}
+	return perInstr(base) / perInstr(xmt), nil
+}

@@ -1,0 +1,156 @@
+package mta
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestXMTConfigValidation(t *testing.T) {
+	if _, err := XMTConfig(0, 0.5); err == nil {
+		t.Fatal("zero processors accepted")
+	}
+	if _, err := XMTConfig(XMTMaxCPUs+1, 0.5); err == nil {
+		t.Fatal("too many processors accepted")
+	}
+	if _, err := XMTConfig(1, -0.1); err == nil {
+		t.Fatal("negative locality accepted")
+	}
+	if _, err := XMTConfig(1, 1.1); err == nil {
+		t.Fatal("locality > 1 accepted")
+	}
+}
+
+func TestXMTConfigBlendsLatency(t *testing.T) {
+	allLocal, err := XMTConfig(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allRemote, err := XMTConfig(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allLocal.MemLatencyCycles != xmtLocalLatency {
+		t.Fatalf("local latency = %v", allLocal.MemLatencyCycles)
+	}
+	if allRemote.MemLatencyCycles != xmtRemoteLatency {
+		t.Fatalf("remote latency = %v", allRemote.MemLatencyCycles)
+	}
+	mid, err := XMTConfig(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (xmtLocalLatency + xmtRemoteLatency) / 2.0
+	if mid.MemLatencyCycles != want {
+		t.Fatalf("blended latency = %v, want %v", mid.MemLatencyCycles, want)
+	}
+	if allLocal.ClockHz != XMTClockHz {
+		t.Fatalf("clock = %v", allLocal.ClockHz)
+	}
+}
+
+func TestXMTBeatsMTAWithGoodLocality(t *testing.T) {
+	// The paper's anticipation: one XMT processor with well-placed data
+	// should beat the MTA-2 by about the clock ratio (2.5x).
+	s, err := XMTProjection(0.1, 1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 2.0 || s > 3.0 {
+		t.Fatalf("single-processor XMT speedup = %v, want ~2.5 (clock ratio)", s)
+	}
+}
+
+func TestXMTLocalityMatters(t *testing.T) {
+	// Section 3.3's warning: with a memory-heavy mix and poor locality,
+	// 128 streams can no longer hide the blended latency and the win
+	// erodes.
+	good, err := XMTProjection(0.3, 1, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := XMTProjection(0.3, 1, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad >= good {
+		t.Fatalf("poor locality (%v) not worse than good locality (%v)", bad, good)
+	}
+	if bad >= 2.0 {
+		t.Fatalf("all-remote XMT speedup = %v; latency wall missing", bad)
+	}
+}
+
+func TestXMTScalesWithProcessors(t *testing.T) {
+	one, err := XMTProjection(0.1, 1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := XMTProjection(0.1, 100, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := many / one
+	if ratio < 99 || ratio > 101 {
+		t.Fatalf("100-processor scaling = %v, want ~100 (parallel loops)", ratio)
+	}
+}
+
+func TestXMTProjectionValidation(t *testing.T) {
+	if _, err := XMTProjection(-0.1, 1, 0.5); err == nil {
+		t.Fatal("negative memFrac accepted")
+	}
+	if _, err := XMTProjection(1.1, 1, 0.5); err == nil {
+		t.Fatal("memFrac > 1 accepted")
+	}
+	if _, err := XMTProjection(0.1, 0, 0.5); err == nil {
+		t.Fatal("bad processors accepted")
+	}
+}
+
+func TestXMTSpeedupMonotoneInLocality(t *testing.T) {
+	prop := func(l1Raw, l2Raw uint8) bool {
+		l1 := float64(l1Raw) / 255
+		l2 := float64(l2Raw) / 255
+		if l1 > l2 {
+			l1, l2 = l2, l1
+		}
+		s1, err1 := XMTProjection(0.4, 1, l1)
+		s2, err2 := XMTProjection(0.4, 1, l2)
+		return err1 == nil && err2 == nil && s2 >= s1-1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXMTMachineRunsMDFaster(t *testing.T) {
+	// End to end: an XMT node with decent locality runs the MD workload
+	// faster than the MTA-2 node.
+	w := workload(t, 256, 2)
+	base, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmtCfg, err := XMTConfig(1, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmt, err := New(xmtCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := base.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := xmt.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rx.Seconds() >= rb.Seconds() {
+		t.Fatalf("XMT (%v) not faster than MTA-2 (%v)", rx.Seconds(), rb.Seconds())
+	}
+	if rx.PE != rb.PE {
+		t.Fatal("XMT changed the physics")
+	}
+}

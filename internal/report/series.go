@@ -1,0 +1,140 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SeriesChart renders one or more (x, y) series as a text scatter
+// chart, optionally with a logarithmic y axis — the rendering used for
+// the paper's runtime-vs-atoms figures, where the curves span three
+// orders of magnitude.
+type SeriesChart struct {
+	Title  string
+	YLabel string
+	LogY   bool
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 16)
+
+	names  []string
+	series [][]Point
+}
+
+// Point is one sample.
+type Point struct{ X, Y float64 }
+
+// NewSeriesChart creates an empty chart.
+func NewSeriesChart(title string) *SeriesChart {
+	return &SeriesChart{Title: title, Width: 60, Height: 16}
+}
+
+// Add appends one named series. Series are drawn with the markers
+// '*', 'o', '+', 'x', ... in order.
+func (c *SeriesChart) Add(name string, pts []Point) {
+	c.names = append(c.names, name)
+	c.series = append(c.series, append([]Point(nil), pts...))
+}
+
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart.
+func (c *SeriesChart) Render(w io.Writer) error {
+	if len(c.series) == 0 {
+		return fmt.Errorf("report: chart has no series")
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for _, p := range s {
+			y := p.Y
+			if c.LogY {
+				if y <= 0 {
+					return fmt.Errorf("report: log-scale chart needs positive y, got %v", y)
+				}
+				y = math.Log10(y)
+			}
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return fmt.Errorf("report: chart series are empty")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.series {
+		m := markers[si%len(markers)]
+		for _, p := range s {
+			y := p.Y
+			if c.LogY {
+				y = math.Log10(y)
+			}
+			col := int((p.X - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = m
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintln(w, c.Title); err != nil {
+			return err
+		}
+	}
+	yfmt := func(v float64) string {
+		if c.LogY {
+			return fmt.Sprintf("%-9.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%-9.3g", v)
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", 9)
+		switch r {
+		case 0:
+			label = yfmt(maxY)
+		case height - 1:
+			label = yfmt(minY)
+		}
+		if _, err := fmt.Fprintf(w, "%9s |%s\n", strings.TrimSpace(label), string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%9s +%s\n", "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%9s  %-*.4g%*.4g\n", "", width/2, minX, width-width/2, maxX); err != nil {
+		return err
+	}
+	var legend []string
+	for i, name := range c.names {
+		legend = append(legend, fmt.Sprintf("%c = %s", markers[i%len(markers)], name))
+	}
+	unit := ""
+	switch {
+	case c.YLabel != "" && c.LogY:
+		unit = "   y: " + c.YLabel + " (log scale)"
+	case c.YLabel != "":
+		unit = "   y: " + c.YLabel
+	case c.LogY:
+		unit = "   y: log scale"
+	}
+	_, err := fmt.Fprintf(w, "%9s  %s%s\n", "", strings.Join(legend, "   "), unit)
+	return err
+}

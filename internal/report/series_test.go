@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesChartBasics(t *testing.T) {
+	c := NewSeriesChart("Runtime vs atoms")
+	c.YLabel = "seconds"
+	c.Add("cpu", []Point{{X: 1, Y: 1}, {X: 2, Y: 4}, {X: 3, Y: 9}})
+	c.Add("gpu", []Point{{X: 1, Y: 2}, {X: 2, Y: 3}, {X: 3, Y: 4}})
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Runtime vs atoms", "* = cpu", "o = gpu", "y: seconds"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestSeriesChartLogScale(t *testing.T) {
+	c := NewSeriesChart("log")
+	c.LogY = true
+	c.Add("s", []Point{{X: 1, Y: 0.001}, {X: 2, Y: 1}, {X: 3, Y: 1000}})
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "log scale") {
+		t.Fatal("log scale not labeled")
+	}
+	// The top label should be ~1000, the bottom ~0.001.
+	if !strings.Contains(sb.String(), "1e+03") && !strings.Contains(sb.String(), "1000") {
+		t.Fatalf("max label missing:\n%s", sb.String())
+	}
+}
+
+func TestSeriesChartLogRejectsNonPositive(t *testing.T) {
+	c := NewSeriesChart("bad")
+	c.LogY = true
+	c.Add("s", []Point{{X: 1, Y: 0}})
+	if err := c.Render(&strings.Builder{}); err == nil {
+		t.Fatal("zero y accepted on log scale")
+	}
+}
+
+func TestSeriesChartEmpty(t *testing.T) {
+	if err := NewSeriesChart("e").Render(&strings.Builder{}); err == nil {
+		t.Fatal("empty chart rendered")
+	}
+	c := NewSeriesChart("e2")
+	c.Add("s", nil)
+	if err := c.Render(&strings.Builder{}); err == nil {
+		t.Fatal("chart with empty series rendered")
+	}
+}
+
+func TestSeriesChartSinglePoint(t *testing.T) {
+	c := NewSeriesChart("one")
+	c.Add("s", []Point{{X: 5, Y: 5}})
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Fatal("single point not drawn")
+	}
+}
+
+func TestSeriesChartMarkersWithinGrid(t *testing.T) {
+	// Extreme values must not index outside the grid (no panic).
+	c := NewSeriesChart("extremes")
+	c.Width = 10
+	c.Height = 5
+	c.Add("s", []Point{{X: -1e9, Y: -1e9}, {X: 1e9, Y: 1e9}})
+	if err := c.Render(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}

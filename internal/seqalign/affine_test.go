@@ -1,0 +1,139 @@
+package seqalign
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestAffineValidation(t *testing.T) {
+	if err := DefaultAffineScoring().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []AffineScoring{
+		{Match: 0, Mismatch: -1, GapOpen: -1, GapExtend: -1},
+		{Match: 2, Mismatch: 1, GapOpen: -1, GapExtend: -1},
+		{Match: 2, Mismatch: -1, GapOpen: 1, GapExtend: -1},
+		{Match: 2, Mismatch: -1, GapOpen: -1, GapExtend: 1},
+	}
+	for _, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("accepted %+v", sc)
+		}
+	}
+	if _, err := SWScoreAffine([]byte("A"), []byte("A"), AffineScoring{}); err == nil {
+		t.Fatal("zero scheme accepted by SWScoreAffine")
+	}
+}
+
+func TestAffineReducesToLinearWhenOpenIsZero(t *testing.T) {
+	// GapOpen = 0 makes a length-k gap cost k*GapExtend: exactly the
+	// linear scheme.
+	prop := func(seed uint64, nRaw, mRaw uint8) bool {
+		rng := xrand.New(seed)
+		a := randomSeq(rng, int(nRaw%50)+1)
+		b := randomSeq(rng, int(mRaw%50)+1)
+		linear, err1 := SWScore(a, b, Scoring{Match: 2, Mismatch: -1, Gap: -1})
+		affine, err2 := SWScoreAffine(a, b, AffineScoring{Match: 2, Mismatch: -1, GapOpen: 0, GapExtend: -1})
+		return err1 == nil && err2 == nil && linear == affine
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAffinePenalizesManyShortGaps(t *testing.T) {
+	// One length-2 gap (open once) must beat two separate length-1 gaps
+	// (open twice) under affine scoring. Construct sequences whose best
+	// alignments differ exactly that way:
+	//   a = ACGTACGT            b1 = ACGTXXACGT (one 2-gap)
+	//   vs b2 = ACGXTACXGT-ish arrangements.
+	sc := AffineScoring{Match: 3, Mismatch: -3, GapOpen: -4, GapExtend: -1}
+	a := []byte("ACGTACGT")
+	oneGap := []byte("ACGTGGACGT")  // needs one gap of length 2
+	twoGaps := []byte("ACGGTACGGT") // needs two gaps of length 1
+	s1, err := SWScoreAffine(a, oneGap, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SWScoreAffine(a, twoGaps, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One length-2 gap: 8 matches - (open 4 + 2 extends) = 24 - 6 = 18.
+	if s1 != 18 {
+		t.Fatalf("one-gap score = %d, want 18", s1)
+	}
+	// Two separate gaps pay the open penalty twice; the DP may trade a
+	// gap for a mismatch but cannot reach the single-gap score.
+	if s2 >= s1 {
+		t.Fatalf("two-gap score %d not below one-gap score %d", s2, s1)
+	}
+}
+
+func TestAffineMonotoneInOpenPenalty(t *testing.T) {
+	// A harsher gap-open penalty can never raise the score.
+	prop := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		a := randomSeq(rng, 30)
+		b := randomSeq(rng, 30)
+		cheap := AffineScoring{Match: 2, Mismatch: -1, GapOpen: -1, GapExtend: -1}
+		dear := AffineScoring{Match: 2, Mismatch: -1, GapOpen: -5, GapExtend: -1}
+		s1, err1 := SWScoreAffine(a, b, cheap)
+		s2, err2 := SWScoreAffine(a, b, dear)
+		return err1 == nil && err2 == nil && s2 <= s1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAffineIdenticalSequences(t *testing.T) {
+	s := []byte("ACGTACGTAC")
+	sc := DefaultAffineScoring()
+	score, err := SWScoreAffine(s, s, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(s) * sc.Match; score != want {
+		t.Fatalf("self score = %d, want %d", score, want)
+	}
+}
+
+func TestAffineEmptyInputs(t *testing.T) {
+	if score, err := SWScoreAffine(nil, []byte("ACGT"), DefaultAffineScoring()); err != nil || score != 0 {
+		t.Fatalf("empty a: %d %v", score, err)
+	}
+	if score, err := SWScoreAffine([]byte("ACGT"), nil, DefaultAffineScoring()); err != nil || score != 0 {
+		t.Fatalf("empty b: %d %v", score, err)
+	}
+}
+
+func TestAffineNeverNegative(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		a := randomSeq(rng, 20)
+		b := randomSeq(rng, 20)
+		s, err := SWScoreAffine(a, b, AffineScoring{Match: 1, Mismatch: -10, GapOpen: -10, GapExtend: -10})
+		return err == nil && s >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAffineSymmetry(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		a := randomSeq(rng, 24)
+		b := randomSeq(rng, 31)
+		sc := DefaultAffineScoring()
+		s1, _ := SWScoreAffine(a, b, sc)
+		s2, _ := SWScoreAffine(b, a, sc)
+		return s1 == s2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package seqalign
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gpu"
+	"repro/internal/mta"
+	"repro/internal/xrand"
+)
+
+func newGPU(t testing.TB) *gpu.Device {
+	t.Helper()
+	d, err := gpu.New(gpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func newMTA(t testing.TB) *mta.Machine {
+	t.Helper()
+	m, err := mta.New(mta.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSWGPUScoresMatchReference(t *testing.T) {
+	dev := newGPU(t)
+	prop := func(seed uint64, nRaw, mRaw uint8) bool {
+		rng := xrand.New(seed)
+		a := randomSeq(rng, int(nRaw%40)+1)
+		b := randomSeq(rng, int(mRaw%40)+1)
+		sc := DefaultScoring()
+		want, err1 := SWScore(a, b, sc)
+		got, _, err2 := SWGPU(dev, a, b, sc)
+		return err1 == nil && err2 == nil && got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSWMTAScoresMatchReference(t *testing.T) {
+	m := newMTA(t)
+	prop := func(seed uint64, nRaw, mRaw uint8) bool {
+		rng := xrand.New(seed)
+		a := randomSeq(rng, int(nRaw%60)+1)
+		b := randomSeq(rng, int(mRaw%60)+1)
+		sc := DefaultScoring()
+		want, err1 := SWScore(a, b, sc)
+		got, _, err2 := SWMTA(m, a, b, sc)
+		return err1 == nil && err2 == nil && got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSWGPUDispatchOverheadDominatesShortPairs(t *testing.T) {
+	// For a short pair, n+m-1 dispatches swamp the per-cell compute —
+	// the reason published GPU alignment work targets database scans.
+	dev := newGPU(t)
+	rng := xrand.New(3)
+	a := randomSeq(rng, 48)
+	b := randomSeq(rng, 48)
+	_, bd, err := SWGPU(dev, a, b, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := bd.Component("compute+dispatch")
+	if overhead <= 0 {
+		t.Fatal("no dispatch cost accounted")
+	}
+	// 95 diagonals at 60 µs dispatch each: must exceed 5 ms.
+	if overhead < 95*50e-6 {
+		t.Fatalf("dispatch-dominated runtime = %v, implausibly small", overhead)
+	}
+}
+
+func TestSWMTAWavefrontStartupCost(t *testing.T) {
+	// Square inputs of growing size: the cost per cell falls as longer
+	// diagonals saturate the streams, then flattens. Compare per-cell
+	// cost for tiny vs large inputs.
+	m := newMTA(t)
+	perCell := func(n int) float64 {
+		rng := xrand.New(7)
+		a := randomSeq(rng, n)
+		b := randomSeq(rng, n)
+		_, bd, err := SWMTA(m, a, b, DefaultScoring())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bd.Total() / float64(n*n)
+	}
+	small := perCell(8)   // diagonals of at most 8 cells: never saturated
+	large := perCell(512) // mostly saturated diagonals
+	if small < 3*large {
+		t.Fatalf("per-cell cost small=%v vs large=%v; wavefront startup effect missing", small, large)
+	}
+}
+
+func TestSWMTAFasterWithMoreStreamsOnlyWhenWide(t *testing.T) {
+	rng := xrand.New(9)
+	a := randomSeq(rng, 256)
+	b := randomSeq(rng, 256)
+	cfgFew := mta.DefaultConfig()
+	cfgFew.Streams = 8
+	few, err := mta.New(cfgFew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bdFew, err := SWMTA(few, a, b, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bdFull, err := SWMTA(newMTA(t), a, b, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bdFull.Total() >= bdFew.Total() {
+		t.Fatalf("128 streams (%v) not faster than 8 (%v) on wide diagonals",
+			bdFull.Total(), bdFew.Total())
+	}
+}
+
+func TestSWGPUEmptyInput(t *testing.T) {
+	dev := newGPU(t)
+	score, bd, err := SWGPU(dev, nil, []byte("ACGT"), DefaultScoring())
+	if err != nil || score != 0 {
+		t.Fatalf("score=%d err=%v", score, err)
+	}
+	if bd.Total() != 0 {
+		t.Fatalf("empty input cost %v", bd.Total())
+	}
+}
+
+func TestDevicePortsRejectBadScoring(t *testing.T) {
+	bad := Scoring{Match: 0}
+	if _, _, err := SWGPU(newGPU(t), []byte("A"), []byte("A"), bad); err == nil {
+		t.Fatal("SWGPU accepted bad scoring")
+	}
+	if _, _, err := SWMTA(newMTA(t), []byte("A"), []byte("A"), bad); err == nil {
+		t.Fatal("SWMTA accepted bad scoring")
+	}
+}
+
+func TestSWGPULongerHandChecked(t *testing.T) {
+	sc := Scoring{Match: 3, Mismatch: -3, Gap: -2}
+	got, _, err := SWGPU(newGPU(t), []byte("TGTTACGG"), []byte("GGTTGACTA"), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 13 {
+		t.Fatalf("GPU score = %d, want 13", got)
+	}
+}

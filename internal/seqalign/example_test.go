@@ -1,0 +1,54 @@
+package seqalign_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/seqalign"
+)
+
+// The classic textbook pair, aligned locally with traceback.
+func ExampleSWAlign() {
+	al, err := seqalign.SWAlign(
+		[]byte("TGTTACGG"),
+		[]byte("GGTTGACTA"),
+		seqalign.Scoring{Match: 3, Mismatch: -3, Gap: -2},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n%s\nscore %d\n", al.AlignedA, al.AlignedB, al.Score)
+	// Output:
+	// GTT-AC
+	// GTTGAC
+	// score 13
+}
+
+// Affine gaps prefer one long gap over several short ones.
+func ExampleSWScoreAffine() {
+	sc := seqalign.AffineScoring{Match: 3, Mismatch: -3, GapOpen: -4, GapExtend: -1}
+	oneGap, _ := seqalign.SWScoreAffine([]byte("ACGTACGT"), []byte("ACGTGGACGT"), sc)
+	fmt.Println(oneGap)
+	// Output:
+	// 18
+}
+
+// Scanning a database returns per-subject scores; TopHits ranks them.
+func ExampleScanDatabase() {
+	query := []byte("ACGTACGT")
+	db := [][]byte{
+		[]byte("TTTTTTTT"),
+		[]byte("ACGTACGT"),
+		[]byte("ACGTTCGT"),
+	}
+	hits, err := seqalign.ScanDatabase(query, db, seqalign.DefaultScoring())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range seqalign.TopHits(hits, 2) {
+		fmt.Printf("subject %d: score %d\n", h.Index, h.Score)
+	}
+	// Output:
+	// subject 1: score 16
+	// subject 2: score 13
+}

@@ -1,0 +1,119 @@
+package seqalign
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FASTA I/O: the interchange format every sequence database uses. The
+// parser accepts multi-line records, skips blank lines, normalizes
+// residues to upper case, and rejects structurally broken input.
+
+// FASTARecord is one sequence with its header.
+type FASTARecord struct {
+	// ID is the first whitespace-delimited token after '>'.
+	ID string
+	// Description is the rest of the header line (may be empty).
+	Description string
+	Seq         []byte
+}
+
+// ParseFASTA reads every record from r.
+func ParseFASTA(r io.Reader) ([]FASTARecord, error) {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var records []FASTARecord
+	var cur *FASTARecord
+	line := 0
+	for s.Scan() {
+		line++
+		text := strings.TrimSpace(s.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, ">") {
+			if cur != nil && len(cur.Seq) == 0 {
+				return nil, fmt.Errorf("seqalign: line %d: record %q has no sequence", line, cur.ID)
+			}
+			header := strings.TrimSpace(text[1:])
+			if header == "" {
+				return nil, fmt.Errorf("seqalign: line %d: empty FASTA header", line)
+			}
+			id, desc := header, ""
+			if sp := strings.IndexAny(header, " \t"); sp >= 0 {
+				id, desc = header[:sp], strings.TrimSpace(header[sp+1:])
+			}
+			records = append(records, FASTARecord{ID: id, Description: desc})
+			cur = &records[len(records)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("seqalign: line %d: sequence data before any header", line)
+		}
+		for _, c := range []byte(text) {
+			switch {
+			case c >= 'a' && c <= 'z':
+				cur.Seq = append(cur.Seq, c-'a'+'A')
+			case c >= 'A' && c <= 'Z', c == '*', c == '-':
+				cur.Seq = append(cur.Seq, c)
+			default:
+				return nil, fmt.Errorf("seqalign: line %d: invalid residue %q", line, c)
+			}
+		}
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil && len(cur.Seq) == 0 {
+		return nil, fmt.Errorf("seqalign: record %q has no sequence", cur.ID)
+	}
+	return records, nil
+}
+
+// WriteFASTA writes records with the given line width (0 means 60).
+func WriteFASTA(w io.Writer, records []FASTARecord, width int) error {
+	if width <= 0 {
+		width = 60
+	}
+	bw := bufio.NewWriter(w)
+	for _, rec := range records {
+		if rec.ID == "" {
+			return fmt.Errorf("seqalign: cannot write record with empty ID")
+		}
+		if strings.ContainsAny(rec.ID+rec.Description, "\n\r") {
+			return fmt.Errorf("seqalign: record %q: header must be a single line", rec.ID)
+		}
+		header := ">" + rec.ID
+		if rec.Description != "" {
+			header += " " + rec.Description
+		}
+		if _, err := fmt.Fprintln(bw, header); err != nil {
+			return err
+		}
+		for off := 0; off < len(rec.Seq); off += width {
+			end := off + width
+			if end > len(rec.Seq) {
+				end = len(rec.Seq)
+			}
+			if _, err := bw.Write(rec.Seq[off:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Sequences extracts just the residue strings, in order.
+func Sequences(records []FASTARecord) [][]byte {
+	out := make([][]byte, len(records))
+	for i, r := range records {
+		out[i] = bytes.Clone(r.Seq)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package seqalign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: run as ordinary tests over their seed corpus in `go
+// test`, and accept arbitrary inputs under `go test -fuzz`.
+
+// FuzzParseFASTA must never panic and must round-trip whatever it
+// accepts.
+func FuzzParseFASTA(f *testing.F) {
+	f.Add(">a desc\nACGT\n")
+	f.Add(">a\nAC\nGT\n\n>b\ntttt\n")
+	f.Add("")
+	f.Add(">x\n")
+	f.Add("junk\n>y\nAC\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		recs, err := ParseFASTA(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must survive a write/parse round trip.
+		var buf bytes.Buffer
+		if err := WriteFASTA(&buf, recs, 60); err != nil {
+			return // headers with exotic content may be unwritable
+		}
+		again, err := ParseFASTA(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(again))
+		}
+		for i := range recs {
+			if !bytes.Equal(again[i].Seq, recs[i].Seq) {
+				t.Fatalf("record %d sequence changed", i)
+			}
+		}
+	})
+}
+
+// FuzzSWOrdersAgree checks the row-order and anti-diagonal evaluations
+// on arbitrary byte strings (any alphabet).
+func FuzzSWOrdersAgree(f *testing.F) {
+	f.Add([]byte("ACGT"), []byte("AGCT"))
+	f.Add([]byte(""), []byte("A"))
+	f.Add([]byte("AAAA"), []byte("AAAA"))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		if len(a) > 200 || len(b) > 200 {
+			return // keep the quadratic DP bounded
+		}
+		sc := DefaultScoring()
+		s1, err1 := SWScore(a, b, sc)
+		s2, err2 := SWScoreAntiDiagonal(a, b, sc)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("errors on valid scoring: %v, %v", err1, err2)
+		}
+		if s1 != s2 {
+			t.Fatalf("orders disagree: %d vs %d", s1, s2)
+		}
+		// Affine with open=0 must also agree.
+		s3, err := SWScoreAffine(a, b, AffineScoring{Match: sc.Match, Mismatch: sc.Mismatch, GapOpen: 0, GapExtend: sc.Gap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s3 != s1 {
+			t.Fatalf("affine(open=0) disagrees: %d vs %d", s3, s1)
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package seqalign
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// Database scanning: the workload of the cited related work ("Bio-
+// Sequence Database Scanning on a GPU", W. Liu et al.). Per-pair
+// wavefront alignment pays one dispatch per anti-diagonal; scanning a
+// database instead assigns each subject sequence to one shader
+// invocation that computes the whole Smith-Waterman score in-shader —
+// inter-task parallelism, the same shape as the MD port's one-shader-
+// per-atom gather. One dispatch covers the entire database, which is
+// what makes GPUs pay off for alignment.
+
+// ScanHit is one database entry's score.
+type ScanHit struct {
+	Index int
+	Score int
+}
+
+// ScanDatabase scores the query against every subject with the
+// reference CPU kernel and returns the per-subject scores (the oracle
+// for the device scans).
+func ScanDatabase(query []byte, subjects [][]byte, sc Scoring) ([]ScanHit, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	hits := make([]ScanHit, len(subjects))
+	for i, s := range subjects {
+		score, err := SWScore(query, s, sc)
+		if err != nil {
+			return nil, err
+		}
+		hits[i] = ScanHit{Index: i, Score: score}
+	}
+	return hits, nil
+}
+
+// SWGPUScan scores the query against every subject on the GPU: subjects
+// are concatenated into one texture with an offset table, and each
+// shader invocation computes one subject's full Smith-Waterman score
+// with a rolling two-row buffer in registers/local arrays — one
+// dispatch total. Scores come back as one PCIe readback.
+func SWGPUScan(dev *gpu.Device, query []byte, subjects [][]byte, sc Scoring) ([]ScanHit, *sim.Breakdown, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, nil, err
+	}
+	bd := sim.NewBreakdown()
+	if len(subjects) == 0 || len(query) == 0 {
+		return nil, bd, nil
+	}
+
+	// Concatenate the database; record offsets and lengths.
+	var flat []byte
+	offsets := make([]int, len(subjects))
+	lengths := make([]int, len(subjects))
+	for i, s := range subjects {
+		offsets[i] = len(flat)
+		lengths[i] = len(s)
+		flat = append(flat, s...)
+	}
+	queryTex := gpu.NewTexture("query", packBytes(query))
+	dbTex := gpu.NewTexture("db", packBytes(flat))
+	meta := make([]gpu.Float4, len(subjects))
+	for i := range subjects {
+		meta[i] = gpu.Float4{float32(offsets[i]), float32(lengths[i]), 0, 0}
+	}
+	metaTex := gpu.NewTexture("meta", meta)
+	bd.Add("pcie", dev.TransferSec(4*len(query))+dev.TransferSec(4*len(flat))+dev.TransferSec(16*len(subjects)))
+
+	qLen := len(query)
+	matchI, mismI, gapI := sc.Match, sc.Mismatch, sc.Gap
+	shader := gpu.ShaderFunc(func(s *gpu.Sampler, idx int) gpu.Float4 {
+		m := s.Fetch("meta", idx)
+		off, slen := int(m[0]), int(m[1])
+		// Row-wise SW with a rolling buffer, entirely inside the
+		// shader invocation (registers / local memory on hardware).
+		prev := make([]int, slen+1)
+		cur := make([]int, slen+1)
+		best := 0
+		for i := 1; i <= qLen; i++ {
+			qc := byte(s.Fetch("query", i-1)[0])
+			for j := 1; j <= slen; j++ {
+				dc := byte(s.Fetch("db", off+j-1)[0])
+				sub := mismI
+				if qc == dc {
+					sub = matchI
+				}
+				h := max3(0, prev[j-1]+sub, max2(prev[j]+gapI, cur[j-1]+gapI))
+				cur[j] = h
+				if h > best {
+					best = h
+				}
+				s.ALU(8)
+			}
+			prev, cur = cur, prev
+		}
+		return gpu.Float4{float32(best), 0, 0, 0}
+	})
+	pass, err := gpu.NewPass(shader, len(subjects), queryTex, dbTex, metaTex)
+	if err != nil {
+		return nil, nil, fmt.Errorf("seqalign: scan pass: %w", err)
+	}
+	out, sec := dev.Dispatch(pass)
+	bd.Add("compute+dispatch", sec)
+	bd.Add("pcie", dev.TransferSec(16*len(subjects)))
+
+	hits := make([]ScanHit, len(subjects))
+	for i := range hits {
+		hits[i] = ScanHit{Index: i, Score: int(out[i][0])}
+	}
+	return hits, bd, nil
+}
+
+// TopHits returns the k best-scoring hits, ties broken by index.
+func TopHits(hits []ScanHit, k int) []ScanHit {
+	sorted := append([]ScanHit(nil), hits...)
+	// Insertion sort by (score desc, index asc): databases in the tests
+	// and examples are small; clarity over asymptotics.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0; j-- {
+			a, b := sorted[j-1], sorted[j]
+			if b.Score > a.Score || (b.Score == a.Score && b.Index < a.Index) {
+				sorted[j-1], sorted[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}

@@ -1,0 +1,210 @@
+package seqalign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func makeDB(rng *xrand.Source, count, minLen, spread int) [][]byte {
+	db := make([][]byte, count)
+	for i := range db {
+		db[i] = randomSeq(rng, minLen+rng.Intn(spread))
+	}
+	return db
+}
+
+func TestScanDatabaseMatchesPairwise(t *testing.T) {
+	rng := xrand.New(42)
+	query := randomSeq(rng, 40)
+	db := makeDB(rng, 20, 20, 40)
+	hits, err := ScanDatabase(query, db, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		want, err := SWScore(query, db[i], DefaultScoring())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Score != want || h.Index != i {
+			t.Fatalf("hit %d = %+v, want score %d", i, h, want)
+		}
+	}
+}
+
+func TestSWGPUScanMatchesReference(t *testing.T) {
+	rng := xrand.New(43)
+	query := randomSeq(rng, 32)
+	db := makeDB(rng, 25, 16, 48)
+	want, err := ScanDatabase(query, db, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, bd, err := SWGPUScan(newGPU(t), query, db, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: gpu %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if bd.Total() <= 0 {
+		t.Fatal("no modeled cost")
+	}
+}
+
+func TestScanAmortizesDispatches(t *testing.T) {
+	// The whole point of the database-scan formulation: one dispatch
+	// for the database instead of one per anti-diagonal per pair. For
+	// the same total cell count, the scan's dispatch share must be far
+	// smaller than per-pair wavefront alignment's.
+	dev := newGPU(t)
+	rng := xrand.New(44)
+	query := randomSeq(rng, 64)
+	db := makeDB(rng, 32, 64, 1)
+
+	_, scanBD, err := SWGPUScan(dev, query, db, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairTotal float64
+	for _, s := range db {
+		_, bd, err := SWGPU(dev, query, s, DefaultScoring())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairTotal += bd.Total()
+	}
+	if scanBD.Total() >= pairTotal/10 {
+		t.Fatalf("scan (%v) not ≫ faster than per-pair wavefront (%v)", scanBD.Total(), pairTotal)
+	}
+}
+
+func TestScanEmptyInputs(t *testing.T) {
+	dev := newGPU(t)
+	hits, bd, err := SWGPUScan(dev, nil, [][]byte{[]byte("ACGT")}, DefaultScoring())
+	if err != nil || hits != nil || bd.Total() != 0 {
+		t.Fatalf("empty query: %v %v %v", hits, bd.Total(), err)
+	}
+	hits, _, err = SWGPUScan(dev, []byte("ACGT"), nil, DefaultScoring())
+	if err != nil || hits != nil {
+		t.Fatalf("empty db: %v %v", hits, err)
+	}
+}
+
+func TestTopHits(t *testing.T) {
+	hits := []ScanHit{{0, 5}, {1, 9}, {2, 9}, {3, 1}, {4, 7}}
+	top := TopHits(hits, 3)
+	want := []ScanHit{{1, 9}, {2, 9}, {4, 7}}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("top = %+v, want %+v", top, want)
+		}
+	}
+	if len(TopHits(hits, 99)) != len(hits) {
+		t.Fatal("k > len not clamped")
+	}
+	if len(TopHits(nil, 3)) != 0 {
+		t.Fatal("empty hits")
+	}
+	// Input must not be mutated.
+	if hits[0].Index != 0 || hits[0].Score != 5 {
+		t.Fatal("TopHits mutated its input")
+	}
+}
+
+func TestParseFASTA(t *testing.T) {
+	in := `>seq1 human fragment
+ACGTacgt
+ACGT
+
+>seq2
+tttt
+`
+	recs, err := ParseFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0].ID != "seq1" || recs[0].Description != "human fragment" {
+		t.Fatalf("header: %q %q", recs[0].ID, recs[0].Description)
+	}
+	if string(recs[0].Seq) != "ACGTACGTACGT" {
+		t.Fatalf("seq1 = %q (case folding / multi-line failed)", recs[0].Seq)
+	}
+	if recs[1].ID != "seq2" || string(recs[1].Seq) != "TTTT" {
+		t.Fatalf("seq2 = %+v", recs[1])
+	}
+}
+
+func TestParseFASTAErrors(t *testing.T) {
+	cases := []string{
+		"ACGT\n",            // data before header
+		">\nACGT\n",         // empty header
+		">a\n>b\nACGT\n",    // record a has no sequence
+		">a\nAC1T\n",        // invalid residue
+		">trailing-empty\n", // last record has no sequence
+	}
+	for i, in := range cases {
+		if _, err := ParseFASTA(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d parsed: %q", i, in)
+		}
+	}
+}
+
+func TestParseFASTAEmptyInput(t *testing.T) {
+	recs, err := ParseFASTA(strings.NewReader(""))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("recs=%v err=%v", recs, err)
+	}
+}
+
+func TestFASTARoundTrip(t *testing.T) {
+	rng := xrand.New(45)
+	recs := []FASTARecord{
+		{ID: "a", Description: "first", Seq: randomSeq(rng, 150)},
+		{ID: "b", Seq: randomSeq(rng, 7)},
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, recs, 60); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("%d records", len(got))
+	}
+	for i := range recs {
+		if got[i].ID != recs[i].ID || got[i].Description != recs[i].Description ||
+			!bytes.Equal(got[i].Seq, recs[i].Seq) {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestWriteFASTAErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, []FASTARecord{{Seq: []byte("ACGT")}}, 0); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+	if err := WriteFASTA(&buf, []FASTARecord{{ID: "x\ny", Seq: []byte("A")}}, 0); err == nil {
+		t.Fatal("multi-line header accepted")
+	}
+}
+
+func TestSequences(t *testing.T) {
+	recs := []FASTARecord{{ID: "a", Seq: []byte("ACGT")}}
+	seqs := Sequences(recs)
+	seqs[0][0] = 'T'
+	if recs[0].Seq[0] != 'A' {
+		t.Fatal("Sequences aliases record storage")
+	}
+}

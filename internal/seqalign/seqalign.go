@@ -1,0 +1,286 @@
+// Package seqalign implements the dynamic-programming sequence
+// alignment algorithms from the paper's related work — Smith-Waterman
+// local alignment (mapped to GPUs by W. Liu et al. and Y. Liu et al.)
+// and its global cousin Needleman-Wunsch — plus ports of the
+// score-recurrence to this repository's GPU stream model (one shader
+// pass per anti-diagonal) and MTA-2 model (one multithreaded loop per
+// anti-diagonal, with full/empty-bit style dependencies), mirroring
+// Bokhari & Sauer's "Sequence alignment on the Cray MTA-2".
+//
+// The reference implementations are exact (full-matrix with traceback
+// and a linear-space score-only form); the device ports compute
+// identical scores — pinned by the tests — while their modeled runtimes
+// expose the same architectural trade-offs as the MD kernel: per-pass
+// dispatch overhead on the GPU versus abundant fine-grained parallelism
+// on the MTA.
+package seqalign
+
+import (
+	"fmt"
+)
+
+// Scoring is a linear-gap scoring scheme: Match > 0 rewards equal
+// residues, Mismatch <= 0 penalizes substitutions, Gap <= 0 penalizes
+// insertions/deletions per residue.
+type Scoring struct {
+	Match    int
+	Mismatch int
+	Gap      int
+}
+
+// DefaultScoring is the classic +2/-1/-1 scheme.
+func DefaultScoring() Scoring { return Scoring{Match: 2, Mismatch: -1, Gap: -1} }
+
+// Validate checks the scheme's signs.
+func (s Scoring) Validate() error {
+	if s.Match <= 0 {
+		return fmt.Errorf("seqalign: match score %d must be positive", s.Match)
+	}
+	if s.Mismatch > 0 {
+		return fmt.Errorf("seqalign: mismatch score %d must be non-positive", s.Mismatch)
+	}
+	if s.Gap > 0 {
+		return fmt.Errorf("seqalign: gap score %d must be non-positive", s.Gap)
+	}
+	return nil
+}
+
+// score returns the substitution score for residues x and y.
+func (s Scoring) score(x, y byte) int {
+	if x == y {
+		return s.Match
+	}
+	return s.Mismatch
+}
+
+// Alignment is the result of a traceback.
+type Alignment struct {
+	Score int
+	// AlignedA and AlignedB are equal-length strings over the residue
+	// alphabet plus '-' for gaps.
+	AlignedA, AlignedB []byte
+	// Half-open residue ranges of the aligned regions in the inputs.
+	StartA, EndA int
+	StartB, EndB int
+}
+
+// Identity returns the fraction of alignment columns with equal
+// residues (gaps count as mismatches).
+func (a *Alignment) Identity() float64 {
+	if len(a.AlignedA) == 0 {
+		return 0
+	}
+	same := 0
+	for i := range a.AlignedA {
+		if a.AlignedA[i] == a.AlignedB[i] && a.AlignedA[i] != '-' {
+			same++
+		}
+	}
+	return float64(same) / float64(len(a.AlignedA))
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max3(a, b, c int) int { return max2(max2(a, b), c) }
+
+// SWScore computes the Smith-Waterman local-alignment score in
+// O(len(a)·len(b)) time and O(len(b)) space (row-wise order — the
+// cache-friendly layout a CPU uses).
+func SWScore(a, b []byte, sc Scoring) (int, error) {
+	if err := sc.Validate(); err != nil {
+		return 0, err
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	best := 0
+	for i := 1; i <= len(a); i++ {
+		cur[0] = 0
+		for j := 1; j <= len(b); j++ {
+			h := max3(
+				0,
+				prev[j-1]+sc.score(a[i-1], b[j-1]),
+				max2(prev[j]+sc.Gap, cur[j-1]+sc.Gap),
+			)
+			cur[j] = h
+			if h > best {
+				best = h
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best, nil
+}
+
+// SWAlign computes the full Smith-Waterman alignment with traceback
+// (O(len(a)·len(b)) space).
+func SWAlign(a, b []byte, sc Scoring) (*Alignment, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	rows, cols := len(a)+1, len(b)+1
+	h := make([]int, rows*cols)
+	at := func(i, j int) int { return i*cols + j }
+	best, bi, bj := 0, 0, 0
+	for i := 1; i < rows; i++ {
+		for j := 1; j < cols; j++ {
+			v := max3(
+				0,
+				h[at(i-1, j-1)]+sc.score(a[i-1], b[j-1]),
+				max2(h[at(i-1, j)]+sc.Gap, h[at(i, j-1)]+sc.Gap),
+			)
+			h[at(i, j)] = v
+			if v > best {
+				best, bi, bj = v, i, j
+			}
+		}
+	}
+	// Traceback from the best cell to the first zero.
+	var ra, rb []byte
+	i, j := bi, bj
+	for i > 0 && j > 0 && h[at(i, j)] > 0 {
+		v := h[at(i, j)]
+		switch {
+		case v == h[at(i-1, j-1)]+sc.score(a[i-1], b[j-1]):
+			ra = append(ra, a[i-1])
+			rb = append(rb, b[j-1])
+			i, j = i-1, j-1
+		case v == h[at(i-1, j)]+sc.Gap:
+			ra = append(ra, a[i-1])
+			rb = append(rb, '-')
+			i--
+		case v == h[at(i, j-1)]+sc.Gap:
+			ra = append(ra, '-')
+			rb = append(rb, b[j-1])
+			j--
+		default:
+			return nil, fmt.Errorf("seqalign: inconsistent traceback at (%d,%d)", i, j)
+		}
+	}
+	reverse(ra)
+	reverse(rb)
+	return &Alignment{
+		Score:    best,
+		AlignedA: ra, AlignedB: rb,
+		StartA: i, EndA: bi,
+		StartB: j, EndB: bj,
+	}, nil
+}
+
+// NWAlign computes the Needleman-Wunsch global alignment.
+func NWAlign(a, b []byte, sc Scoring) (*Alignment, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	rows, cols := len(a)+1, len(b)+1
+	h := make([]int, rows*cols)
+	at := func(i, j int) int { return i*cols + j }
+	for i := 1; i < rows; i++ {
+		h[at(i, 0)] = i * sc.Gap
+	}
+	for j := 1; j < cols; j++ {
+		h[at(0, j)] = j * sc.Gap
+	}
+	for i := 1; i < rows; i++ {
+		for j := 1; j < cols; j++ {
+			h[at(i, j)] = max3(
+				h[at(i-1, j-1)]+sc.score(a[i-1], b[j-1]),
+				h[at(i-1, j)]+sc.Gap,
+				h[at(i, j-1)]+sc.Gap,
+			)
+		}
+	}
+	var ra, rb []byte
+	i, j := len(a), len(b)
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && h[at(i, j)] == h[at(i-1, j-1)]+sc.score(a[i-1], b[j-1]):
+			ra = append(ra, a[i-1])
+			rb = append(rb, b[j-1])
+			i, j = i-1, j-1
+		case i > 0 && h[at(i, j)] == h[at(i-1, j)]+sc.Gap:
+			ra = append(ra, a[i-1])
+			rb = append(rb, '-')
+			i--
+		case j > 0 && h[at(i, j)] == h[at(i, j-1)]+sc.Gap:
+			ra = append(ra, '-')
+			rb = append(rb, b[j-1])
+			j--
+		default:
+			return nil, fmt.Errorf("seqalign: inconsistent NW traceback at (%d,%d)", i, j)
+		}
+	}
+	reverse(ra)
+	reverse(rb)
+	return &Alignment{
+		Score:    h[at(len(a), len(b))],
+		AlignedA: ra, AlignedB: rb,
+		StartA: 0, EndA: len(a),
+		StartB: 0, EndB: len(b),
+	}, nil
+}
+
+// SWScoreAntiDiagonal computes the Smith-Waterman score in wavefront
+// (anti-diagonal) order: every cell of one anti-diagonal depends only
+// on the two previous diagonals, so all its cells are independent.
+// This is the data-parallel order both device ports use; it must —
+// and does, per the tests — produce exactly SWScore's result.
+func SWScoreAntiDiagonal(a, b []byte, sc Scoring) (int, error) {
+	if err := sc.Validate(); err != nil {
+		return 0, err
+	}
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0, nil
+	}
+	// diag d holds cells (i,j) with i+j = d, i in [max(1,d-m), min(n,d-1)].
+	size := min2(n, m) + 1
+	dPrev2 := make([]int, size+1) // d-2
+	dPrev := make([]int, size+1)  // d-1
+	dCur := make([]int, size+1)
+	best := 0
+	for d := 2; d <= n+m; d++ {
+		iLo := max2(1, d-m)
+		iHi := min2(n, d-1)
+		for i := iLo; i <= iHi; i++ {
+			j := d - i
+			// Index within the stored diagonals: offset by that
+			// diagonal's own iLo.
+			diagAt := func(buf []int, dd, ii int) int {
+				lo := max2(1, dd-m)
+				hi := min2(n, dd-1)
+				if ii < lo || ii > hi {
+					return 0 // border cells are zero in SW
+				}
+				return buf[ii-lo]
+			}
+			up := diagAt(dPrev, d-1, i-1)    // (i-1, j) lives on diag d-1
+			left := diagAt(dPrev, d-1, i)    // (i, j-1) lives on diag d-1
+			diag := diagAt(dPrev2, d-2, i-1) // (i-1, j-1) lives on diag d-2
+			h := max3(0, diag+sc.score(a[i-1], b[j-1]), max2(up+sc.Gap, left+sc.Gap))
+			dCur[i-iLo] = h
+			if h > best {
+				best = h
+			}
+		}
+		dPrev2, dPrev, dCur = dPrev, dCur, dPrev2
+	}
+	return best, nil
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func reverse(s []byte) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

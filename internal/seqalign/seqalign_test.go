@@ -1,0 +1,253 @@
+package seqalign
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestScoringValidate(t *testing.T) {
+	if err := DefaultScoring().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Scoring{
+		{Match: 0, Mismatch: -1, Gap: -1},
+		{Match: -2, Mismatch: -1, Gap: -1},
+		{Match: 2, Mismatch: 1, Gap: -1},
+		{Match: 2, Mismatch: -1, Gap: 1},
+	}
+	for _, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("accepted %+v", sc)
+		}
+	}
+}
+
+func TestSWHandChecked(t *testing.T) {
+	// Classic textbook pair: TGTTACGG vs GGTTGACTA with +3/-3/-2 has a
+	// best local alignment GTT-AC / GTTGAC with score 13.
+	sc := Scoring{Match: 3, Mismatch: -3, Gap: -2}
+	score, err := SWScore([]byte("TGTTACGG"), []byte("GGTTGACTA"), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != 13 {
+		t.Fatalf("score = %d, want 13", score)
+	}
+	al, err := SWAlign([]byte("TGTTACGG"), []byte("GGTTGACTA"), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Score != 13 {
+		t.Fatalf("alignment score = %d, want 13", al.Score)
+	}
+	if string(al.AlignedA) != "GTT-AC" || string(al.AlignedB) != "GTTGAC" {
+		t.Fatalf("alignment = %s / %s", al.AlignedA, al.AlignedB)
+	}
+}
+
+func TestSWIdenticalSequences(t *testing.T) {
+	sc := DefaultScoring()
+	s := []byte("ACGTACGTAC")
+	score, err := SWScore(s, s, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(s) * sc.Match; score != want {
+		t.Fatalf("self score = %d, want %d", score, want)
+	}
+	al, err := SWAlign(s, s, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Identity() != 1.0 {
+		t.Fatalf("self identity = %v", al.Identity())
+	}
+}
+
+func TestSWDisjointAlphabetsScoreZero(t *testing.T) {
+	score, err := SWScore([]byte("AAAA"), []byte("TTTT"), DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != 0 {
+		t.Fatalf("score = %d, want 0 (local alignment never goes negative)", score)
+	}
+}
+
+func TestSWEmptyInputs(t *testing.T) {
+	for _, pair := range [][2][]byte{{nil, nil}, {[]byte("ACGT"), nil}, {nil, []byte("ACGT")}} {
+		if score, err := SWScore(pair[0], pair[1], DefaultScoring()); err != nil || score != 0 {
+			t.Fatalf("empty input: score=%d err=%v", score, err)
+		}
+		if score, err := SWScoreAntiDiagonal(pair[0], pair[1], DefaultScoring()); err != nil || score != 0 {
+			t.Fatalf("empty input (antidiag): score=%d err=%v", score, err)
+		}
+	}
+}
+
+func randomSeq(rng *xrand.Source, n int) []byte {
+	const alphabet = "ACGT"
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = alphabet[rng.Intn(4)]
+	}
+	return s
+}
+
+func TestAntiDiagonalMatchesRowOrder(t *testing.T) {
+	// The wavefront evaluation must agree with the standard row-order
+	// recurrence on arbitrary inputs — the property both device ports
+	// rest on.
+	prop := func(seed uint64, nRaw, mRaw uint8) bool {
+		rng := xrand.New(seed)
+		a := randomSeq(rng, int(nRaw%60)+1)
+		b := randomSeq(rng, int(mRaw%60)+1)
+		sc := DefaultScoring()
+		s1, err1 := SWScore(a, b, sc)
+		s2, err2 := SWScoreAntiDiagonal(a, b, sc)
+		return err1 == nil && err2 == nil && s1 == s2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSWAlignScoreMatchesSWScore(t *testing.T) {
+	prop := func(seed uint64, nRaw, mRaw uint8) bool {
+		rng := xrand.New(seed)
+		a := randomSeq(rng, int(nRaw%40)+1)
+		b := randomSeq(rng, int(mRaw%40)+1)
+		sc := DefaultScoring()
+		s, err1 := SWScore(a, b, sc)
+		al, err2 := SWAlign(a, b, sc)
+		return err1 == nil && err2 == nil && al.Score == s
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSWAlignmentIsConsistent(t *testing.T) {
+	// Re-scoring the traceback output must reproduce the score, and
+	// stripping gaps must give back the aligned substrings.
+	rng := xrand.New(99)
+	for trial := 0; trial < 50; trial++ {
+		a := randomSeq(rng, 30+rng.Intn(30))
+		b := randomSeq(rng, 30+rng.Intn(30))
+		sc := DefaultScoring()
+		al, err := SWAlign(a, b, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(al.AlignedA) != len(al.AlignedB) {
+			t.Fatal("aligned strings differ in length")
+		}
+		rescore := 0
+		for i := range al.AlignedA {
+			ca, cb := al.AlignedA[i], al.AlignedB[i]
+			switch {
+			case ca == '-' || cb == '-':
+				rescore += sc.Gap
+			default:
+				rescore += sc.score(ca, cb)
+			}
+		}
+		if rescore != al.Score {
+			t.Fatalf("rescored alignment = %d, want %d", rescore, al.Score)
+		}
+		if got := bytes.ReplaceAll(al.AlignedA, []byte("-"), nil); !bytes.Equal(got, a[al.StartA:al.EndA]) {
+			t.Fatalf("gap-stripped A %q != input range %q", got, a[al.StartA:al.EndA])
+		}
+		if got := bytes.ReplaceAll(al.AlignedB, []byte("-"), nil); !bytes.Equal(got, b[al.StartB:al.EndB]) {
+			t.Fatalf("gap-stripped B %q != input range %q", got, b[al.StartB:al.EndB])
+		}
+	}
+}
+
+func TestSWSymmetry(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		a := randomSeq(rng, 25)
+		b := randomSeq(rng, 35)
+		sc := DefaultScoring()
+		s1, _ := SWScore(a, b, sc)
+		s2, _ := SWScore(b, a, sc)
+		return s1 == s2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNWHandChecked(t *testing.T) {
+	// GATTACA vs GCATGCU with +1/-1/-1: optimal global score is 0.
+	sc := Scoring{Match: 1, Mismatch: -1, Gap: -1}
+	al, err := NWAlign([]byte("GATTACA"), []byte("GCATGCU"), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Score != 0 {
+		t.Fatalf("NW score = %d, want 0", al.Score)
+	}
+	if len(al.AlignedA) != len(al.AlignedB) {
+		t.Fatal("aligned lengths differ")
+	}
+}
+
+func TestNWCoversWholeSequences(t *testing.T) {
+	rng := xrand.New(5)
+	a := randomSeq(rng, 20)
+	b := randomSeq(rng, 28)
+	al, err := NWAlign(a, b, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.ReplaceAll(al.AlignedA, []byte("-"), nil); !bytes.Equal(got, a) {
+		t.Fatalf("NW dropped residues of a: %q", got)
+	}
+	if got := bytes.ReplaceAll(al.AlignedB, []byte("-"), nil); !bytes.Equal(got, b) {
+		t.Fatalf("NW dropped residues of b: %q", got)
+	}
+}
+
+func TestNWGlobalLessOrEqualLocal(t *testing.T) {
+	// A local alignment can always do at least as well as a global one.
+	prop := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		a := randomSeq(rng, 20)
+		b := randomSeq(rng, 20)
+		sc := DefaultScoring()
+		local, _ := SWScore(a, b, sc)
+		global, err := NWAlign(a, b, sc)
+		return err == nil && global.Score <= local
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityEmptyAlignment(t *testing.T) {
+	al := &Alignment{}
+	if al.Identity() != 0 {
+		t.Fatal("empty alignment identity != 0")
+	}
+}
+
+func TestInvalidScoringRejectedEverywhere(t *testing.T) {
+	bad := Scoring{Match: 0}
+	if _, err := SWScore([]byte("A"), []byte("A"), bad); err == nil {
+		t.Fatal("SWScore accepted bad scoring")
+	}
+	if _, err := SWAlign([]byte("A"), []byte("A"), bad); err == nil {
+		t.Fatal("SWAlign accepted bad scoring")
+	}
+	if _, err := NWAlign([]byte("A"), []byte("A"), bad); err == nil {
+		t.Fatal("NWAlign accepted bad scoring")
+	}
+	if _, err := SWScoreAntiDiagonal([]byte("A"), []byte("A"), bad); err == nil {
+		t.Fatal("SWScoreAntiDiagonal accepted bad scoring")
+	}
+}

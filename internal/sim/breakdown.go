@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Breakdown is a modeled runtime split into named components, all in
+// seconds. It is how device models report where time goes — e.g. the
+// Cell model's {"compute", "dma", "spawn", "mailbox"} split that
+// regenerates Figure 6's total-vs-launch-overhead bars.
+//
+// Components keep insertion order so reports are stable.
+type Breakdown struct {
+	labels  []string
+	seconds map[string]float64
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{seconds: make(map[string]float64)}
+}
+
+// Add accrues sec seconds to the named component. Negative time is an
+// accounting bug and panics.
+func (b *Breakdown) Add(label string, sec float64) {
+	if sec < 0 {
+		panic(fmt.Sprintf("sim: negative time %v for component %q", sec, label))
+	}
+	if _, ok := b.seconds[label]; !ok {
+		b.labels = append(b.labels, label)
+	}
+	b.seconds[label] += sec
+}
+
+// Component returns the accumulated seconds for label (zero if absent).
+func (b *Breakdown) Component(label string) float64 { return b.seconds[label] }
+
+// Labels returns the component names in insertion order.
+func (b *Breakdown) Labels() []string { return append([]string(nil), b.labels...) }
+
+// Total returns the sum over all components.
+func (b *Breakdown) Total() float64 {
+	var t float64
+	for _, s := range b.seconds {
+		t += s
+	}
+	return t
+}
+
+// Merge adds other's components into b.
+func (b *Breakdown) Merge(other *Breakdown) {
+	for _, label := range other.labels {
+		b.Add(label, other.seconds[label])
+	}
+}
+
+// Scale multiplies every component by f (e.g. replicating a per-step
+// cost across time steps). f must be non-negative.
+func (b *Breakdown) Scale(f float64) {
+	if f < 0 {
+		panic(fmt.Sprintf("sim: negative scale %v", f))
+	}
+	for label := range b.seconds {
+		b.seconds[label] *= f
+	}
+}
+
+// String renders "total=Xs (a=..., b=...)" in insertion order.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total=%.6gs", b.Total())
+	if len(b.labels) > 0 {
+		sb.WriteString(" (")
+		for i, label := range b.labels {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s=%.6gs", label, b.seconds[label])
+		}
+		sb.WriteString(")")
+	}
+	return sb.String()
+}

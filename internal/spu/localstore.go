@@ -1,0 +1,72 @@
+package spu
+
+import "fmt"
+
+// LocalStoreSize is the fixed capacity of a Cell SPE local store.
+const LocalStoreSize = 256 * 1024
+
+// LocalStore models the SPE's single, software-managed 256 KB memory.
+// Everything an SPE kernel touches — code is ignored here, only data —
+// must be explicitly placed in the local store; there is no cache and
+// no demand paging, so an allocation that does not fit is a hard
+// programming error, exactly as on the real machine. The Cell device
+// uses this to size its DMA tiles: position arrays larger than the
+// store are streamed through in chunks.
+type LocalStore struct {
+	capacity int
+	used     int
+	allocs   map[string]int
+}
+
+// NewLocalStore returns a store with the standard 256 KB capacity.
+func NewLocalStore() *LocalStore { return NewLocalStoreSize(LocalStoreSize) }
+
+// NewLocalStoreSize returns a store with a custom capacity (tests and
+// what-if models).
+func NewLocalStoreSize(capacity int) *LocalStore {
+	return &LocalStore{capacity: capacity, allocs: make(map[string]int)}
+}
+
+// Alloc reserves bytes under name. It fails if the name is taken or the
+// store would overflow.
+func (ls *LocalStore) Alloc(name string, bytes int) error {
+	if bytes < 0 {
+		return fmt.Errorf("spu: negative allocation %d for %q", bytes, name)
+	}
+	if _, ok := ls.allocs[name]; ok {
+		return fmt.Errorf("spu: buffer %q already allocated", name)
+	}
+	if ls.used+bytes > ls.capacity {
+		return fmt.Errorf("spu: local store overflow: %q needs %d bytes, %d of %d in use",
+			name, bytes, ls.used, ls.capacity)
+	}
+	ls.allocs[name] = bytes
+	ls.used += bytes
+	return nil
+}
+
+// Free releases the named buffer.
+func (ls *LocalStore) Free(name string) error {
+	bytes, ok := ls.allocs[name]
+	if !ok {
+		return fmt.Errorf("spu: freeing unknown buffer %q", name)
+	}
+	delete(ls.allocs, name)
+	ls.used -= bytes
+	return nil
+}
+
+// Used returns the bytes currently allocated.
+func (ls *LocalStore) Used() int { return ls.used }
+
+// Capacity returns the store size.
+func (ls *LocalStore) Capacity() int { return ls.capacity }
+
+// Available returns the free bytes.
+func (ls *LocalStore) Available() int { return ls.capacity - ls.used }
+
+// Reset frees every buffer.
+func (ls *LocalStore) Reset() {
+	ls.allocs = make(map[string]int)
+	ls.used = 0
+}

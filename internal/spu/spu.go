@@ -1,0 +1,245 @@
+// Package spu models the programmable parts of a Cell Synergistic
+// Processing Element that the paper's port exercises: the 4-lane
+// single-precision SIMD datapath (with every emulated instruction
+// tallied in a cycle ledger), the 256 KB fixed-latency local store, the
+// high-bandwidth DMA engine, and the PPE<->SPE mailboxes used to signal
+// new work without respawning threads.
+//
+// The SIMD emulation is functional: operations compute real float32
+// results, so kernels written against a Context produce physics that is
+// validated against the reference implementation — while their modeled
+// cost is the operation tally converted by the Cell cost table. Scalar
+// operations are distinct ledger classes from vector operations because
+// on a real SPE scalar code runs through the same 128-bit pipes with
+// extra shuffle overhead; that cost difference is precisely what the
+// paper's Figure 5 optimization ladder harvests.
+package spu
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/vec"
+)
+
+// V4 is one 128-bit SIMD register holding four float32 lanes. MD
+// kernels keep x, y, z in lanes 0..2 and use lane 3 as spare — "the
+// most natural way to make use of the 4-component SIMD operations"
+// (section 5.1).
+type V4 [4]float32
+
+// Context is one SPE's execution context: an operation ledger plus the
+// emulated register operations. Contexts are not goroutine-safe; the
+// Cell device keeps one per modeled SPE.
+type Context struct {
+	L sim.Ledger
+}
+
+// ---- Vector (full-width) operations: one OpVec-class tally each ----
+
+// VAdd returns a+b per lane.
+func (c *Context) VAdd(a, b V4) V4 {
+	c.L.Add(sim.OpVec, 1)
+	return V4{a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]}
+}
+
+// VSub returns a-b per lane.
+func (c *Context) VSub(a, b V4) V4 {
+	c.L.Add(sim.OpVec, 1)
+	return V4{a[0] - b[0], a[1] - b[1], a[2] - b[2], a[3] - b[3]}
+}
+
+// VMul returns a*b per lane.
+func (c *Context) VMul(a, b V4) V4 {
+	c.L.Add(sim.OpVec, 1)
+	return V4{a[0] * b[0], a[1] * b[1], a[2] * b[2], a[3] * b[3]}
+}
+
+// VMadd returns a*b+acc per lane (the SPE's fused multiply-add).
+func (c *Context) VMadd(a, b, acc V4) V4 {
+	c.L.Add(sim.OpVec, 1)
+	return V4{a[0]*b[0] + acc[0], a[1]*b[1] + acc[1], a[2]*b[2] + acc[2], a[3]*b[3] + acc[3]}
+}
+
+// VAbs returns |a| per lane (a sign-mask and, one instruction).
+func (c *Context) VAbs(a V4) V4 {
+	c.L.Add(sim.OpVec, 1)
+	return V4{abs32(a[0]), abs32(a[1]), abs32(a[2]), abs32(a[3])}
+}
+
+// VNeg returns -a per lane.
+func (c *Context) VNeg(a V4) V4 {
+	c.L.Add(sim.OpVec, 1)
+	return V4{-a[0], -a[1], -a[2], -a[3]}
+}
+
+// VCmpGT returns an all-ones/all-zeros style mask per lane encoded as
+// 1.0/0.0: lane i is 1 where a[i] > b[i].
+func (c *Context) VCmpGT(a, b V4) V4 {
+	c.L.Add(sim.OpVec, 1)
+	var m V4
+	for i := range m {
+		if a[i] > b[i] {
+			m[i] = 1
+		}
+	}
+	return m
+}
+
+// VSelect returns mask?a:b per lane (selb).
+func (c *Context) VSelect(mask, a, b V4) V4 {
+	c.L.Add(sim.OpVec, 1)
+	var r V4
+	for i := range r {
+		if mask[i] != 0 {
+			r[i] = a[i]
+		} else {
+			r[i] = b[i]
+		}
+	}
+	return r
+}
+
+// VCopysign gives each lane of mag the sign of the matching lane of
+// sign (two logical ops on real hardware, tallied as one vector op —
+// the fidelity that matters is scalar-vs-vector, not single-cycle
+// splits).
+func (c *Context) VCopysign(mag, sign V4) V4 {
+	c.L.Add(sim.OpVec, 1)
+	var r V4
+	for i := range r {
+		r[i] = float32(math.Copysign(float64(mag[i]), float64(sign[i])))
+	}
+	return r
+}
+
+// VSplat broadcasts x to all lanes.
+func (c *Context) VSplat(x float32) V4 {
+	c.L.Add(sim.OpVec, 1)
+	return V4{x, x, x, x}
+}
+
+// VSqrt returns sqrt(a) per lane (rsqrt estimate + Newton refinement on
+// the real part; a OpVecSqrt-class tally here).
+func (c *Context) VSqrt(a V4) V4 {
+	c.L.Add(sim.OpVecSqrt, 1)
+	return V4{sqrt32(a[0]), sqrt32(a[1]), sqrt32(a[2]), sqrt32(a[3])}
+}
+
+// VRecip returns 1/a per lane.
+func (c *Context) VRecip(a V4) V4 {
+	c.L.Add(sim.OpVecDiv, 1)
+	return V4{1 / a[0], 1 / a[1], 1 / a[2], 1 / a[3]}
+}
+
+// HAdd3 returns a[0]+a[1]+a[2]: the horizontal reduction used for dot
+// products of 3-vectors stored in SIMD lanes. Costs two vector ops
+// (shuffle + add chains).
+func (c *Context) HAdd3(a V4) float32 {
+	c.L.Add(sim.OpVec, 2)
+	return a[0] + a[1] + a[2]
+}
+
+// ---- Scalar operations: distinct, costlier ledger classes ----
+
+// Add returns a+b as SPE scalar code.
+func (c *Context) Add(a, b float32) float32 {
+	c.L.Add(sim.OpFAdd, 1)
+	return a + b
+}
+
+// Sub returns a-b as SPE scalar code.
+func (c *Context) Sub(a, b float32) float32 {
+	c.L.Add(sim.OpFAdd, 1)
+	return a - b
+}
+
+// Mul returns a*b as SPE scalar code.
+func (c *Context) Mul(a, b float32) float32 {
+	c.L.Add(sim.OpFMul, 1)
+	return a * b
+}
+
+// Div returns a/b (reciprocal estimate + refinement on hardware).
+func (c *Context) Div(a, b float32) float32 {
+	c.L.Add(sim.OpFDiv, 1)
+	return a / b
+}
+
+// Sqrt returns sqrt(a) as SPE scalar code.
+func (c *Context) Sqrt(a float32) float32 {
+	c.L.Add(sim.OpFSqrt, 1)
+	return sqrt32(a)
+}
+
+// Abs returns |a| as SPE scalar code.
+func (c *Context) Abs(a float32) float32 {
+	c.L.Add(sim.OpFAdd, 1) // sign-mask op, arithmetic-pipe cost
+	return abs32(a)
+}
+
+// Copysign returns |mag| with sign's sign, as the scalar "extra math"
+// of the paper's first optimization step.
+func (c *Context) Copysign(mag, sign float32) float32 {
+	c.L.Add(sim.OpFMul, 1)
+	return float32(math.Copysign(float64(mag), float64(sign)))
+}
+
+// Cmp evaluates a > b and tallies the compare.
+func (c *Context) Cmp(a, b float32) bool {
+	c.L.Add(sim.OpCmp, 1)
+	return a > b
+}
+
+// Branch models a data-dependent conditional branch. The SPE has no
+// branch prediction: fall-through is free-ish (one issue slot) but a
+// taken data-dependent branch flushes the pipeline. The caller passes
+// the actual outcome so the penalty is charged exactly when the real
+// control flow diverges.
+func (c *Context) Branch(taken bool) {
+	c.L.Add(sim.OpBranch, 1)
+	if taken {
+		c.L.Add(sim.OpBranchMiss, 1)
+	}
+}
+
+// ---- Local-store traffic ----
+
+// Load3 reads the three components of an element as scalar code (three
+// element loads plus extraction shuffles).
+func (c *Context) Load3(v vec.V3[float32]) (x, y, z float32) {
+	c.L.Add(sim.OpLoad, 3)
+	return v.X, v.Y, v.Z
+}
+
+// LoadV reads an element as one aligned quadword into lanes 0..2.
+func (c *Context) LoadV(v vec.V3[float32]) V4 {
+	c.L.Add(sim.OpLoad, 1)
+	return V4{v.X, v.Y, v.Z, 0}
+}
+
+// Store3 writes the three components as scalar code.
+func (c *Context) Store3(x, y, z float32) vec.V3[float32] {
+	c.L.Add(sim.OpStore, 3)
+	return vec.V3[float32]{X: x, Y: y, Z: z}
+}
+
+// StoreV writes lanes 0..2 as one quadword.
+func (c *Context) StoreV(v V4) vec.V3[float32] {
+	c.L.Add(sim.OpStore, 1)
+	return vec.V3[float32]{X: v[0], Y: v[1], Z: v[2]}
+}
+
+// LoopIter tallies the integer/address overhead of one inner-loop
+// iteration (increment, compare, address arithmetic).
+func (c *Context) LoopIter() {
+	c.L.Add(sim.OpInt, 2)
+}
+
+func abs32(x float32) float32 {
+	return math.Float32frombits(math.Float32bits(x) &^ (1 << 31))
+}
+
+func sqrt32(x float32) float32 {
+	return float32(math.Sqrt(float64(x)))
+}

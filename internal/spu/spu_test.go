@@ -1,0 +1,300 @@
+package spu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/vec"
+)
+
+func f32(x float64) float32 { return float32(math.Mod(x, 1e4)) }
+
+func nonzero(x float32) float32 {
+	if x == 0 || math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+		return 1
+	}
+	return x
+}
+
+func TestVectorOpsComputeCorrectly(t *testing.T) {
+	prop := func(a0, a1, a2, a3, b0, b1, b2, b3 float64) bool {
+		var c Context
+		a := V4{f32(a0), f32(a1), f32(a2), f32(a3)}
+		b := V4{f32(b0), f32(b1), f32(b2), f32(b3)}
+		add := c.VAdd(a, b)
+		sub := c.VSub(a, b)
+		mul := c.VMul(a, b)
+		madd := c.VMadd(a, b, add)
+		for i := 0; i < 4; i++ {
+			if add[i] != a[i]+b[i] || sub[i] != a[i]-b[i] || mul[i] != a[i]*b[i] {
+				return false
+			}
+			if madd[i] != a[i]*b[i]+add[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorOpsAreTallied(t *testing.T) {
+	var c Context
+	a := V4{1, 2, 3, 4}
+	c.VAdd(a, a)
+	c.VMul(a, a)
+	c.VSqrt(a)
+	c.VRecip(a)
+	c.HAdd3(a)
+	if got := c.L.Count(sim.OpVec); got != 2+2 { // add, mul, hadd3(x2)
+		t.Fatalf("OpVec count = %d, want 4", got)
+	}
+	if c.L.Count(sim.OpVecSqrt) != 1 || c.L.Count(sim.OpVecDiv) != 1 {
+		t.Fatalf("sqrt/div tallies wrong: %v", c.L.String())
+	}
+}
+
+func TestVAbsVNeg(t *testing.T) {
+	var c Context
+	a := V4{-1, 2, -3, 0}
+	if got := c.VAbs(a); got != (V4{1, 2, 3, 0}) {
+		t.Fatalf("VAbs = %v", got)
+	}
+	if got := c.VNeg(a); got != (V4{1, -2, 3, 0}) { // -0 == 0
+		t.Fatalf("VNeg = %v", got)
+	}
+}
+
+func TestVCmpSelect(t *testing.T) {
+	var c Context
+	a := V4{1, 5, 3, 0}
+	b := V4{2, 4, 3, -1}
+	mask := c.VCmpGT(a, b)
+	if mask != (V4{0, 1, 0, 1}) {
+		t.Fatalf("VCmpGT = %v", mask)
+	}
+	sel := c.VSelect(mask, a, b)
+	if sel != (V4{2, 5, 3, 0}) {
+		t.Fatalf("VSelect = %v", sel)
+	}
+}
+
+func TestVCopysign(t *testing.T) {
+	var c Context
+	got := c.VCopysign(V4{1, 2, 3, 4}, V4{-1, 1, -0.5, 0})
+	if got[0] != -1 || got[1] != 2 || got[2] != -3 || got[3] != 4 {
+		t.Fatalf("VCopysign = %v", got)
+	}
+}
+
+func TestVSplatHAdd3(t *testing.T) {
+	var c Context
+	if got := c.VSplat(7); got != (V4{7, 7, 7, 7}) {
+		t.Fatalf("VSplat = %v", got)
+	}
+	if got := c.HAdd3(V4{1, 2, 3, 100}); got != 6 {
+		t.Fatalf("HAdd3 = %v (lane 3 must be excluded)", got)
+	}
+}
+
+func TestScalarOps(t *testing.T) {
+	var c Context
+	if c.Add(2, 3) != 5 || c.Sub(2, 3) != -1 || c.Mul(2, 3) != 6 || c.Div(6, 3) != 2 {
+		t.Fatal("scalar arithmetic wrong")
+	}
+	if c.Sqrt(9) != 3 || c.Abs(-4) != 4 {
+		t.Fatal("sqrt/abs wrong")
+	}
+	if c.Copysign(3, -1) != -3 {
+		t.Fatal("copysign wrong")
+	}
+	if !c.Cmp(2, 1) || c.Cmp(1, 2) {
+		t.Fatal("cmp wrong")
+	}
+}
+
+func TestBranchPenaltyOnlyWhenTaken(t *testing.T) {
+	var c Context
+	c.Branch(false)
+	if c.L.Count(sim.OpBranchMiss) != 0 {
+		t.Fatal("not-taken branch charged a flush")
+	}
+	c.Branch(true)
+	if c.L.Count(sim.OpBranchMiss) != 1 {
+		t.Fatal("taken branch did not charge a flush")
+	}
+	if c.L.Count(sim.OpBranch) != 2 {
+		t.Fatal("branches not tallied")
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	var c Context
+	v := vec.V3[float32]{X: 1, Y: 2, Z: 3}
+	x, y, z := c.Load3(v)
+	if got := c.Store3(x, y, z); got != v {
+		t.Fatalf("scalar round trip = %v", got)
+	}
+	q := c.LoadV(v)
+	if got := c.StoreV(q); got != v {
+		t.Fatalf("vector round trip = %v", got)
+	}
+	if c.L.Count(sim.OpLoad) != 4 || c.L.Count(sim.OpStore) != 4 {
+		t.Fatalf("load/store tallies wrong: %v", c.L.String())
+	}
+}
+
+func TestVSqrtMatchesScalar(t *testing.T) {
+	prop := func(raw float64) bool {
+		x := nonzero(f32(math.Abs(raw)))
+		var c Context
+		v := c.VSqrt(V4{x, x, x, x})
+		return v[0] == float32(math.Sqrt(float64(x)))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVRecip(t *testing.T) {
+	prop := func(raw float64) bool {
+		x := nonzero(f32(raw))
+		var c Context
+		v := c.VRecip(V4{x, 1, 1, 1})
+		return v[0] == 1/x
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalStoreAllocFree(t *testing.T) {
+	ls := NewLocalStore()
+	if ls.Capacity() != LocalStoreSize {
+		t.Fatalf("capacity = %d", ls.Capacity())
+	}
+	if err := ls.Alloc("pos", 100*1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Alloc("acc", 100*1024); err != nil {
+		t.Fatal(err)
+	}
+	if ls.Used() != 200*1024 || ls.Available() != 56*1024 {
+		t.Fatalf("used=%d available=%d", ls.Used(), ls.Available())
+	}
+	if err := ls.Alloc("overflow", 100*1024); err == nil {
+		t.Fatal("overflow allocation accepted")
+	}
+	if err := ls.Free("pos"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Alloc("overflow", 100*1024); err != nil {
+		t.Fatalf("allocation after free failed: %v", err)
+	}
+}
+
+func TestLocalStoreErrors(t *testing.T) {
+	ls := NewLocalStoreSize(1024)
+	if err := ls.Alloc("a", -1); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+	if err := ls.Alloc("a", 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Alloc("a", 10); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := ls.Free("nope"); err == nil {
+		t.Fatal("unknown free accepted")
+	}
+	ls.Reset()
+	if ls.Used() != 0 {
+		t.Fatal("Reset left usage")
+	}
+}
+
+func TestLocalStoreInvariant(t *testing.T) {
+	// Property: used never exceeds capacity under arbitrary alloc/free.
+	prop := func(sizes []uint16) bool {
+		ls := NewLocalStoreSize(4096)
+		names := []string{}
+		for i, s := range sizes {
+			name := string(rune('a' + i%26))
+			if err := ls.Alloc(name, int(s)); err == nil {
+				names = append(names, name)
+			}
+			if ls.Used() > ls.Capacity() || ls.Used() < 0 {
+				return false
+			}
+			if len(names) > 2 {
+				if err := ls.Free(names[0]); err != nil {
+					return false
+				}
+				names = names[1:]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDMAModel(t *testing.T) {
+	d := &DMA{SetupSec: 1e-6, BytesPerSec: 1e9}
+	sec, err := d.Transfer(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-6 + 1000/1e9
+	if math.Abs(sec-want) > 1e-18 {
+		t.Fatalf("Transfer = %v, want %v", sec, want)
+	}
+	if _, err := d.Transfer(0); err != nil {
+		t.Fatal("zero transfer rejected")
+	}
+	if _, err := d.Transfer(-1); err == nil {
+		t.Fatal("negative transfer accepted")
+	}
+	if d.Transfers() != 2 || d.Bytes() != 1000 {
+		t.Fatalf("counters: %d transfers, %d bytes", d.Transfers(), d.Bytes())
+	}
+	if math.Abs(d.TotalSeconds()-(want+1e-6)) > 1e-15 {
+		t.Fatalf("TotalSeconds = %v", d.TotalSeconds())
+	}
+}
+
+func TestDMAZeroBandwidth(t *testing.T) {
+	d := &DMA{SetupSec: 1e-6}
+	if _, err := d.Transfer(1); err == nil {
+		t.Fatal("zero-bandwidth DMA accepted")
+	}
+}
+
+func TestDMABandwidthDominatesLargeTransfers(t *testing.T) {
+	d := DefaultDMA()
+	small, _ := d.Transfer(128)
+	large, _ := d.Transfer(16 * 1024 * 1024)
+	if large <= small {
+		t.Fatal("large transfer not slower than small")
+	}
+	// For 16 MB at 25.6 GB/s, bandwidth term ~625 µs >> setup 0.5 µs.
+	if large < 100e-6 {
+		t.Fatalf("16MB transfer took %v, bandwidth term missing", large)
+	}
+}
+
+func TestMailbox(t *testing.T) {
+	m := &Mailbox{LatencySec: 2e-6}
+	if m.Signal() != 2e-6 {
+		t.Fatal("Signal latency wrong")
+	}
+	m.Signal()
+	if m.Signals() != 2 {
+		t.Fatalf("Signals = %d", m.Signals())
+	}
+}
