@@ -3,7 +3,10 @@ package repro
 import (
 	"fmt"
 	"math"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/cell"
@@ -14,6 +17,8 @@ import (
 	"repro/internal/md"
 	"repro/internal/mta"
 	"repro/internal/opteron"
+	"repro/internal/parallel"
+	"repro/internal/report"
 	"repro/internal/seqalign"
 	"repro/internal/sim"
 	"repro/internal/spu"
@@ -290,6 +295,144 @@ func BenchmarkAblationMTAStreams(b *testing.B) {
 			b.ReportMetric(sec, "model_sec")
 		})
 	}
+}
+
+// ---- Host parallel baseline (real wall-clock numbers) ----
+
+// parallelBenchWorkers enumerates the worker sweep: every count up to
+// NumCPU on small hosts, powers of two plus NumCPU on large ones.
+func parallelBenchWorkers() []int {
+	ncpu := runtime.NumCPU()
+	if ncpu <= 8 {
+		ws := make([]int, ncpu)
+		for i := range ws {
+			ws[i] = i + 1
+		}
+		return ws
+	}
+	ws := []int{1}
+	for w := 2; w < ncpu; w *= 2 {
+		ws = append(ws, w)
+	}
+	return append(ws, ncpu)
+}
+
+// BenchmarkParallelForces sweeps the sharded host force engine across
+// worker counts and atom counts, reporting the wall-clock speedup over
+// the serial full-loop kernel as a metric. Set BENCH_JSON=<path> to
+// also append machine-readable JSON-Lines records for the cross-PR
+// bench trajectory.
+func BenchmarkParallelForces(b *testing.B) {
+	sink := report.NewBenchSink()
+	defer func() {
+		path := os.Getenv("BENCH_JSON")
+		if path == "" || sink.Len() == 0 {
+			return
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			b.Logf("BENCH_JSON: %v", err)
+			return
+		}
+		defer f.Close()
+		if err := sink.WriteJSON(f); err != nil {
+			b.Logf("BENCH_JSON: %v", err)
+		}
+	}()
+
+	// serialNs lazily measures the serial full-loop kernel once per
+	// atom count — the denominator of every speedup metric.
+	serialNs := map[int]float64{}
+	serialBaseline := func(b *testing.B, p md.Params[float64], pos, acc []vec.V3[float64]) float64 {
+		n := len(pos)
+		if ns, ok := serialNs[n]; ok {
+			return ns
+		}
+		reps := 0
+		start := time.Now()
+		for time.Since(start) < 100*time.Millisecond || reps < 2 {
+			md.ComputeForcesFull(p, pos, acc)
+			reps++
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(reps)
+		serialNs[n] = ns
+		sink.Record(fmt.Sprintf("ParallelForces/n%d_serial", n), map[string]float64{"ns_per_op": ns})
+		return ns
+	}
+
+	for _, n := range []int{256, 2048, 8192} {
+		st, err := lattice.Generate(lattice.Config{
+			N: n, Density: 0.8442, Temperature: 0.728, Kind: lattice.FCC, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := md.Params[float64]{Box: st.Box, Cutoff: 2.5, Dt: 0.004}
+		acc := make([]vec.V3[float64], n)
+		for _, w := range parallelBenchWorkers() {
+			b.Run(fmt.Sprintf("direct/n%d_w%d", n, w), func(b *testing.B) {
+				sNs := serialBaseline(b, p, st.Pos, acc)
+				e := parallel.New[float64](w)
+				defer e.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.ForcesDirect(p, st.Pos, acc)
+				}
+				b.StopTimer()
+				perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				speedup := sNs / perOp
+				b.ReportMetric(speedup, "speedup_vs_serial")
+				sink.Record(fmt.Sprintf("ParallelForces/n%d_w%d", n, w), map[string]float64{
+					"ns_per_op": perOp, "speedup_vs_serial": speedup, "workers": float64(w),
+				})
+			})
+		}
+	}
+
+	// One cell-list and one pairlist point at full parallelism: the
+	// scalable methods the direct kernel is compared against.
+	const n = 2048
+	st, err := lattice.Generate(lattice.Config{
+		N: n, Density: 0.8442, Temperature: 0.728, Kind: lattice.FCC, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := md.Params[float64]{Box: st.Box, Cutoff: 2.5, Dt: 0.004}
+	acc := make([]vec.V3[float64], n)
+	ncpu := runtime.NumCPU()
+	b.Run(fmt.Sprintf("cellgrid/n%d_w%d", n, ncpu), func(b *testing.B) {
+		cl, err := md.NewCellList(p.Box, p.Cutoff)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := parallel.New[float64](ncpu)
+		defer e.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.ForcesCell(cl, p, st.Pos, acc)
+		}
+		b.StopTimer()
+		perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		sink.Record(fmt.Sprintf("ParallelForces/cellgrid_n%d_w%d", n, ncpu),
+			map[string]float64{"ns_per_op": perOp, "workers": float64(ncpu)})
+	})
+	b.Run(fmt.Sprintf("pairlist/n%d_w%d", n, ncpu), func(b *testing.B) {
+		nl, err := md.NewNeighborList[float64](0.4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := parallel.New[float64](ncpu)
+		defer e.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.ForcesPairlist(nl, p, st.Pos, acc)
+		}
+		b.StopTimer()
+		perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		sink.Record(fmt.Sprintf("ParallelForces/pairlist_n%d_w%d", n, ncpu),
+			map[string]float64{"ns_per_op": perOp, "workers": float64(ncpu)})
+	})
 }
 
 // ---- Substrate micro-benchmarks (real wall-clock numbers) ----

@@ -10,6 +10,7 @@
 //	mdsim -device gpu
 //	mdsim -device mta -threading partial
 //	mdsim -device reference        # pure physics, no performance model
+//	mdsim -device reference -method pardirect -workers 8   # multicore host kernel
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/md"
 	"repro/internal/mta"
+	"repro/internal/parallel"
 	"repro/internal/report"
 )
 
@@ -38,7 +40,8 @@ func main() {
 		dump      = flag.String("dump", "", "reference: write an XYZ trajectory to this file")
 		every     = flag.Int("dump-every", 10, "reference: frames written every N steps")
 		thermo    = flag.String("thermostat", "", "reference: ''|rescale|berendsen (hold the standard temperature)")
-		method    = flag.String("method", "direct", "reference: direct|pairlist|cellgrid force evaluation")
+		method    = flag.String("method", "direct", "reference: direct|pairlist|cellgrid|pardirect|parpairlist|parcellgrid force evaluation")
+		workers   = flag.Int("workers", 0, "reference: host worker pool for the par* methods (0 = one per CPU)")
 		saveCkpt  = flag.String("save-checkpoint", "", "reference: write a restart file after the run")
 		loadCkpt  = flag.String("load-checkpoint", "", "reference: resume from a restart file (ignores -atoms)")
 	)
@@ -47,7 +50,7 @@ func main() {
 		devName: *devName, atoms: *atoms, steps: *steps, nspe: *nspe,
 		mode: *mode, ppeOnly: *ppeOnly, threading: *threading, validate: *validate,
 		dump: *dump, dumpEvery: *every, thermostat: *thermo, method: *method,
-		saveCkpt: *saveCkpt, loadCkpt: *loadCkpt,
+		workers: *workers, saveCkpt: *saveCkpt, loadCkpt: *loadCkpt,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "mdsim:", err)
 		os.Exit(1)
@@ -67,6 +70,7 @@ type runOpts struct {
 	dumpEvery    int
 	thermostat   string
 	method       string
+	workers      int
 	saveCkpt     string
 	loadCkpt     string
 }
@@ -129,9 +133,14 @@ func runReference(w device.Workload, o runOpts) error {
 			return err
 		}
 	}
-	forces, err := buildForces(sys, o.method)
+	forces, closeForces, err := buildForces(sys, o.method, o.workers)
 	if err != nil {
 		return err
+	}
+	defer closeForces()
+	switch o.method {
+	case "pardirect", "parpairlist", "parcellgrid":
+		fmt.Printf("force method: %s, %d host workers\n", o.method, parallel.ClampWorkers(o.workers))
 	}
 	var th md.Thermostat[float64]
 	switch o.thermostat {
@@ -207,25 +216,45 @@ func runReference(w device.Workload, o runOpts) error {
 }
 
 // buildForces selects the non-bonded force evaluation for the
-// reference device.
-func buildForces(sys *md.System[float64], method string) (func() float64, error) {
+// reference device. The par* methods shard the kernel across a host
+// worker pool (workers = 0 means one per CPU); the returned close
+// function releases the pool and is a no-op for the serial methods.
+func buildForces(sys *md.System[float64], method string, workers int) (func() float64, func(), error) {
+	noop := func() {}
 	switch method {
 	case "direct", "":
-		return func() float64 { return md.ComputeForces(sys.P, sys.Pos, sys.Acc) }, nil
+		return func() float64 { return md.ComputeForces(sys.P, sys.Pos, sys.Acc) }, noop, nil
 	case "pairlist":
 		nl, err := md.NewNeighborList[float64](0.4)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return func() float64 { return nl.Forces(sys.P, sys.Pos, sys.Acc) }, nil
+		return func() float64 { return nl.Forces(sys.P, sys.Pos, sys.Acc) }, noop, nil
 	case "cellgrid":
 		cl, err := md.NewCellList(sys.P.Box, sys.P.Cutoff)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return func() float64 { return cl.Forces(sys.P, sys.Pos, sys.Acc) }, nil
+		return func() float64 { return cl.Forces(sys.P, sys.Pos, sys.Acc) }, noop, nil
+	case "pardirect":
+		e := parallel.New[float64](workers)
+		return func() float64 { return e.ForcesDirect(sys.P, sys.Pos, sys.Acc) }, e.Close, nil
+	case "parpairlist":
+		nl, err := md.NewNeighborList[float64](0.4)
+		if err != nil {
+			return nil, nil, err
+		}
+		e := parallel.New[float64](workers)
+		return func() float64 { return e.ForcesPairlist(nl, sys.P, sys.Pos, sys.Acc) }, e.Close, nil
+	case "parcellgrid":
+		cl, err := md.NewCellList(sys.P.Box, sys.P.Cutoff)
+		if err != nil {
+			return nil, nil, err
+		}
+		e := parallel.New[float64](workers)
+		return func() float64 { return e.ForcesCell(cl, sys.P, sys.Pos, sys.Acc) }, e.Close, nil
 	default:
-		return nil, fmt.Errorf("unknown method %q (want direct|pairlist|cellgrid)", method)
+		return nil, nil, fmt.Errorf("unknown method %q (want direct|pairlist|cellgrid|pardirect|parpairlist|parcellgrid)", method)
 	}
 }
 

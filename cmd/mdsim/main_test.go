@@ -77,6 +77,20 @@ func TestReferenceForceMethods(t *testing.T) {
 	}
 }
 
+func TestReferenceParallelForceMethods(t *testing.T) {
+	for _, m := range []string{"pardirect", "parpairlist", "parcellgrid"} {
+		for _, workers := range []int{0, 1, 3} {
+			o := opts("reference")
+			o.atoms = 864 // parcellgrid needs >= 3 cutoff-wide cells per edge
+			o.method = m
+			o.workers = workers
+			if err := run(o); err != nil {
+				t.Fatalf("%s workers=%d: %v", m, workers, err)
+			}
+		}
+	}
+}
+
 func TestReferenceDumpAndThermostat(t *testing.T) {
 	dir := t.TempDir()
 	o := opts("reference")

@@ -50,21 +50,60 @@ func (cl *CellList[T]) Builds() int { return cl.builds }
 
 // cellIndex maps a wrapped position to its cell.
 func (cl *CellList[T]) cellIndex(p vec.V3[T]) int {
-	cx := int(p.X / cl.width)
-	cy := int(p.Y / cl.width)
-	cz := int(p.Z / cl.width)
-	// Positions exactly at the box edge (x == box after rounding) land
-	// one past the last cell; clamp.
-	if cx >= cl.dims {
-		cx = cl.dims - 1
+	return (cl.axisCell(p.X)*cl.dims+cl.axisCell(p.Y))*cl.dims + cl.axisCell(p.Z)
+}
+
+// axisCell maps one wrapped coordinate to its cell along an axis.
+// Positions exactly at the box edge (x == box after rounding) land one
+// past the last cell, and positions perturbed just below 0 (x == -0.0,
+// or a wrap that rounds to a tiny negative) would truncate toward zero
+// or go negative; clamp both ends so any representable coordinate maps
+// to a valid cell.
+func (cl *CellList[T]) axisCell(x T) int {
+	c := int(x / cl.width)
+	if c < 0 {
+		return 0
 	}
-	if cy >= cl.dims {
-		cy = cl.dims - 1
+	if c >= cl.dims {
+		return cl.dims - 1
 	}
-	if cz >= cl.dims {
-		cz = cl.dims - 1
+	return c
+}
+
+// NumCells returns the total number of cells in the grid.
+func (cl *CellList[T]) NumCells() int { return cl.dims * cl.dims * cl.dims }
+
+// Head returns the first atom in cell c, or -1 if the cell is empty.
+// Valid after Build.
+func (cl *CellList[T]) Head(c int) int32 { return cl.heads[c] }
+
+// Next returns the atom after i in i's cell chain, or -1 at the end.
+// Valid after Build.
+func (cl *CellList[T]) Next(i int32) int32 { return cl.next[i] }
+
+// NeighborCells writes cell c itself followed by its 26 periodic
+// neighbors into buf (which must have length >= 27) and returns the
+// filled slice. This full-shell enumeration is the gather-only
+// traversal parallel cell sharding needs: every cell can compute its
+// own atoms' forces without writing to any other cell's atoms.
+func (cl *CellList[T]) NeighborCells(c int, buf []int) []int {
+	d := cl.dims
+	cz := c % d
+	cy := (c / d) % d
+	cx := c / (d * d)
+	buf = buf[:0]
+	buf = append(buf, c)
+	for ox := -1; ox <= 1; ox++ {
+		for oy := -1; oy <= 1; oy++ {
+			for oz := -1; oz <= 1; oz++ {
+				if ox == 0 && oy == 0 && oz == 0 {
+					continue
+				}
+				buf = append(buf, cl.wrapCell(cx+ox, cy+oy, cz+oz))
+			}
+		}
 	}
-	return (cx*cl.dims+cy)*cl.dims + cz
+	return buf
 }
 
 // Build rebuilds the linked cells from the wrapped positions.

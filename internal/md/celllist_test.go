@@ -115,6 +115,77 @@ func TestCellIndexInRange(t *testing.T) {
 	}
 }
 
+func TestCellIndexNegativeCoordinatesClamp(t *testing.T) {
+	cl, err := NewCellList[float64](10, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncells := cl.Dims() * cl.Dims() * cl.Dims()
+	// Positions perturbed just below zero (a wrap that rounds to -0.0 or
+	// a tiny negative) must land in cell 0 on that axis, not truncate
+	// into a negative index.
+	for _, p := range []vec.V3[float64]{
+		{X: -1e-15, Y: 5, Z: 5},
+		{X: 5, Y: math.Copysign(0, -1), Z: 5},
+		{X: -1e-15, Y: -1e-300, Z: -0.0},
+		{X: -2.6, Y: 5, Z: 5}, // a full cell below zero still clamps
+	} {
+		c := cl.cellIndex(p)
+		if c < 0 || c >= ncells {
+			t.Fatalf("cellIndex(%+v) = %d out of [0,%d)", p, c, ncells)
+		}
+	}
+	if c := cl.cellIndex(vec.V3[float64]{X: -1e-15, Y: 0.1, Z: 0.1}); c != 0 {
+		t.Fatalf("just-below-zero position landed in cell %d, want 0", c)
+	}
+	// Build at the boundary must produce a consistent grid: every atom
+	// reachable from exactly one cell chain.
+	pos := []vec.V3[float64]{
+		{X: -1e-15, Y: 9.9999999999, Z: 0},
+		{X: 5, Y: 5, Z: 5},
+		{X: 0, Y: 0, Z: -1e-16},
+	}
+	cl.Build(pos)
+	found := make([]int, len(pos))
+	for c := 0; c < cl.NumCells(); c++ {
+		for i := cl.Head(c); i >= 0; i = cl.Next(i) {
+			found[i]++
+		}
+	}
+	for i, n := range found {
+		if n != 1 {
+			t.Fatalf("atom %d appears in %d cell chains, want 1", i, n)
+		}
+	}
+}
+
+func TestNeighborCellsFullShell(t *testing.T) {
+	cl, err := NewCellList[float64](10, 2.5) // dims = 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int, 27)
+	for c := 0; c < cl.NumCells(); c++ {
+		cells := cl.NeighborCells(c, buf)
+		if len(cells) != 27 {
+			t.Fatalf("cell %d: %d neighbor cells, want 27", c, len(cells))
+		}
+		if cells[0] != c {
+			t.Fatalf("cell %d: first entry is %d, want the cell itself", c, cells[0])
+		}
+		seen := map[int]bool{}
+		for _, nc := range cells {
+			if nc < 0 || nc >= cl.NumCells() {
+				t.Fatalf("cell %d: neighbor %d out of range", c, nc)
+			}
+			if seen[nc] {
+				t.Fatalf("cell %d: neighbor %d duplicated", c, nc)
+			}
+			seen[nc] = true
+		}
+	}
+}
+
 func TestHalfNeighborOffsetsCoverAllPairs(t *testing.T) {
 	// The 13 half-shell offsets plus their negations plus zero must be
 	// exactly the 27 cube offsets.

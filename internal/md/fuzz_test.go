@@ -2,6 +2,7 @@ package md
 
 import (
 	"io"
+	"math"
 	"strings"
 	"testing"
 
@@ -41,28 +42,50 @@ func FuzzMinImageAgreement(f *testing.F) {
 	f.Add(0.5, -0.5, 0.1)
 	f.Add(4.9, -4.9, 0.0)
 	f.Fuzz(func(t *testing.T, dx, dy, dz float64) {
-		const box = 10.0
-		clamp := func(x float64) float64 {
-			if x != x || x > 1e12 || x < -1e12 { // NaN or huge
-				return 0.25
-			}
-			for x >= box {
-				x -= box
-			}
-			for x <= -box {
-				x += box
-			}
-			return x
-		}
-		d := vec.V3[float64]{X: clamp(dx), Y: clamp(dy), Z: clamp(dz)}
-		a := MinImage(d, box)
-		b := MinImageCopysign(d, box)
-		c := MinImage27(d, box)
-		if a != b {
-			t.Fatalf("branch %v vs copysign %v for %v", a, b, d)
-		}
-		if diff := a.Norm2() - c.Norm2(); diff > 1e-9 || diff < -1e-9 {
-			t.Fatalf("branch norm %v vs 27-cell norm %v for %v", a.Norm2(), c.Norm2(), d)
-		}
+		checkMinImageAgreement(t, dx, dy, dz, 10.0)
 	})
+}
+
+// FuzzMinImageAgreementBoxes extends the agreement property to fuzzed
+// box sizes: the three formulations must agree for any displacement in
+// (-box, box) whatever the box, not just the standard-workload box the
+// unit tests and FuzzMinImageAgreement use.
+func FuzzMinImageAgreementBoxes(f *testing.F) {
+	f.Add(0.5, -0.5, 0.1, 10.0)
+	f.Add(4.9, -4.9, 0.0, 5.0)
+	f.Add(0.001, 0.002, -0.003, 0.01)
+	f.Add(100.0, -250.0, 0.0, 300.0)
+	f.Fuzz(func(t *testing.T, dx, dy, dz, box float64) {
+		if box != box || box <= 0 || box > 1e12 {
+			box = 7.3
+		}
+		checkMinImageAgreement(t, dx, dy, dz, box)
+	})
+}
+
+// checkMinImageAgreement folds the raw fuzz inputs into (-box, box) and
+// asserts MinImage, MinImageCopysign, and MinImage27 agree on the
+// result: branch and copysign bitwise, and both matching the exhaustive
+// 27-cell oracle's norm to rounding.
+func checkMinImageAgreement(t *testing.T, dx, dy, dz, box float64) {
+	t.Helper()
+	clamp := func(x float64) float64 {
+		if x != x || x > 1e12 || x < -1e12 { // NaN or huge
+			return 0.25 * box
+		}
+		// math.Mod folds into (-box, box) in one step; the loop form the
+		// original test used is O(|x|/box) and melts down for tiny boxes.
+		return math.Mod(x, box)
+	}
+	d := vec.V3[float64]{X: clamp(dx), Y: clamp(dy), Z: clamp(dz)}
+	a := MinImage(d, box)
+	b := MinImageCopysign(d, box)
+	c := MinImage27(d, box)
+	if a != b {
+		t.Fatalf("branch %v vs copysign %v for %v (box %v)", a, b, d, box)
+	}
+	tol := 1e-9 * box * box
+	if diff := a.Norm2() - c.Norm2(); diff > tol || diff < -tol {
+		t.Fatalf("branch norm %v vs 27-cell norm %v for %v (box %v)", a.Norm2(), c.Norm2(), d, box)
+	}
 }

@@ -112,6 +112,12 @@ func (nl *NeighborList[T]) Forces(p Params[T], pos []vec.V3[T], acc []vec.V3[T])
 	return pe
 }
 
+// Neighbors returns the stored neighbor indices j > i for atom i, valid
+// until the next Build. Callers must treat the slice as read-only; it
+// aliases the list's internal storage. This is the access path the
+// parallel pair-chunk kernel shards over.
+func (nl *NeighborList[T]) Neighbors(i int) []int32 { return nl.pairs[i] }
+
 // PairCount returns the number of stored pairs, a direct measure of how
 // much work the list saves versus the N(N-1)/2 full scan.
 func (nl *NeighborList[T]) PairCount() int {

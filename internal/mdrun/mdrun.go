@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/lattice"
 	"repro/internal/md"
+	"repro/internal/parallel"
 )
 
 // ForceMethod selects the non-bonded force evaluation.
@@ -29,6 +30,14 @@ const (
 	Pairlist
 	// CellGrid is the linked-cell O(N) method.
 	CellGrid
+	// ParallelDirect is Direct sharded across Config.Workers host
+	// threads (atom-range sharding over the full-loop layout).
+	ParallelDirect
+	// ParallelPairlist is Pairlist sharded by pair chunks with
+	// per-worker accumulators.
+	ParallelPairlist
+	// ParallelCellGrid is CellGrid sharded by cell ranges.
+	ParallelCellGrid
 )
 
 // String implements fmt.Stringer.
@@ -40,6 +49,12 @@ func (f ForceMethod) String() string {
 		return "pairlist"
 	case CellGrid:
 		return "cellgrid"
+	case ParallelDirect:
+		return "pardirect"
+	case ParallelPairlist:
+		return "parpairlist"
+	case ParallelCellGrid:
+		return "parcellgrid"
 	default:
 		return fmt.Sprintf("ForceMethod(%d)", int(f))
 	}
@@ -93,6 +108,11 @@ type Config struct {
 	// Forces.
 	Method       ForceMethod
 	PairlistSkin float64 // used by Pairlist (default 0.4)
+	// Workers sizes the host worker pool for the Parallel* methods:
+	// 0 means one per CPU, negative clamps to 1, huge counts clamp to
+	// parallel.MaxWorkers. Workers=1 routes to the corresponding serial
+	// kernel, byte for byte. Ignored by the serial methods.
+	Workers int
 
 	// Optional bonded topology (nil for the pure LJ fluid).
 	Topology *md.Topology
@@ -118,6 +138,7 @@ func (c Config) withDefaults() Config {
 	if c.PairlistSkin == 0 {
 		c.PairlistSkin = 0.4
 	}
+	c.Workers = parallel.ClampWorkers(c.Workers)
 	if c.RescaleInterval == 0 {
 		c.RescaleInterval = 10
 	}
@@ -168,6 +189,7 @@ type Runner struct {
 	traj   *md.XYZWriter
 	rdf    *md.RDF
 	msd    *md.MSD
+	engine *parallel.Engine[float64] // non-nil for the Parallel* methods with Workers > 1
 }
 
 // New builds and validates a runner; forces are evaluated once so the
@@ -244,7 +266,10 @@ func New(cfg Config) (*Runner, error) {
 	return r, nil
 }
 
-// buildForces wires the selected non-bonded method.
+// buildForces wires the selected non-bonded method. For the Parallel*
+// methods a Workers count of 1 routes straight to the corresponding
+// serial kernel (the parallel kernels are bitwise identical at one
+// worker, but the serial path spawns no pool at all).
 func (r *Runner) buildForces() (func() float64, error) {
 	sys := r.sys
 	switch r.cfg.Method {
@@ -262,8 +287,42 @@ func (r *Runner) buildForces() (func() float64, error) {
 			return nil, err
 		}
 		return func() float64 { return cl.Forces(sys.P, sys.Pos, sys.Acc) }, nil
+	case ParallelDirect:
+		if r.cfg.Workers == 1 {
+			return func() float64 { return md.ComputeForcesFull(sys.P, sys.Pos, sys.Acc) }, nil
+		}
+		r.engine = parallel.New[float64](r.cfg.Workers)
+		return func() float64 { return r.engine.ForcesDirect(sys.P, sys.Pos, sys.Acc) }, nil
+	case ParallelPairlist:
+		nl, err := md.NewNeighborList[float64](r.cfg.PairlistSkin)
+		if err != nil {
+			return nil, err
+		}
+		if r.cfg.Workers == 1 {
+			return func() float64 { return nl.Forces(sys.P, sys.Pos, sys.Acc) }, nil
+		}
+		r.engine = parallel.New[float64](r.cfg.Workers)
+		return func() float64 { return r.engine.ForcesPairlist(nl, sys.P, sys.Pos, sys.Acc) }, nil
+	case ParallelCellGrid:
+		cl, err := md.NewCellList(sys.P.Box, sys.P.Cutoff)
+		if err != nil {
+			return nil, err
+		}
+		if r.cfg.Workers == 1 {
+			return func() float64 { return cl.Forces(sys.P, sys.Pos, sys.Acc) }, nil
+		}
+		r.engine = parallel.New[float64](r.cfg.Workers)
+		return func() float64 { return r.engine.ForcesCell(cl, sys.P, sys.Pos, sys.Acc) }, nil
 	default:
 		return nil, fmt.Errorf("mdrun: unknown force method %d", int(r.cfg.Method))
+	}
+}
+
+// Close releases the parallel worker pool, if any. The Runner must not
+// be used after Close. Close is idempotent and safe on serial runners.
+func (r *Runner) Close() {
+	if r.engine != nil {
+		r.engine.Close()
 	}
 }
 

@@ -1,0 +1,411 @@
+// Package parallel is the multicore host force engine: the paper's
+// kernel, sharded across OS threads the same way it is sharded across
+// Cell SPEs, GPU fragment processors, and MTA-2 streams in the device
+// models. The decisive design choice is identical to the one the paper
+// faces on every accelerator: partition the atoms into independent
+// *output* shards, let each worker gather over whatever inputs it
+// needs, and reduce privately-accumulated forces afterwards — never
+// scatter Newton's-third-law updates into another shard's atoms.
+//
+// Three kernels are provided, matching the three serial host paths in
+// internal/md:
+//
+//   - ForcesDirect: the paper's O(N²) kernel over the full-loop
+//     (gather-only) layout of md.ComputeForcesFull, sharded by atom
+//     range. Each atom's acceleration is written by exactly one worker,
+//     so no synchronization is needed beyond the join.
+//   - ForcesCell: the linked-cell O(N) method, sharded by cell range.
+//     Workers gather over the full 27-cell shell (not the serial
+//     half-shell), again writing only their own cells' atoms.
+//   - ForcesPairlist: the Verlet neighbor list, sharded by pair chunk.
+//     The half-triangle pair layout forces scatter to both atoms of a
+//     pair, so each worker scatters into a private acceleration buffer
+//     and the buffers are combined by a parallel tree reduction.
+//
+// All three match their serial counterparts to rounding (the direct
+// kernel with one worker is bitwise identical to ComputeForcesFull);
+// the package tests pin this, and the whole package is race-detector
+// clean.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/md"
+	"repro/internal/sim"
+	"repro/internal/vec"
+)
+
+// MaxWorkers caps the pool size: beyond this, per-worker buffers cost
+// more than any plausible host parallelism returns.
+const MaxWorkers = 256
+
+// ClampWorkers folds a requested worker count into the sane range:
+// 0 means "one per CPU", negative counts clamp to 1, and huge counts
+// clamp to MaxWorkers.
+func ClampWorkers(w int) int {
+	switch {
+	case w == 0:
+		w = runtime.NumCPU()
+	case w < 0:
+		w = 1
+	}
+	if w > MaxWorkers {
+		w = MaxWorkers
+	}
+	return w
+}
+
+// Engine is a persistent pool of force workers plus the per-worker
+// state the kernels shard over. An Engine is reusable across steps (the
+// pool and buffers persist) but a single Engine must not evaluate
+// forces from multiple goroutines at once. Close releases the workers;
+// a closed Engine must not be used again.
+type Engine[T vec.Float] struct {
+	workers int
+	tasks   chan func()
+	once    sync.Once
+
+	shards []shard[T]
+}
+
+// shard is one worker's private state.
+type shard[T vec.Float] struct {
+	pe      T           // partial potential energy
+	pairs   int64       // partial interacting-pair count
+	ledger  sim.Ledger  // partial op accounting (instrumented runs)
+	acc     []vec.V3[T] // private accumulator (pairlist kernel)
+	cellbuf []int       // neighbor-cell scratch (cell kernel)
+}
+
+// New creates an engine with ClampWorkers(workers) workers. With one
+// worker no goroutines are spawned and every kernel runs inline on the
+// caller.
+func New[T vec.Float](workers int) *Engine[T] {
+	w := ClampWorkers(workers)
+	e := &Engine[T]{workers: w, shards: make([]shard[T], w)}
+	if w > 1 {
+		e.tasks = make(chan func())
+		for i := 0; i < w; i++ {
+			go func() {
+				for f := range e.tasks {
+					f()
+				}
+			}()
+		}
+	}
+	return e
+}
+
+// Workers returns the pool size.
+func (e *Engine[T]) Workers() int { return e.workers }
+
+// Close stops the worker goroutines. It is idempotent.
+func (e *Engine[T]) Close() {
+	e.once.Do(func() {
+		if e.tasks != nil {
+			close(e.tasks)
+		}
+	})
+}
+
+// runN executes fn(0..n-1) across the pool and waits for all of them.
+// n must be at most e.workers.
+func (e *Engine[T]) runN(n int, fn func(w int)) {
+	if e.workers == 1 || n == 1 {
+		for w := 0; w < n; w++ {
+			fn(w)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		w := w
+		e.tasks <- func() {
+			defer wg.Done()
+			fn(w)
+		}
+	}
+	wg.Wait()
+}
+
+// run executes fn once per worker and waits.
+func (e *Engine[T]) run(fn func(w int)) { e.runN(e.workers, fn) }
+
+// shardRange splits n items into e.workers contiguous ranges and
+// returns worker w's [lo, hi).
+func (e *Engine[T]) shardRange(n, w int) (lo, hi int) {
+	return w * n / e.workers, (w + 1) * n / e.workers
+}
+
+// reducePE sums the per-worker partial energies in worker order — a
+// fixed association, so results are deterministic for a given worker
+// count.
+func (e *Engine[T]) reducePE() T {
+	var pe T
+	for w := range e.shards {
+		pe += e.shards[w].pe
+	}
+	return pe
+}
+
+// ForcesDirect evaluates the paper's O(N²) kernel with atom-range
+// sharding over the full-loop layout. acc is overwritten; the return
+// value is the total potential energy. With one worker the result is
+// bitwise identical to md.ComputeForcesFull.
+func (e *Engine[T]) ForcesDirect(p md.Params[T], pos, acc []vec.V3[T]) T {
+	pe, _ := e.ForcesDirectCount(p, pos, acc)
+	return pe
+}
+
+// ForcesDirectCount is ForcesDirect plus the count of ordered
+// interacting pairs, mirroring md.ComputeForcesFullCount.
+func (e *Engine[T]) ForcesDirectCount(p md.Params[T], pos, acc []vec.V3[T]) (T, int64) {
+	n := len(pos)
+	rc2 := p.Cutoff * p.Cutoff
+	e.run(func(w int) {
+		lo, hi := e.shardRange(n, w)
+		sh := &e.shards[w]
+		var pe T
+		var pairs int64
+		for i := lo; i < hi; i++ {
+			pi := pos[i]
+			var ai vec.V3[T]
+			var pei T
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				d := md.MinImage(pi.Sub(pos[j]), p.Box)
+				r2 := d.Norm2()
+				if r2 >= rc2 || r2 == 0 {
+					continue
+				}
+				pairs++
+				v, f := md.LJPair(p, r2)
+				pei += v
+				ai = ai.Add(d.Scale(f))
+			}
+			acc[i] = ai
+			pe += pei
+		}
+		sh.pe = pe
+		sh.pairs = pairs
+	})
+	var pairs int64
+	for w := range e.shards {
+		pairs += e.shards[w].pairs
+	}
+	return e.reducePE() / 2, pairs
+}
+
+// Coarse per-candidate and per-interaction operation mixes for the
+// instrumented direct kernel: the same first-order accounting the
+// device models apply to this loop (pos gather, minimum image, r²,
+// cutoff test; then the LJ pair evaluation and force accumulation).
+// The counts depend only on which (i, j) pairs are visited, so the
+// merged ledger is identical for every worker count.
+var (
+	candidateOps = []struct {
+		op sim.Op
+		n  int64
+	}{
+		{sim.OpLoad, 3}, {sim.OpFAdd, 5}, {sim.OpFMul, 3}, {sim.OpCmp, 4},
+	}
+	interactionOps = []struct {
+		op sim.Op
+		n  int64
+	}{
+		{sim.OpFDiv, 1}, {sim.OpFMul, 9}, {sim.OpFAdd, 5}, {sim.OpStore, 3},
+	}
+)
+
+// ForcesDirectInstrumented is ForcesDirect with per-worker op
+// accounting: each worker tallies its shard's modeled operation mix
+// into a private sim.Ledger and the ledgers are folded with
+// sim.MergeAll. The physics is identical to ForcesDirect; the ledger
+// feeds device-model-style cycle accounting for the host path.
+func (e *Engine[T]) ForcesDirectInstrumented(p md.Params[T], pos, acc []vec.V3[T]) (T, sim.Ledger) {
+	n := len(pos)
+	rc2 := p.Cutoff * p.Cutoff
+	e.run(func(w int) {
+		lo, hi := e.shardRange(n, w)
+		sh := &e.shards[w]
+		sh.ledger.Reset()
+		var pe T
+		var candidates, interactions int64
+		for i := lo; i < hi; i++ {
+			pi := pos[i]
+			var ai vec.V3[T]
+			var pei T
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				candidates++
+				d := md.MinImage(pi.Sub(pos[j]), p.Box)
+				r2 := d.Norm2()
+				if r2 >= rc2 || r2 == 0 {
+					continue
+				}
+				interactions++
+				v, f := md.LJPair(p, r2)
+				pei += v
+				ai = ai.Add(d.Scale(f))
+			}
+			acc[i] = ai
+			pe += pei
+		}
+		sh.pe = pe
+		for _, c := range candidateOps {
+			sh.ledger.Add(c.op, c.n*candidates)
+		}
+		for _, c := range interactionOps {
+			sh.ledger.Add(c.op, c.n*interactions)
+		}
+	})
+	ledgers := make([]sim.Ledger, len(e.shards))
+	for w := range e.shards {
+		ledgers[w] = e.shards[w].ledger
+	}
+	return e.reducePE() / 2, sim.MergeAll(ledgers)
+}
+
+// ForcesCell evaluates the linked-cell method with cell-range sharding:
+// the grid is rebuilt from the positions, then each worker computes the
+// forces on the atoms of its cell range by gathering over the full
+// 27-cell shell. Every atom belongs to exactly one cell, so acc is
+// written race-free; each pair is visited from both sides, so the
+// summed energy is halved. acc is overwritten; the return value is the
+// potential energy, matching cl.Forces to rounding.
+func (e *Engine[T]) ForcesCell(cl *md.CellList[T], p md.Params[T], pos, acc []vec.V3[T]) T {
+	cl.Build(pos)
+	ncells := cl.NumCells()
+	rc2 := p.Cutoff * p.Cutoff
+	e.run(func(w int) {
+		lo, hi := e.shardRange(ncells, w)
+		sh := &e.shards[w]
+		if cap(sh.cellbuf) < 27 {
+			sh.cellbuf = make([]int, 27)
+		}
+		var pe T
+		for c := lo; c < hi; c++ {
+			if cl.Head(c) < 0 {
+				continue
+			}
+			cells := cl.NeighborCells(c, sh.cellbuf)
+			for i := cl.Head(c); i >= 0; i = cl.Next(i) {
+				pi := pos[i]
+				var ai vec.V3[T]
+				var pei T
+				for _, nc := range cells {
+					for j := cl.Head(nc); j >= 0; j = cl.Next(j) {
+						if j == i {
+							continue
+						}
+						d := md.MinImage(pi.Sub(pos[j]), p.Box)
+						r2 := d.Norm2()
+						if r2 >= rc2 || r2 == 0 {
+							continue
+						}
+						v, f := md.LJPair(p, r2)
+						pei += v
+						ai = ai.Add(d.Scale(f))
+					}
+				}
+				acc[i] = ai
+				pe += pei
+			}
+		}
+		sh.pe = pe
+	})
+	return e.reducePE() / 2
+}
+
+// ForcesPairlist evaluates the Verlet-list kernel with pair-chunk
+// sharding: the flattened (i, j) pair sequence is split into one
+// near-equal chunk per worker (splitting inside an atom's neighbor list
+// when needed), each worker scatters both sides of its pairs into a
+// private acceleration buffer, and the buffers are combined by a
+// parallel tree reduction before being written to acc. The list is
+// rebuilt first if stale. acc is overwritten; the return value is the
+// potential energy, matching nl.Forces to rounding.
+func (e *Engine[T]) ForcesPairlist(nl *md.NeighborList[T], p md.Params[T], pos, acc []vec.V3[T]) T {
+	if nl.Stale(p, pos) {
+		nl.Build(p, pos)
+	}
+	n := len(pos)
+	total := nl.PairCount()
+	rc2 := p.Cutoff * p.Cutoff
+	e.run(func(w int) {
+		sh := &e.shards[w]
+		if cap(sh.acc) < n {
+			sh.acc = make([]vec.V3[T], n)
+		}
+		sh.acc = sh.acc[:n]
+		for i := range sh.acc {
+			sh.acc[i] = vec.V3[T]{}
+		}
+		// Worker w owns the flattened pair range [lo, hi).
+		lo := w * total / e.workers
+		hi := (w + 1) * total / e.workers
+		var pe T
+		seen := 0
+		for i := 0; i < n && seen < hi; i++ {
+			js := nl.Neighbors(i)
+			if seen+len(js) <= lo {
+				seen += len(js)
+				continue
+			}
+			from, to := 0, len(js)
+			if lo > seen {
+				from = lo - seen
+			}
+			if hi < seen+len(js) {
+				to = hi - seen
+			}
+			seen += len(js)
+			pi := pos[i]
+			for _, j := range js[from:to] {
+				d := md.MinImage(pi.Sub(pos[j]), p.Box)
+				r2 := d.Norm2()
+				if r2 >= rc2 || r2 == 0 {
+					continue
+				}
+				v, f := md.LJPair(p, r2)
+				pe += v
+				fd := d.Scale(f)
+				sh.acc[i] = sh.acc[i].Add(fd)
+				sh.acc[j] = sh.acc[j].Sub(fd)
+			}
+		}
+		sh.pe = pe
+	})
+
+	// Tree-reduce the private buffers: log₂(workers) rounds of pairwise
+	// adds, each round's adds running in parallel. The fixed tree makes
+	// the floating-point summation order deterministic for a given
+	// worker count.
+	for stride := 1; stride < e.workers; stride *= 2 {
+		nadds := 0
+		for w := 0; w+stride < e.workers; w += 2 * stride {
+			nadds++
+		}
+		stride := stride
+		e.runN(nadds, func(k int) {
+			w := k * 2 * stride
+			dst, src := e.shards[w].acc, e.shards[w+stride].acc
+			for i := range dst {
+				dst[i] = dst[i].Add(src[i])
+			}
+		})
+	}
+	// Publish shard 0's totals into acc, sharded by atom range.
+	e.run(func(w int) {
+		lo, hi := e.shardRange(n, w)
+		copy(acc[lo:hi], e.shards[0].acc[lo:hi])
+	})
+	return e.reducePE()
+}

@@ -1,0 +1,313 @@
+package parallel
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/md"
+	"repro/internal/vec"
+)
+
+// workerCounts exercises the interesting pool shapes: serial-inline,
+// even, odd (uneven shards and a lopsided reduction tree), and more
+// workers than can be busy at once on most hosts.
+var workerCounts = []int{1, 2, 3, 4, 7, 8}
+
+func makeState(t testing.TB, n int) (*lattice.State, md.Params[float64]) {
+	t.Helper()
+	st, err := lattice.Generate(lattice.Config{
+		N: n, Density: 0.8442, Temperature: 0.728, Kind: lattice.FCC, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, md.Params[float64]{Box: st.Box, Cutoff: 2.5, Dt: 0.004}
+}
+
+func relDiff(a, b float64) float64 {
+	return math.Abs(a-b) / (1 + math.Abs(a))
+}
+
+func TestClampWorkers(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, runtime.NumCPU()},
+		{-1, 1},
+		{-1000, 1},
+		{1, 1},
+		{7, 7},
+		{MaxWorkers, MaxWorkers},
+		{MaxWorkers + 1, MaxWorkers},
+		{1 << 30, MaxWorkers},
+	}
+	for _, c := range cases {
+		if got := ClampWorkers(c.in); got != c.want {
+			t.Errorf("ClampWorkers(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestDirectOneWorkerBitwise pins the strongest equivalence: the
+// single-worker direct kernel is the same loop as ComputeForcesFull and
+// must agree bit for bit.
+func TestDirectOneWorkerBitwise(t *testing.T) {
+	st, p := makeState(t, 256)
+	e := New[float64](1)
+	defer e.Close()
+	accPar := make([]vec.V3[float64], len(st.Pos))
+	accRef := make([]vec.V3[float64], len(st.Pos))
+	pePar := e.ForcesDirect(p, st.Pos, accPar)
+	peRef := md.ComputeForcesFull(p, st.Pos, accRef)
+	if pePar != peRef {
+		t.Fatalf("PE differs bitwise: parallel %v, serial %v", pePar, peRef)
+	}
+	for i := range accRef {
+		if accPar[i] != accRef[i] {
+			t.Fatalf("acc[%d] differs bitwise: %+v vs %+v", i, accPar[i], accRef[i])
+		}
+	}
+}
+
+// TestDirectMatchesSerial pins every worker count against both serial
+// formulations within 1e-10 relative — the acceptance tolerance.
+func TestDirectMatchesSerial(t *testing.T) {
+	st, p := makeState(t, 500)
+	accHalf := make([]vec.V3[float64], len(st.Pos))
+	accFull := make([]vec.V3[float64], len(st.Pos))
+	peHalf := md.ComputeForces(p, st.Pos, accHalf)
+	peFull, wantPairs := md.ComputeForcesFullCount(p, st.Pos, accFull)
+	for _, w := range workerCounts {
+		e := New[float64](w)
+		acc := make([]vec.V3[float64], len(st.Pos))
+		pe, pairs := e.ForcesDirectCount(p, st.Pos, acc)
+		if pairs != wantPairs {
+			t.Errorf("w=%d: %d interacting pairs, want %d", w, pairs, wantPairs)
+		}
+		if d := relDiff(pe, peFull); d > 1e-12 {
+			t.Errorf("w=%d: PE %v vs full-loop %v (rel %v)", w, pe, peFull, d)
+		}
+		if d := relDiff(pe, peHalf); d > 1e-10 {
+			t.Errorf("w=%d: PE %v vs half-loop %v (rel %v)", w, pe, peHalf, d)
+		}
+		for i := range acc {
+			if acc[i] != accFull[i] {
+				// Atom shards reproduce the serial per-atom gather
+				// exactly; any difference is a sharding bug.
+				t.Fatalf("w=%d: acc[%d] = %+v, want %+v", w, i, acc[i], accFull[i])
+			}
+		}
+		e.Close()
+	}
+}
+
+func TestCellMatchesSerial(t *testing.T) {
+	st, p := makeState(t, 864) // box ~10.1: 4 cells per edge
+	clRef, err := md.NewCellList(p.Box, p.Cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accRef := make([]vec.V3[float64], len(st.Pos))
+	peRef := clRef.Forces(p, st.Pos, accRef)
+	for _, w := range workerCounts {
+		e := New[float64](w)
+		cl, err := md.NewCellList(p.Box, p.Cutoff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := make([]vec.V3[float64], len(st.Pos))
+		pe := e.ForcesCell(cl, p, st.Pos, acc)
+		if d := relDiff(pe, peRef); d > 1e-12 {
+			t.Errorf("w=%d: PE %v vs serial cells %v (rel %v)", w, pe, peRef, d)
+		}
+		for i := range acc {
+			if acc[i].Sub(accRef[i]).Norm() > 1e-10*(1+accRef[i].Norm()) {
+				t.Fatalf("w=%d: acc[%d] = %+v, want %+v", w, i, acc[i], accRef[i])
+			}
+		}
+		e.Close()
+	}
+}
+
+func TestPairlistMatchesSerial(t *testing.T) {
+	st, p := makeState(t, 500)
+	nlRef, err := md.NewNeighborList[float64](0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accRef := make([]vec.V3[float64], len(st.Pos))
+	peRef := nlRef.Forces(p, st.Pos, accRef)
+	for _, w := range workerCounts {
+		e := New[float64](w)
+		nl, err := md.NewNeighborList[float64](0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := make([]vec.V3[float64], len(st.Pos))
+		pe := e.ForcesPairlist(nl, p, st.Pos, acc)
+		if d := relDiff(pe, peRef); d > 1e-12 {
+			t.Errorf("w=%d: PE %v vs serial pairlist %v (rel %v)", w, pe, peRef, d)
+		}
+		for i := range acc {
+			if acc[i].Sub(accRef[i]).Norm() > 1e-10*(1+accRef[i].Norm()) {
+				t.Fatalf("w=%d: acc[%d] = %+v, want %+v", w, i, acc[i], accRef[i])
+			}
+		}
+		e.Close()
+	}
+}
+
+// TestPairlistOneWorkerBitwise: with one worker the pair-chunk kernel
+// degenerates to the serial loop and must agree bit for bit.
+func TestPairlistOneWorkerBitwise(t *testing.T) {
+	st, p := makeState(t, 256)
+	nlRef, err := md.NewNeighborList[float64](0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accRef := make([]vec.V3[float64], len(st.Pos))
+	peRef := nlRef.Forces(p, st.Pos, accRef)
+	e := New[float64](1)
+	defer e.Close()
+	nl, err := md.NewNeighborList[float64](0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := make([]vec.V3[float64], len(st.Pos))
+	pe := e.ForcesPairlist(nl, p, st.Pos, acc)
+	if pe != peRef {
+		t.Fatalf("PE differs bitwise: %v vs %v", pe, peRef)
+	}
+	for i := range acc {
+		if acc[i] != accRef[i] {
+			t.Fatalf("acc[%d] differs bitwise: %+v vs %+v", i, acc[i], accRef[i])
+		}
+	}
+}
+
+// TestInstrumentedLedgerWorkerInvariant: the merged op ledger depends
+// only on the pairs visited, so it must be identical for every worker
+// count, and the physics must be unchanged by instrumentation.
+func TestInstrumentedLedgerWorkerInvariant(t *testing.T) {
+	st, p := makeState(t, 256)
+	e1 := New[float64](1)
+	defer e1.Close()
+	acc := make([]vec.V3[float64], len(st.Pos))
+	peWant := e1.ForcesDirect(p, st.Pos, acc)
+	pe1, want := e1.ForcesDirectInstrumented(p, st.Pos, acc)
+	if pe1 != peWant {
+		t.Fatalf("instrumentation changed the PE: %v vs %v", pe1, peWant)
+	}
+	if want.Total() == 0 {
+		t.Fatal("instrumented ledger is empty")
+	}
+	for _, w := range workerCounts[1:] {
+		e := New[float64](w)
+		pe, got := e.ForcesDirectInstrumented(p, st.Pos, acc)
+		if got != want {
+			t.Errorf("w=%d: ledger %v, want %v", w, got.String(), want.String())
+		}
+		if d := relDiff(pe, peWant); d > 1e-12 {
+			t.Errorf("w=%d: PE %v, want %v", w, pe, peWant)
+		}
+		e.Close()
+	}
+}
+
+// TestTrajectoryReuse drives a short NVE trajectory through each
+// parallel kernel, reusing one engine across steps (the persistent-pool
+// path), and checks it stays on the serial trajectory.
+func TestTrajectoryReuse(t *testing.T) {
+	const steps = 20
+	for _, kernel := range []string{"direct", "cell", "pairlist"} {
+		st, _ := makeState(t, 500)
+		ref, err := md.NewSystem(st, md.Params[float64]{Box: st.Box, Cutoff: 2.5, Dt: 0.004})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := ref.Clone()
+		e := New[float64](4)
+		var forces func() float64
+		switch kernel {
+		case "direct":
+			forces = func() float64 { return e.ForcesDirect(par.P, par.Pos, par.Acc) }
+		case "cell":
+			cl, err := md.NewCellList(par.P.Box, par.P.Cutoff)
+			if err != nil {
+				t.Fatal(err)
+			}
+			forces = func() float64 { return e.ForcesCell(cl, par.P, par.Pos, par.Acc) }
+		case "pairlist":
+			nl, err := md.NewNeighborList[float64](0.4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			forces = func() float64 { return e.ForcesPairlist(nl, par.P, par.Pos, par.Acc) }
+		}
+		for s := 0; s < steps; s++ {
+			ref.Step()
+			par.StepWith(forces)
+		}
+		for i := range ref.Pos {
+			if d := ref.Pos[i].Sub(par.Pos[i]).Norm(); d > 1e-8 {
+				t.Fatalf("%s: trajectories diverged at atom %d by %v", kernel, i, d)
+			}
+		}
+		e.Close()
+	}
+}
+
+func TestFloat32Instantiation(t *testing.T) {
+	st, _ := makeState(t, 108)
+	p := md.Params[float32]{Box: float32(st.Box), Cutoff: 2.5, Dt: 0.004}
+	pos := make([]vec.V3[float32], len(st.Pos))
+	for i := range pos {
+		pos[i] = vec.FromV3f64[float32](st.Pos[i])
+	}
+	e := New[float32](3)
+	defer e.Close()
+	acc := make([]vec.V3[float32], len(pos))
+	accRef := make([]vec.V3[float32], len(pos))
+	pe := e.ForcesDirect(p, pos, acc)
+	peRef := md.ComputeForcesFull(p, pos, accRef)
+	if rel := math.Abs(float64(pe-peRef)) / math.Abs(float64(peRef)); rel > 1e-5 {
+		t.Fatalf("float32 PE mismatch: %v vs %v (rel %v)", pe, peRef, rel)
+	}
+}
+
+func TestEngineDefaultsAndClose(t *testing.T) {
+	e := New[float64](0)
+	if e.Workers() != runtime.NumCPU() {
+		t.Fatalf("New(0).Workers() = %d, want NumCPU %d", e.Workers(), runtime.NumCPU())
+	}
+	e.Close()
+	e.Close() // idempotent
+
+	e = New[float64](-5)
+	if e.Workers() != 1 {
+		t.Fatalf("New(-5).Workers() = %d, want 1", e.Workers())
+	}
+	e.Close()
+}
+
+func TestEmptyAndTinySystems(t *testing.T) {
+	p := md.Params[float64]{Box: 10, Cutoff: 2.5, Dt: 0.004}
+	e := New[float64](4)
+	defer e.Close()
+	// No atoms.
+	if pe := e.ForcesDirect(p, nil, nil); pe != 0 {
+		t.Fatalf("empty system PE = %v", pe)
+	}
+	// Fewer atoms than workers.
+	pos := []vec.V3[float64]{{X: 1, Y: 1, Z: 1}, {X: 2, Y: 1, Z: 1}}
+	acc := make([]vec.V3[float64], 2)
+	accRef := make([]vec.V3[float64], 2)
+	pe := e.ForcesDirect(p, pos, acc)
+	peRef := md.ComputeForcesFull(p, pos, accRef)
+	if pe != peRef {
+		t.Fatalf("2-atom PE %v, want %v", pe, peRef)
+	}
+	if acc[0] != accRef[0] || acc[1] != accRef[1] {
+		t.Fatalf("2-atom acc %+v, want %+v", acc, accRef)
+	}
+}

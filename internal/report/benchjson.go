@@ -1,0 +1,86 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// BenchRecord is one machine-readable benchmark result: a benchmark
+// (sub)name plus its metrics. Marshalled as one JSON object per line so
+// BENCH_*.json trajectory files can be diffed and appended across PRs.
+type BenchRecord struct {
+	Bench   string             `json:"bench"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// BenchSink collects BenchRecords from benchmark runs and writes them
+// as JSON Lines. It is safe for concurrent Record calls (parallel
+// sub-benchmarks); records are kept in arrival order and metric keys
+// are emitted sorted (encoding/json sorts map keys), so output is
+// deterministic for a deterministic benchmark order.
+type BenchSink struct {
+	mu      sync.Mutex
+	records []BenchRecord
+}
+
+// NewBenchSink returns an empty sink.
+func NewBenchSink() *BenchSink { return &BenchSink{} }
+
+// Record appends one result, replacing any earlier record with the
+// same bench name (the testing package re-runs a benchmark while
+// calibrating b.N; only the final, longest run should survive). The
+// metrics map is copied.
+func (s *BenchSink) Record(bench string, metrics map[string]float64) {
+	m := make(map[string]float64, len(metrics))
+	for k, v := range metrics {
+		m[k] = v
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.records {
+		if s.records[i].Bench == bench {
+			s.records[i].Metrics = m
+			return
+		}
+	}
+	s.records = append(s.records, BenchRecord{Bench: bench, Metrics: m})
+}
+
+// Len returns the number of records collected.
+func (s *BenchSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.records)
+}
+
+// WriteJSON emits the collected records, one JSON object per line.
+func (s *BenchSink) WriteJSON(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enc := json.NewEncoder(w)
+	for _, r := range s.records {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("report: encoding bench record %q: %w", r.Bench, err)
+		}
+	}
+	return nil
+}
+
+// ReadBenchRecords parses JSON-Lines output produced by WriteJSON —
+// the consuming half used by trajectory comparisons of BENCH_*.json
+// files across PRs.
+func ReadBenchRecords(r io.Reader) ([]BenchRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []BenchRecord
+	for {
+		var rec BenchRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("report: decoding bench record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,104 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBenchSinkRoundTrip(t *testing.T) {
+	s := NewBenchSink()
+	s.Record("ParallelForces/n2048_w4", map[string]float64{
+		"ns_per_op": 1.5e6, "speedup_vs_serial": 3.2,
+	})
+	s.Record("ParallelForces/n2048_serial", map[string]float64{"ns_per_op": 4.8e6})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "\n") != 2 {
+		t.Fatalf("want 2 JSON lines, got %q", out)
+	}
+	recs, err := ReadBenchRecords(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("read %d records, want 2", len(recs))
+	}
+	if recs[0].Bench != "ParallelForces/n2048_w4" || recs[0].Metrics["speedup_vs_serial"] != 3.2 {
+		t.Fatalf("first record mangled: %+v", recs[0])
+	}
+	if recs[1].Metrics["ns_per_op"] != 4.8e6 {
+		t.Fatalf("second record mangled: %+v", recs[1])
+	}
+}
+
+func TestBenchSinkCopiesMetrics(t *testing.T) {
+	s := NewBenchSink()
+	m := map[string]float64{"x": 1}
+	s.Record("b", m)
+	m["x"] = 99
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"x":1`) {
+		t.Fatalf("sink aliased the caller's map: %s", b.String())
+	}
+}
+
+func TestBenchSinkConcurrentRecord(t *testing.T) {
+	s := NewBenchSink()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Record(fmt.Sprintf("b%d", i), map[string]float64{"v": 1})
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 32 {
+		t.Fatalf("Len = %d, want 32", s.Len())
+	}
+}
+
+func TestBenchSinkRerecordReplaces(t *testing.T) {
+	// Benchmark calibration runs the same sub-benchmark several times;
+	// only the final run's metrics must survive, in first-seen order.
+	s := NewBenchSink()
+	s.Record("a", map[string]float64{"v": 1})
+	s.Record("b", map[string]float64{"v": 2})
+	s.Record("a", map[string]float64{"v": 3})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	var buf strings.Builder
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadBenchRecords(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Bench != "a" || recs[0].Metrics["v"] != 3 || recs[1].Bench != "b" {
+		t.Fatalf("re-record did not replace in place: %+v", recs)
+	}
+}
+
+func TestReadBenchRecordsRejectsGarbage(t *testing.T) {
+	if _, err := ReadBenchRecords(strings.NewReader(`{"bench": "a"}` + "\nnot-json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	recs, err := ReadBenchRecords(strings.NewReader(""))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty input: %v, %d records", err, len(recs))
+	}
+}
