@@ -12,9 +12,12 @@ import (
 	"repro/internal/cell"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/faults"
 	"repro/internal/gpu"
+	"repro/internal/guard"
 	"repro/internal/lattice"
 	"repro/internal/md"
+	"repro/internal/mdrun"
 	"repro/internal/mta"
 	"repro/internal/opteron"
 	"repro/internal/parallel"
@@ -432,6 +435,97 @@ func BenchmarkParallelForces(b *testing.B) {
 		perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 		sink.Record(fmt.Sprintf("ParallelForces/pairlist_n%d_w%d", n, ncpu),
 			map[string]float64{"ns_per_op": perOp, "workers": float64(ncpu)})
+	})
+}
+
+// BenchmarkGuardRecovery measures the resilient run supervisor
+// (internal/guard): a clean guarded run as the baseline, then a run
+// that takes an injected worker panic and recovers via checkpoint
+// rollback. Reported metrics are the incident/rollback counts and the
+// wall-clock overhead of recovery relative to the clean run; with
+// BENCH_JSON=<path> the same numbers land in the JSON-Lines bench
+// trajectory.
+func BenchmarkGuardRecovery(b *testing.B) {
+	sink := report.NewBenchSink()
+	defer func() {
+		path := os.Getenv("BENCH_JSON")
+		if path == "" || sink.Len() == 0 {
+			return
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			b.Logf("BENCH_JSON: %v", err)
+			return
+		}
+		defer f.Close()
+		if err := sink.WriteJSON(f); err != nil {
+			b.Logf("BENCH_JSON: %v", err)
+		}
+	}()
+
+	base := mdrun.Config{
+		Atoms: 108, Density: 0.8442, Temperature: 0.728,
+		Lattice: lattice.FCC, Seed: 7,
+		Cutoff: 2.5, Dt: 0.004, Shifted: true,
+		Method: mdrun.ParallelDirect, Workers: 2,
+	}
+	const steps = 30
+	guardedRun := func(b *testing.B, inj faults.Injector) *guard.RunReport {
+		cfg := base
+		cfg.Faults = inj
+		sup, err := guard.New(guard.Config{Run: cfg, CheckEvery: 5, CheckpointEvery: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sup.Close()
+		_, rep, err := sup.Run(steps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+
+	// Clean baseline: supervision with nothing to survive.
+	cleanNs := 0.0
+	b.Run("clean", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep := guardedRun(b, nil)
+			if rep.Counts.Total() != 0 {
+				b.Fatalf("clean run logged incidents: %v", rep)
+			}
+		}
+		cleanNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		sink.Record("GuardRecovery/clean", map[string]float64{"ns_per_op": cleanNs})
+	})
+
+	// Faulted run: one worker panic per iteration (fresh registry each
+	// time so the fault re-fires), recovered by rollback + retry.
+	b.Run("worker_panic_recovery", func(b *testing.B) {
+		var rep *guard.RunReport
+		for i := 0; i < b.N; i++ {
+			inj := faults.NewRegistry(uint64(i) + 1).Arm(faults.Fault{
+				Site: faults.SiteWorker, Kind: faults.Panic,
+				Trigger: faults.Trigger{AtCall: 12},
+			})
+			rep = guardedRun(b, inj)
+			if rep.Rollbacks == 0 {
+				b.Fatal("fault never triggered a rollback")
+			}
+		}
+		perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(float64(rep.Counts.Total()), "incidents")
+		b.ReportMetric(float64(rep.Rollbacks), "rollbacks")
+		m := map[string]float64{
+			"ns_per_op": perOp,
+			"incidents": float64(rep.Counts.Total()),
+			"rollbacks": float64(rep.Rollbacks),
+		}
+		if cleanNs > 0 {
+			overhead := perOp / cleanNs
+			b.ReportMetric(overhead, "recovery_overhead_x")
+			m["recovery_overhead_x"] = overhead
+		}
+		sink.Record("GuardRecovery/worker_panic", m)
 	})
 }
 

@@ -11,6 +11,8 @@
 //	mdsim -device mta -threading partial
 //	mdsim -device reference        # pure physics, no performance model
 //	mdsim -device reference -method pardirect -workers 8   # multicore host kernel
+//	mdsim -guard -method parcellgrid -atoms 864 -checkpoint-dir /tmp/ckpt \
+//	      -inject nan-forces@25   # supervised run with fault injection
 package main
 
 import (
@@ -44,6 +46,11 @@ func main() {
 		workers   = flag.Int("workers", 0, "reference: host worker pool for the par* methods (0 = one per CPU)")
 		saveCkpt  = flag.String("save-checkpoint", "", "reference: write a restart file after the run")
 		loadCkpt  = flag.String("load-checkpoint", "", "reference: resume from a restart file (ignores -atoms)")
+		guarded   = flag.Bool("guard", false, "reference: run under the resilient supervisor (watchdog + checkpoint/rollback recovery)")
+		ckptDir   = flag.String("checkpoint-dir", "", "guard: directory for periodic atomic checkpoints")
+		ckptEvery = flag.Int("checkpoint-every", 100, "guard: steps between checkpoints")
+		retries   = flag.Int("max-retries", 3, "guard: recovery attempts before giving up")
+		inject    = flag.String("inject", "", "guard: fault spec, e.g. nan-forces@25 | worker-panic@3 | traj-error@2 | ckpt-error@1 (comma-separated)")
 	)
 	flag.Parse()
 	if err := run(runOpts{
@@ -51,6 +58,8 @@ func main() {
 		mode: *mode, ppeOnly: *ppeOnly, threading: *threading, validate: *validate,
 		dump: *dump, dumpEvery: *every, thermostat: *thermo, method: *method,
 		workers: *workers, saveCkpt: *saveCkpt, loadCkpt: *loadCkpt,
+		guard: *guarded, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
+		maxRetries: *retries, inject: *inject,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "mdsim:", err)
 		os.Exit(1)
@@ -73,9 +82,18 @@ type runOpts struct {
 	workers      int
 	saveCkpt     string
 	loadCkpt     string
+	guard        bool
+	ckptDir      string
+	ckptEvery    int
+	maxRetries   int
+	inject       string
 }
 
 func run(o runOpts) error {
+	if o.guard {
+		return runGuarded(o)
+	}
+
 	w, err := core.StandardWorkload(o.atoms, o.steps)
 	if err != nil {
 		return err

@@ -1,0 +1,304 @@
+// Package faults is a deterministic, seedable fault injector for the
+// run stack. Production-scale MD on accelerator-era hardware has to
+// assume the fast path is the unreliable path — the paper's Cell and
+// GPU ports trade ECC, precision, and OS supervision for throughput —
+// so every recovery mechanism in this repository (worker panic
+// isolation in internal/parallel, checkpoint CRC validation in
+// internal/md, the watchdog/rollback supervisor in internal/guard) is
+// testable only if faults can be injected on demand, reproducibly.
+//
+// The design is an interface plus a registry: instrumentation points
+// name a Site and ask the Injector whether a fault fires on this call
+// (faults.Fire is nil-safe, so the production default — no injector —
+// costs one nil check). A Registry arms Faults at sites with Triggers
+// that fire at a specific call number, from a call number onwards, or
+// probabilistically from a seeded SplitMix64 stream, which makes every
+// failure schedule replayable from (seed, armed faults) alone.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// Site names an instrumentation point that can fault. Sites are
+// strings so downstream packages can add their own without touching
+// this package; the constants below are the sites the run stack wires.
+type Site string
+
+const (
+	// SiteForces corrupts the force array after a (any-method) force
+	// evaluation in mdrun — the generic "silent accelerator bit-rot"
+	// fault that hits serial and parallel paths alike.
+	SiteForces Site = "forces"
+	// SiteParallelForces corrupts the output of a parallel.Engine
+	// kernel only. Falling back to a serial method clears it, which is
+	// what lets tests exercise the supervisor's escalation ladder.
+	SiteParallelForces Site = "parallel-forces"
+	// SiteWorker fires inside a parallel.Engine pool worker: Panic and
+	// Delay model a crashed or straggling worker thread.
+	SiteWorker Site = "worker"
+	// SiteTrajectory fails trajectory writes (wrap the writer with
+	// NewWriter).
+	SiteTrajectory Site = "trajectory"
+	// SiteCheckpoint fails checkpoint writes (wrap the writer with
+	// NewWriter).
+	SiteCheckpoint Site = "checkpoint"
+)
+
+// Kind enumerates what an injected fault does when it fires.
+type Kind int
+
+const (
+	// NaN poisons a value-corruption site with quiet NaNs.
+	NaN Kind = iota
+	// Inf poisons a value-corruption site with +Inf.
+	Inf
+	// Error makes the site return ErrInjected.
+	Error
+	// ShortWrite makes a wrapped writer write only half the buffer and
+	// report the short count with a nil error (the silent-truncation
+	// shape that checkpoint CRC trailers exist to catch).
+	ShortWrite
+	// Panic panics at the site (pool workers convert it to an error).
+	Panic
+	// Delay sleeps Fault.Delay at the site (straggler injection).
+	Delay
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case NaN:
+		return "nan"
+	case Inf:
+		return "inf"
+	case Error:
+		return "error"
+	case ShortWrite:
+		return "shortwrite"
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ErrInjected is the sentinel error injected faults surface.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Trigger decides on which calls at a site an armed fault fires. The
+// zero Trigger never fires. Calls are numbered from 1 per site.
+type Trigger struct {
+	// AtCall fires on exactly the k-th call.
+	AtCall int
+	// FromCall fires on every call numbered >= k (persistent fault).
+	FromCall int
+	// Prob fires independently per call with this probability, drawn
+	// from the registry's seeded deterministic stream.
+	Prob float64
+}
+
+func (t Trigger) fires(call int, rng *xrand.Source) bool {
+	if t.AtCall > 0 && call == t.AtCall {
+		return true
+	}
+	if t.FromCall > 0 && call >= t.FromCall {
+		return true
+	}
+	if t.Prob > 0 && rng.Float64() < t.Prob {
+		return true
+	}
+	return false
+}
+
+// Fault is one armed fault: what happens (Kind), where (Site), when
+// (Trigger), and how long for Delay faults.
+type Fault struct {
+	Site    Site
+	Kind    Kind
+	Trigger Trigger
+	Delay   time.Duration
+}
+
+// Injector decides, per call at a site, whether a fault fires. A nil
+// Injector (queried through the package-level Fire) never fires —
+// that is the production default.
+type Injector interface {
+	// Fire counts one call at site and returns the fault that fires on
+	// it, or nil.
+	Fire(site Site) *Fault
+}
+
+// Event records one fired fault, for test assertions and run reports.
+type Event struct {
+	Site Site
+	Kind Kind
+	Call int // 1-based call number at the site
+}
+
+// Registry is the standard Injector: a set of armed faults with
+// per-site call counters and a seeded random stream for probabilistic
+// triggers. Safe for concurrent use (pool workers fire concurrently).
+type Registry struct {
+	mu     sync.Mutex
+	rng    *xrand.Source
+	calls  map[Site]int
+	armed  map[Site][]*Fault
+	events []Event
+}
+
+// NewRegistry returns an empty registry whose probabilistic triggers
+// draw from a SplitMix64 stream seeded with seed.
+func NewRegistry(seed uint64) *Registry {
+	return &Registry{
+		rng:   xrand.New(seed),
+		calls: make(map[Site]int),
+		armed: make(map[Site][]*Fault),
+	}
+}
+
+// Arm registers a fault. Multiple faults may share a site; the first
+// (in arming order) whose trigger matches a call fires.
+func (r *Registry) Arm(f Fault) *Registry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fc := f
+	r.armed[f.Site] = append(r.armed[f.Site], &fc)
+	return r
+}
+
+// Fire implements Injector.
+func (r *Registry) Fire(site Site) *Fault {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls[site]++
+	call := r.calls[site]
+	for _, f := range r.armed[site] {
+		if f.Trigger.fires(call, r.rng) {
+			r.events = append(r.events, Event{Site: site, Kind: f.Kind, Call: call})
+			return f
+		}
+	}
+	return nil
+}
+
+// Calls returns how many times site has been queried.
+func (r *Registry) Calls(site Site) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calls[site]
+}
+
+// Events returns a copy of the fired-fault log, in firing order.
+func (r *Registry) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Fired returns how many faults have fired at site.
+func (r *Registry) Fired(site Site) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.events {
+		if e.Site == site {
+			n++
+		}
+	}
+	return n
+}
+
+// Fire is the nil-safe query instrumentation points use: a nil
+// injector never fires, so the production cost is one comparison.
+func Fire(in Injector, site Site) *Fault {
+	if in == nil {
+		return nil
+	}
+	return in.Fire(site)
+}
+
+// Poison returns the poison value for a value-corruption kind: NaN for
+// NaN, +Inf for Inf (and for any other kind, which keeps misuse
+// detectable by the watchdog rather than silent).
+func Poison[T vec.Float](k Kind) T {
+	if k == NaN {
+		return T(math.NaN())
+	}
+	return T(math.Inf(1))
+}
+
+// CorruptV3 poisons the X component of the first element of a vector
+// array in place — a single flipped lane, the minimal corruption an
+// on-line validity scan must still catch. No-op on empty arrays.
+func CorruptV3[T vec.Float](k Kind, arr []vec.V3[T]) {
+	if len(arr) == 0 {
+		return
+	}
+	arr[0].X = Poison[T](k)
+}
+
+// WorkerFault executes a worker-site fault on the calling goroutine:
+// Delay sleeps, Panic panics (the pool recovers it into an error),
+// Error returns ErrInjected, and value-corruption kinds are no-ops
+// (workers own no output of their own to poison).
+func (f *Fault) WorkerFault() error {
+	switch f.Kind {
+	case Delay:
+		time.Sleep(f.Delay)
+		return nil
+	case Panic:
+		panic(fmt.Sprintf("faults: injected worker panic (site %s)", f.Site))
+	case Error:
+		return fmt.Errorf("worker: %w", ErrInjected)
+	default:
+		return nil
+	}
+}
+
+// NewWriter wraps w so that every Write first consults the injector at
+// site: Error faults fail the write, ShortWrite faults write half the
+// buffer and report the short count with a nil error (exactly the
+// lying-writer failure a CRC trailer catches), Panic faults panic, and
+// Delay faults sleep before writing. A nil injector returns w itself.
+func NewWriter(w io.Writer, in Injector, site Site) io.Writer {
+	if in == nil {
+		return w
+	}
+	return &faultWriter{w: w, in: in, site: site}
+}
+
+type faultWriter struct {
+	w    io.Writer
+	in   Injector
+	site Site
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	f := Fire(fw.in, fw.site)
+	if f == nil {
+		return fw.w.Write(p)
+	}
+	switch f.Kind {
+	case Error:
+		return 0, fmt.Errorf("write %s: %w", fw.site, ErrInjected)
+	case ShortWrite:
+		n, err := fw.w.Write(p[:len(p)/2])
+		return n, err
+	case Panic:
+		panic(fmt.Sprintf("faults: injected write panic (site %s)", fw.site))
+	case Delay:
+		time.Sleep(f.Delay)
+	}
+	return fw.w.Write(p)
+}

@@ -1,0 +1,142 @@
+package guard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/faults"
+	"repro/internal/md"
+)
+
+// store is the atomic on-disk checkpoint protocol: write to a temp
+// file in the target directory, fsync, rename into place, fsync the
+// directory. A reader therefore only ever sees complete files — and
+// the md format's CRC trailer rejects anything a lying disk mangles
+// after that.
+type store struct {
+	dir  string
+	keep int
+	inj  faults.Injector // checkpoint writes pass through SiteCheckpoint
+}
+
+const (
+	ckptPrefix = "ckpt-"
+	ckptSuffix = ".mdcp"
+)
+
+func newStore(dir string, keep int, inj faults.Injector) (*store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("guard: checkpoint dir: %w", err)
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	return &store{dir: dir, keep: keep, inj: inj}, nil
+}
+
+// path returns the final name for a checkpoint at the given step.
+func (st *store) path(step int) string {
+	return filepath.Join(st.dir, fmt.Sprintf("%s%09d%s", ckptPrefix, step, ckptSuffix))
+}
+
+// save atomically persists the system state as ckpt-<steps>.mdcp and
+// prunes old files beyond the retention bound. On any failure the temp
+// file is removed and the previously persisted checkpoints are
+// untouched.
+func (st *store) save(sys *md.System[float64]) error {
+	f, err := os.CreateTemp(st.dir, ".tmp-"+ckptPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("guard: checkpoint temp file: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("guard: writing checkpoint: %w", err)
+	}
+	if err := md.WriteCheckpoint(faults.NewWriter(f, st.inj, faults.SiteCheckpoint), sys); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("guard: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, st.path(sys.Steps)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("guard: publishing checkpoint: %w", err)
+	}
+	st.syncDir()
+	st.prune()
+	return nil
+}
+
+// syncDir fsyncs the checkpoint directory so the rename itself is
+// durable. Best-effort: some filesystems refuse directory fsync.
+func (st *store) syncDir() {
+	if d, err := os.Open(st.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// list returns the steps of all well-named checkpoint files, newest
+// first.
+func (st *store) list() []int {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil
+	}
+	var steps []int
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix))
+		if err != nil || n < 0 {
+			continue
+		}
+		steps = append(steps, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(steps)))
+	return steps
+}
+
+// prune removes checkpoints beyond the newest keep.
+func (st *store) prune() {
+	steps := st.list()
+	for _, s := range steps[min(st.keep, len(steps)):] {
+		_ = os.Remove(st.path(s))
+	}
+}
+
+// recoverLatest loads the newest checkpoint that passes the md
+// reader's CRC and structural validation, newest first; files that
+// fail are reported through onCorrupt and skipped — a corrupt
+// checkpoint is never trusted, an older good one wins. Returns nil if
+// no trustworthy checkpoint exists.
+func (st *store) recoverLatest(onCorrupt func(name string, err error)) *md.System[float64] {
+	for _, step := range st.list() {
+		p := st.path(step)
+		f, err := os.Open(p)
+		if err != nil {
+			onCorrupt(filepath.Base(p), err)
+			continue
+		}
+		sys, err := md.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			onCorrupt(filepath.Base(p), err)
+			continue
+		}
+		return sys
+	}
+	return nil
+}

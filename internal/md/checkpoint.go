@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -15,24 +17,64 @@ import (
 // restarted and uninterrupted runs diverge and results stop being
 // reproducible. The format is a little-endian binary image of the full
 // float64 state with a magic header and version.
+//
+// Format v2 appends a CRC32 (IEEE) trailer computed over everything
+// from the magic through the last payload byte, so a truncated or
+// bit-flipped checkpoint — a crash mid-write, a lying disk, a short
+// write — is rejected instead of silently seeding a corrupt restart.
+// v1 files (no trailer) are still read for compatibility; writes are
+// always v2.
 
 const (
-	checkpointMagic   = uint32(0x4d444350) // "MDCP"
-	checkpointVersion = uint32(1)
+	checkpointMagic     = uint32(0x4d444350) // "MDCP"
+	checkpointVersion1  = uint32(1)          // legacy, no integrity trailer
+	checkpointVersion   = uint32(2)          // current: CRC32 trailer
+	checkpointMaxAtoms  = 1 << 26            // 64M atoms: refuse absurd headers
+	checkpointMaxSteps  = uint64(1) << 62    // refuse step counts that overflow int
+	checkpointAllocStep = 1 << 16            // atoms allocated per chunk while reading
 )
 
-// WriteCheckpoint serializes the complete system state.
+// WriteCheckpoint serializes the complete system state in format v2
+// (CRC32-trailed). The caller owns durability (fsync/rename); see
+// internal/guard for the atomic on-disk protocol.
 func WriteCheckpoint(w io.Writer, s *System[float64]) error {
 	bw := bufio.NewWriter(w)
-	head := []uint32{checkpointMagic, checkpointVersion}
+	crc := crc32.NewIEEE()
+	// Everything through the payload goes through the CRC; the trailer
+	// itself does not.
+	mw := io.MultiWriter(bw, crc)
+	if err := writeCheckpointBody(mw, s, checkpointVersion); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeCheckpointV1 emits the legacy trailer-less format. Retained
+// (unexported) so the compatibility tests can produce genuine v1
+// streams without keeping binary golden files in the tree.
+func writeCheckpointV1(w io.Writer, s *System[float64]) error {
+	bw := bufio.NewWriter(w)
+	if err := writeCheckpointBody(bw, s, checkpointVersion1); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeCheckpointBody writes magic, version, scalars, flags, counts,
+// and the three vector arrays — the layout shared by v1 and v2.
+func writeCheckpointBody(w io.Writer, s *System[float64], version uint32) error {
+	head := []uint32{checkpointMagic, version}
 	for _, v := range head {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
 			return err
 		}
 	}
 	scalars := []float64{s.P.Box, s.P.Cutoff, s.P.Dt, s.P.Epsilon, s.P.Sigma, s.PE, s.KE}
 	for _, v := range scalars {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
 			return err
 		}
 	}
@@ -40,28 +82,33 @@ func WriteCheckpoint(w io.Writer, s *System[float64]) error {
 	if s.P.Shifted {
 		flags = 1
 	}
-	if err := binary.Write(bw, binary.LittleEndian, flags); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, flags); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint64(s.Steps)); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, uint64(s.Steps)); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint64(s.N())); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, uint64(s.N())); err != nil {
 		return err
 	}
 	for _, arr := range [][]vec.V3[float64]{s.Pos, s.Vel, s.Acc} {
 		for _, v := range arr {
 			for _, c := range [3]float64{v.X, v.Y, v.Z} {
-				if err := binary.Write(bw, binary.LittleEndian, c); err != nil {
+				if err := binary.Write(w, binary.LittleEndian, c); err != nil {
 					return err
 				}
 			}
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
-// ReadCheckpoint reconstructs a system from a checkpoint stream.
+// ReadCheckpoint reconstructs a system from a checkpoint stream. It
+// accepts format v2 (verifying the CRC32 trailer) and legacy v1 (no
+// trailer); any truncation, bit corruption (v2), hostile length field,
+// or non-finite state yields an error, never a panic. Allocation is
+// incremental, so a hostile header cannot force a giant up-front
+// allocation the stream doesn't back.
 func ReadCheckpoint(r io.Reader) (*System[float64], error) {
 	br := bufio.NewReader(r)
 	var magic, version uint32
@@ -74,29 +121,46 @@ func ReadCheckpoint(r io.Reader) (*System[float64], error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	if version != checkpointVersion {
+	if version != checkpointVersion1 && version != checkpointVersion {
 		return nil, fmt.Errorf("md: unsupported checkpoint version %d", version)
 	}
+
+	// For v2, hash everything from the magic through the payload; the
+	// magic and version were already consumed, so feed them to the hash
+	// by hand and tee the rest of the body through it.
+	var crc hash.Hash32
+	var body io.Reader = br
+	if version == checkpointVersion {
+		crc = crc32.NewIEEE()
+		var head [8]byte
+		binary.LittleEndian.PutUint32(head[0:4], magic)
+		binary.LittleEndian.PutUint32(head[4:8], version)
+		crc.Write(head[:])
+		body = io.TeeReader(br, crc)
+	}
+
 	var scalars [7]float64
 	for i := range scalars {
-		if err := binary.Read(br, binary.LittleEndian, &scalars[i]); err != nil {
-			return nil, err
+		if err := binary.Read(body, binary.LittleEndian, &scalars[i]); err != nil {
+			return nil, fmt.Errorf("md: truncated checkpoint header: %w", err)
 		}
 	}
 	var flags uint32
-	if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
-		return nil, err
+	if err := binary.Read(body, binary.LittleEndian, &flags); err != nil {
+		return nil, fmt.Errorf("md: truncated checkpoint header: %w", err)
 	}
 	var steps, n uint64
-	if err := binary.Read(br, binary.LittleEndian, &steps); err != nil {
-		return nil, err
+	if err := binary.Read(body, binary.LittleEndian, &steps); err != nil {
+		return nil, fmt.Errorf("md: truncated checkpoint header: %w", err)
 	}
-	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, err
+	if err := binary.Read(body, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("md: truncated checkpoint header: %w", err)
 	}
-	const maxAtoms = 1 << 26 // 64M atoms: refuse absurd headers
-	if n == 0 || n > maxAtoms {
+	if n == 0 || n > checkpointMaxAtoms {
 		return nil, fmt.Errorf("md: checkpoint claims %d atoms", n)
+	}
+	if steps > checkpointMaxSteps {
+		return nil, fmt.Errorf("md: checkpoint claims %d steps", steps)
 	}
 	s := &System[float64]{
 		P: Params[float64]{
@@ -107,26 +171,46 @@ func ReadCheckpoint(r io.Reader) (*System[float64], error) {
 		PE:    scalars[5],
 		KE:    scalars[6],
 		Steps: int(steps),
-		Pos:   make([]vec.V3[float64], n),
-		Vel:   make([]vec.V3[float64], n),
-		Acc:   make([]vec.V3[float64], n),
 	}
 	if err := s.P.Validate(); err != nil {
 		return nil, fmt.Errorf("md: checkpoint parameters invalid: %w", err)
 	}
-	for _, arr := range [][]vec.V3[float64]{s.Pos, s.Vel, s.Acc} {
-		for i := range arr {
-			var c [3]float64
-			for j := range c {
-				if err := binary.Read(br, binary.LittleEndian, &c[j]); err != nil {
-					return nil, fmt.Errorf("md: truncated checkpoint: %w", err)
-				}
-				if math.IsNaN(c[j]) || math.IsInf(c[j], 0) {
-					return nil, fmt.Errorf("md: checkpoint contains non-finite state")
-				}
-			}
-			arr[i] = vec.V3[float64]{X: c[0], Y: c[1], Z: c[2]}
+	arrays := []*[]vec.V3[float64]{&s.Pos, &s.Vel, &s.Acc}
+	for _, arr := range arrays {
+		a, err := readV3Array(body, int(n))
+		if err != nil {
+			return nil, err
+		}
+		*arr = a
+	}
+	if version == checkpointVersion {
+		var want uint32
+		if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+			return nil, fmt.Errorf("md: truncated checkpoint trailer: %w", err)
+		}
+		if got := crc.Sum32(); got != want {
+			return nil, fmt.Errorf("md: checkpoint CRC mismatch (file %#x, computed %#x)", want, got)
 		}
 	}
 	return s, nil
+}
+
+// readV3Array reads n vectors, growing the slice in bounded chunks so
+// memory use tracks the bytes actually present in the stream rather
+// than the (possibly hostile) header count.
+func readV3Array(r io.Reader, n int) ([]vec.V3[float64], error) {
+	out := make([]vec.V3[float64], 0, min(n, checkpointAllocStep))
+	for len(out) < n {
+		var c [3]float64
+		for j := range c {
+			if err := binary.Read(r, binary.LittleEndian, &c[j]); err != nil {
+				return nil, fmt.Errorf("md: truncated checkpoint: %w", err)
+			}
+			if math.IsNaN(c[j]) || math.IsInf(c[j], 0) {
+				return nil, fmt.Errorf("md: checkpoint contains non-finite state")
+			}
+		}
+		out = append(out, vec.V3[float64]{X: c[0], Y: c[1], Z: c[2]})
+	}
+	return out, nil
 }

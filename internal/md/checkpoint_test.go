@@ -123,3 +123,112 @@ func TestCheckpointRejectsNonFiniteState(t *testing.T) {
 }
 
 func nanF() float64 { z := 0.0; return z / z }
+
+// TestCheckpointTruncationEveryByte simulates a crash at every possible
+// point of a checkpoint write: every strict prefix of a valid v2 file
+// must be rejected with a clean error — the CRC trailer plus fixed
+// layout guarantee no prefix parses as a complete checkpoint.
+func TestCheckpointTruncationEveryByte(t *testing.T) {
+	s := makeSystem(t, 32, true)
+	s.Run(3)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadCheckpoint(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at byte %d of %d accepted", cut, len(full))
+		}
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader(full)); err != nil {
+		t.Fatalf("untruncated file rejected: %v", err)
+	}
+}
+
+// TestCheckpointBitFlipEveryByte flips each byte of a valid v2 file in
+// turn; the CRC trailer (or a stricter structural check) must reject
+// every corruption. This is the property v1 lacked: a flipped mantissa
+// byte used to load silently.
+func TestCheckpointBitFlipEveryByte(t *testing.T) {
+	s := makeSystem(t, 16, false)
+	s.Run(2)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	corrupt := make([]byte, len(full))
+	for i := range full {
+		copy(corrupt, full)
+		corrupt[i] ^= 0x40
+		if _, err := ReadCheckpoint(bytes.NewReader(corrupt)); err == nil {
+			t.Fatalf("bit flip at byte %d of %d accepted", i, len(full))
+		}
+	}
+}
+
+// TestCheckpointV1StillLoads is the format-compatibility golden test:
+// a legacy v1 (trailer-less) stream must restore bit-exactly and
+// continue the trajectory identically to the v2 restore.
+func TestCheckpointV1StillLoads(t *testing.T) {
+	s := makeSystem(t, 64, true)
+	s.Run(10)
+	var v1, v2 bytes.Buffer
+	if err := writeCheckpointV1(&v1, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCheckpoint(&v2, s); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() != v1.Len()+4 {
+		t.Fatalf("v2 must be v1 plus a 4-byte trailer: %d vs %d", v2.Len(), v1.Len())
+	}
+	fromV1, err := ReadCheckpoint(&v1)
+	if err != nil {
+		t.Fatalf("v1 checkpoint rejected: %v", err)
+	}
+	fromV2, err := ReadCheckpoint(&v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromV1.P != s.P || fromV1.Steps != s.Steps || fromV1.PE != s.PE || fromV1.KE != s.KE {
+		t.Fatal("v1 restore header mismatch")
+	}
+	for i := range s.Pos {
+		if fromV1.Pos[i] != s.Pos[i] || fromV1.Vel[i] != s.Vel[i] || fromV1.Acc[i] != s.Acc[i] {
+			t.Fatalf("v1 restore state mismatch at atom %d", i)
+		}
+	}
+	fromV1.Run(5)
+	fromV2.Run(5)
+	for i := range fromV1.Pos {
+		if fromV1.Pos[i] != fromV2.Pos[i] {
+			t.Fatalf("v1 and v2 restores diverged at atom %d", i)
+		}
+	}
+}
+
+// TestCheckpointHostileAtomCountNoBigAlloc: a header claiming the
+// maximum atom count over a near-empty stream must fail fast without
+// allocating the claimed state (chunked reads bound memory by the
+// bytes actually present).
+func TestCheckpointHostileAtomCountNoBigAlloc(t *testing.T) {
+	s := makeSystem(t, 16, false)
+	var buf bytes.Buffer
+	if err := writeCheckpointV1(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Atom count lives at offset 76 (magic 4 + version 4 + scalars 56 +
+	// flags 4 + steps 8). Claim exactly checkpointMaxAtoms — passes the
+	// header bound — while providing only the original 16 atoms of
+	// payload: the chunked reader must fail at EOF, not allocate 4.6GB.
+	for i := 0; i < 8; i++ {
+		data[76+i] = 0
+	}
+	data[76+3] = 0x04 // little-endian 0x04000000 = 1<<26
+	if _, err := ReadCheckpoint(bytes.NewReader(data)); err == nil {
+		t.Fatal("hostile atom count accepted")
+	}
+}

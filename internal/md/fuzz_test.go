@@ -1,11 +1,13 @@
 package md
 
 import (
+	"bytes"
 	"io"
 	"math"
 	"strings"
 	"testing"
 
+	"repro/internal/lattice"
 	"repro/internal/vec"
 )
 
@@ -32,6 +34,54 @@ func FuzzXYZReader(f *testing.F) {
 			if len(frame.Symbols) != len(frame.Pos) {
 				t.Fatalf("frame with %d symbols, %d positions", len(frame.Symbols), len(frame.Pos))
 			}
+		}
+	})
+}
+
+// FuzzReadCheckpoint feeds arbitrary byte streams to the checkpoint
+// reader: it must never panic and never allocate beyond what the
+// stream backs (hostile length fields), and any stream it accepts must
+// survive a write/read round trip bit-exactly.
+func FuzzReadCheckpoint(f *testing.F) {
+	// Seed with a valid v2 file, a valid v1 file, and assorted garbage.
+	st, err := lattice.Generate(lattice.Config{
+		N: 8, Density: 0.8442, Temperature: 0.728, Kind: lattice.FCC, Seed: 3,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	sys, err := NewSystem(st, Params[float64]{Box: st.Box, Cutoff: st.Box / 2 * 0.99, Dt: 0.004})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var v2, v1 bytes.Buffer
+	if err := WriteCheckpoint(&v2, sys); err != nil {
+		f.Fatal(err)
+	}
+	if err := writeCheckpointV1(&v1, sys); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes()[:len(v2.Bytes())/2])
+	f.Add([]byte{})
+	f.Add([]byte("PCDM"))
+	f.Add([]byte{0x50, 0x43, 0x44, 0x4d, 2, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCheckpoint(&buf, s); err != nil {
+			t.Fatalf("accepted checkpoint failed to re-serialize: %v", err)
+		}
+		s2, err := ReadCheckpoint(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted checkpoint rejected: %v", err)
+		}
+		if s2.N() != s.N() || s2.Steps != s.Steps || s2.P != s.P {
+			t.Fatal("round trip of accepted checkpoint diverged")
 		}
 	})
 }

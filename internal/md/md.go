@@ -194,6 +194,16 @@ func (s *System[T]) Step() {
 // only the force kernel differs — mirroring the paper, where only the
 // acceleration computation is offloaded.
 func (s *System[T]) StepWith(forces func() T) {
+	_ = s.StepWithE(func() (T, error) { return forces(), nil })
+}
+
+// StepWithE is StepWith for force evaluations that can fail (worker
+// faults, bonded blow-ups). On error the step is abandoned: Steps is
+// not incremented and the returned error propagates, but the state is
+// mid-step (velocities half-kicked, positions drifted) — callers that
+// continue after an error must restore a known-good state first, which
+// is exactly what the guard supervisor's checkpoint rollback does.
+func (s *System[T]) StepWithE(forces func() (T, error)) error {
 	dt := s.P.Dt
 	half := dt / 2
 	for i := range s.Vel {
@@ -202,12 +212,17 @@ func (s *System[T]) StepWith(forces func() T) {
 	for i := range s.Pos {
 		s.Pos[i] = Wrap(s.Pos[i].MulAdd(dt, s.Vel[i]), s.P.Box) // drift + wrap
 	}
-	s.PE = forces()
+	pe, err := forces()
+	if err != nil {
+		return err
+	}
+	s.PE = pe
 	for i := range s.Vel {
 		s.Vel[i] = s.Vel[i].MulAdd(half, s.Acc[i]) // second half kick
 	}
 	s.KE = KineticEnergy(s.Vel)
 	s.Steps++
+	return nil
 }
 
 // Run advances n steps with the reference force kernel.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/faults"
 	"repro/internal/lattice"
 	"repro/internal/md"
 	"repro/internal/parallel"
@@ -131,6 +132,14 @@ type Config struct {
 	SampleRDF   bool
 	RDFBins     int // default 50
 	SampleEvery int // observable sampling stride (default 10)
+
+	// Faults optionally injects failures for resilience testing: the
+	// trajectory writer is wrapped at faults.SiteTrajectory, every
+	// force evaluation consults faults.SiteForces, and the parallel
+	// engine (if any) is armed at faults.SiteWorker and
+	// faults.SiteParallelForces. Nil (the default) costs one nil check
+	// per step.
+	Faults faults.Injector
 }
 
 // withDefaults fills zero values.
@@ -183,7 +192,7 @@ type Runner struct {
 	cfg Config
 	sys *md.System[float64]
 
-	forces func() float64
+	forces func() (float64, error)
 	bonded *md.Topology
 	therm  md.Thermostat[float64]
 	traj   *md.XYZWriter
@@ -208,6 +217,39 @@ func New(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	return assemble(cfg, sys)
+}
+
+// NewFromSystem builds a runner that continues from an existing system
+// state — a restored checkpoint, or a state handed over from another
+// runner (the guard supervisor's rollback/escalation path). The
+// Config's lattice-shape fields (Atoms, Density, Lattice, Seed) are
+// ignored; the box comes from sys, while Cutoff, Dt, and Shifted are
+// taken from cfg when set (Dt overriding is what lets the supervisor
+// halve the time step on retry). The system is adopted, not copied,
+// and its stored accelerations are kept so a same-method resume stays
+// bit-exact with an uninterrupted run.
+func NewFromSystem(sys *md.System[float64], cfg Config) (*Runner, error) {
+	if sys == nil || sys.N() == 0 {
+		return nil, fmt.Errorf("mdrun: NewFromSystem needs a non-empty system")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Cutoff > 0 {
+		sys.P.Cutoff = cfg.Cutoff
+	}
+	if cfg.Dt > 0 {
+		sys.P.Dt = cfg.Dt
+	}
+	sys.P.Shifted = cfg.Shifted
+	if err := sys.P.Validate(); err != nil {
+		return nil, err
+	}
+	return assemble(cfg, sys)
+}
+
+// assemble wires forces, thermostat, trajectory, and observables
+// around an existing system.
+func assemble(cfg Config, sys *md.System[float64]) (*Runner, error) {
 	r := &Runner{cfg: cfg, sys: sys, bonded: cfg.Topology}
 
 	if r.bonded != nil {
@@ -220,18 +262,24 @@ func New(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.forces = func() float64 {
-		pe := nonbonded()
+	r.forces = func() (float64, error) {
+		pe, err := nonbonded()
+		if err != nil {
+			return 0, err
+		}
 		if r.bonded != nil {
 			bpe, err := md.BondedForces(r.bonded, sys.P.Box, sys.Pos, sys.Acc)
 			if err != nil {
 				// Bonded failures (coincident atoms) indicate a blown-up
-				// trajectory; surface through panic/recover at Run.
-				panic(err)
+				// trajectory; surface as a step error.
+				return 0, err
 			}
 			pe += bpe
 		}
-		return pe
+		if f := faults.Fire(cfg.Faults, faults.SiteForces); f != nil {
+			faults.CorruptV3(f.Kind, sys.Acc)
+		}
+		return pe, nil
 	}
 
 	switch cfg.Thermostat {
@@ -250,76 +298,90 @@ func New(cfg Config) (*Runner, error) {
 	}
 
 	if cfg.Trajectory != nil {
-		r.traj = md.NewXYZWriter(cfg.Trajectory, "Ar")
+		r.traj = md.NewXYZWriter(faults.NewWriter(cfg.Trajectory, cfg.Faults, faults.SiteTrajectory), "Ar")
 	}
 	if cfg.SampleRDF {
-		rMax := cfg.Cutoff
-		if rMax > st.Box/2 {
-			rMax = st.Box / 2 * 0.99
+		rMax := sys.P.Cutoff
+		if rMax > sys.P.Box/2 {
+			rMax = sys.P.Box / 2 * 0.99
 		}
-		r.rdf, err = md.NewRDF(st.Box, rMax, cfg.RDFBins)
+		r.rdf, err = md.NewRDF(sys.P.Box, rMax, cfg.RDFBins)
 		if err != nil {
 			return nil, err
 		}
 	}
-	r.msd = md.NewMSD(st.Box, sys.Pos)
+	r.msd = md.NewMSD(sys.P.Box, sys.Pos)
 	return r, nil
 }
 
-// buildForces wires the selected non-bonded method. For the Parallel*
-// methods a Workers count of 1 routes straight to the corresponding
-// serial kernel (the parallel kernels are bitwise identical at one
-// worker, but the serial path spawns no pool at all).
-func (r *Runner) buildForces() (func() float64, error) {
+// buildForces wires the selected non-bonded method on the
+// error-returning kernel path (serial kernels cannot fail; parallel
+// kernels surface worker faults as errors). For the Parallel* methods
+// a Workers count of 1 routes straight to the corresponding serial
+// kernel (the parallel kernels are bitwise identical at one worker,
+// but the serial path spawns no pool at all).
+func (r *Runner) buildForces() (func() (float64, error), error) {
 	sys := r.sys
+	infallible := func(f func() float64) func() (float64, error) {
+		return func() (float64, error) { return f(), nil }
+	}
 	switch r.cfg.Method {
 	case Direct:
-		return func() float64 { return md.ComputeForces(sys.P, sys.Pos, sys.Acc) }, nil
+		return infallible(func() float64 { return md.ComputeForces(sys.P, sys.Pos, sys.Acc) }), nil
 	case Pairlist:
 		nl, err := md.NewNeighborList[float64](r.cfg.PairlistSkin)
 		if err != nil {
 			return nil, err
 		}
-		return func() float64 { return nl.Forces(sys.P, sys.Pos, sys.Acc) }, nil
+		return infallible(func() float64 { return nl.Forces(sys.P, sys.Pos, sys.Acc) }), nil
 	case CellGrid:
 		cl, err := md.NewCellList(sys.P.Box, sys.P.Cutoff)
 		if err != nil {
 			return nil, err
 		}
-		return func() float64 { return cl.Forces(sys.P, sys.Pos, sys.Acc) }, nil
+		return infallible(func() float64 { return cl.Forces(sys.P, sys.Pos, sys.Acc) }), nil
 	case ParallelDirect:
 		if r.cfg.Workers == 1 {
-			return func() float64 { return md.ComputeForcesFull(sys.P, sys.Pos, sys.Acc) }, nil
+			return infallible(func() float64 { return md.ComputeForcesFull(sys.P, sys.Pos, sys.Acc) }), nil
 		}
-		r.engine = parallel.New[float64](r.cfg.Workers)
-		return func() float64 { return r.engine.ForcesDirect(sys.P, sys.Pos, sys.Acc) }, nil
+		r.newEngine()
+		return func() (float64, error) { return r.engine.TryForcesDirect(sys.P, sys.Pos, sys.Acc) }, nil
 	case ParallelPairlist:
 		nl, err := md.NewNeighborList[float64](r.cfg.PairlistSkin)
 		if err != nil {
 			return nil, err
 		}
 		if r.cfg.Workers == 1 {
-			return func() float64 { return nl.Forces(sys.P, sys.Pos, sys.Acc) }, nil
+			return infallible(func() float64 { return nl.Forces(sys.P, sys.Pos, sys.Acc) }), nil
 		}
-		r.engine = parallel.New[float64](r.cfg.Workers)
-		return func() float64 { return r.engine.ForcesPairlist(nl, sys.P, sys.Pos, sys.Acc) }, nil
+		r.newEngine()
+		return func() (float64, error) { return r.engine.TryForcesPairlist(nl, sys.P, sys.Pos, sys.Acc) }, nil
 	case ParallelCellGrid:
 		cl, err := md.NewCellList(sys.P.Box, sys.P.Cutoff)
 		if err != nil {
 			return nil, err
 		}
 		if r.cfg.Workers == 1 {
-			return func() float64 { return cl.Forces(sys.P, sys.Pos, sys.Acc) }, nil
+			return infallible(func() float64 { return cl.Forces(sys.P, sys.Pos, sys.Acc) }), nil
 		}
-		r.engine = parallel.New[float64](r.cfg.Workers)
-		return func() float64 { return r.engine.ForcesCell(cl, sys.P, sys.Pos, sys.Acc) }, nil
+		r.newEngine()
+		return func() (float64, error) { return r.engine.TryForcesCell(cl, sys.P, sys.Pos, sys.Acc) }, nil
 	default:
 		return nil, fmt.Errorf("mdrun: unknown force method %d", int(r.cfg.Method))
 	}
 }
 
+// newEngine builds the worker pool and arms it with the configured
+// fault injector.
+func (r *Runner) newEngine() {
+	r.engine = parallel.New[float64](r.cfg.Workers)
+	r.engine.SetInjector(r.cfg.Faults)
+}
+
 // Close releases the parallel worker pool, if any. The Runner must not
-// be used after Close. Close is idempotent and safe on serial runners.
+// be used after Close. Close is idempotent, safe on serial runners,
+// safe to call concurrently from several goroutines, and safe after a
+// failed Run — the pool drains even when the last evaluation errored.
 func (r *Runner) Close() {
 	if r.engine != nil {
 		r.engine.Close()
@@ -330,33 +392,44 @@ func (r *Runner) Close() {
 func (r *Runner) System() *md.System[float64] { return r.sys }
 
 // Run advances the simulation the given number of steps and returns
-// the summary.
-func (r *Runner) Run(steps int) (summary *Summary, err error) {
+// the summary. Failures — a worker fault, a bonded blow-up, a
+// trajectory-write error — return an error together with a partial
+// Summary whose Steps field reports how many steps completed before
+// the failure (the other summary fields describe the state at that
+// point); there is no panic path. After a failed Run the system state
+// may be mid-step; continue only from a restored checkpoint (see
+// internal/guard).
+func (r *Runner) Run(steps int) (*Summary, error) {
 	if steps < 0 {
 		return nil, fmt.Errorf("mdrun: steps must be non-negative, got %d", steps)
 	}
-	defer func() {
-		if rec := recover(); rec != nil {
-			if e, ok := rec.(error); ok {
-				summary, err = nil, fmt.Errorf("mdrun: %w", e)
-				return
-			}
-			panic(rec)
-		}
-	}()
 
 	sys := r.sys
 	sum := &Summary{Steps: steps, InitialEnergy: sys.TotalEnergy()}
 	var tempSum float64
 	tempSamples := 0
+	// fail reports a failure after completed whole steps.
+	fail := func(completed int, err error) (*Summary, error) {
+		sum.Steps = completed
+		sum.FinalEnergy = sys.TotalEnergy()
+		if tempSamples > 0 {
+			sum.MeanTemperature = tempSum / float64(tempSamples)
+		}
+		if r.traj != nil {
+			sum.FramesWritten = r.traj.Frames()
+		}
+		return sum, fmt.Errorf("mdrun: %w", err)
+	}
 	for s := 1; s <= steps; s++ {
-		sys.StepWith(r.forces)
+		if err := sys.StepWithE(r.forces); err != nil {
+			return fail(s-1, fmt.Errorf("step %d: %w", sys.Steps+1, err))
+		}
 		if r.therm != nil {
 			r.therm.Apply(sys.Vel, sys.Temperature())
 			sys.KE = md.KineticEnergy(sys.Vel)
 		}
 		if err := r.msd.Track(sys.Pos); err != nil {
-			return nil, err
+			return fail(s, err)
 		}
 		if s%r.cfg.SampleEvery == 0 {
 			tempSum += sys.Temperature()
@@ -368,13 +441,13 @@ func (r *Runner) Run(steps int) (summary *Summary, err error) {
 		if r.traj != nil && s%r.cfg.TrajectoryEvery == 0 {
 			comment := fmt.Sprintf("step %d PE %.6f KE %.6f", sys.Steps, sys.PE, sys.KE)
 			if err := r.traj.WriteFrame(comment, sys.Pos); err != nil {
-				return nil, err
+				return fail(s, fmt.Errorf("trajectory: %w", err))
 			}
 		}
 	}
 	if r.traj != nil {
 		if err := r.traj.Flush(); err != nil {
-			return nil, err
+			return fail(steps, fmt.Errorf("trajectory: %w", err))
 		}
 		sum.FramesWritten = r.traj.Frames()
 	}

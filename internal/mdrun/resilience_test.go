@@ -1,0 +1,264 @@
+package mdrun
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestWorkerPanicSurfacesAsError pins the tentpole isolation contract:
+// a panic inside a parallel force worker must come back from Run as an
+// error with a partial Summary — the process must not die, and the
+// runner must still Close cleanly afterwards.
+func TestWorkerPanicSurfacesAsError(t *testing.T) {
+	cfg := parallelBase(ParallelDirect, 3)
+	cfg.Faults = faults.NewRegistry(1).Arm(faults.Fault{
+		Site: faults.SiteWorker, Kind: faults.Panic,
+		Trigger: faults.Trigger{AtCall: 7},
+	})
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	sum, err := r.Run(50)
+	if err == nil {
+		t.Fatal("worker panic did not surface as an error")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("error does not mention the panic: %v", err)
+	}
+	if sum == nil {
+		t.Fatal("failed Run returned nil Summary; want partial summary")
+	}
+	if sum.Steps < 0 || sum.Steps >= 50 {
+		t.Fatalf("partial Steps = %d, want 0 <= steps < 50", sum.Steps)
+	}
+	if sum.Steps != r.System().Steps {
+		t.Fatalf("Summary.Steps %d != System.Steps %d", sum.Steps, r.System().Steps)
+	}
+}
+
+// TestWorkerErrorFaultSurfacesAsError covers the non-panic worker
+// failure kind through the same path.
+func TestWorkerErrorFaultSurfacesAsError(t *testing.T) {
+	cfg := parallelBase(ParallelPairlist, 4)
+	cfg.Faults = faults.NewRegistry(2).Arm(faults.Fault{
+		Site: faults.SiteWorker, Kind: faults.Error,
+		Trigger: faults.Trigger{AtCall: 3},
+	})
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	_, err = r.Run(20)
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("want wrapped faults.ErrInjected, got %v", err)
+	}
+}
+
+// TestTrajectoryWriteFailurePartialSummary replaces the old panic(err)
+// trajectory path: an injected write failure must return an error and
+// a Summary counting the steps that completed before it.
+func TestTrajectoryWriteFailurePartialSummary(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := baseConfig()
+	cfg.Atoms = 108
+	cfg.Trajectory = &buf
+	cfg.TrajectoryEvery = 5
+	cfg.Faults = faults.NewRegistry(3).Arm(faults.Fault{
+		Site: faults.SiteTrajectory, Kind: faults.Error,
+		Trigger: faults.Trigger{FromCall: 1},
+	})
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	sum, err := r.Run(20)
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("want wrapped faults.ErrInjected, got %v", err)
+	}
+	if sum == nil {
+		t.Fatal("failed Run returned nil Summary")
+	}
+	// A 108-atom frame overflows the XYZ writer's buffer, so the first
+	// frame attempt (step 5) hits the failing writer.
+	if sum.Steps != 5 {
+		t.Fatalf("partial Steps = %d, want 5 (failure at first frame)", sum.Steps)
+	}
+	if math.IsNaN(sum.FinalEnergy) {
+		t.Fatal("partial summary has NaN energy on an I/O-only failure")
+	}
+}
+
+// TestForcesCorruptionIsSilentWithoutGuard: a SiteForces NaN fault
+// corrupts the accelerations but is not an execution error — detecting
+// it is the guard watchdog's job. Run must complete and the poison must
+// be visible in the final energy.
+func TestForcesCorruptionIsSilentWithoutGuard(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Atoms = 108
+	cfg.Faults = faults.NewRegistry(4).Arm(faults.Fault{
+		Site: faults.SiteForces, Kind: faults.NaN,
+		Trigger: faults.Trigger{AtCall: 3},
+	})
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	sum, err := r.Run(10)
+	if err != nil {
+		t.Fatalf("value corruption must not be an execution error: %v", err)
+	}
+	if !math.IsNaN(sum.FinalEnergy) {
+		t.Fatal("injected NaN never propagated to the final energy")
+	}
+}
+
+// TestCloseAfterRunError: the worker pool must drain and close cleanly
+// even when the last force evaluation failed mid-flight.
+func TestCloseAfterRunError(t *testing.T) {
+	cfg := parallelBase(ParallelDirect, 4)
+	cfg.Faults = faults.NewRegistry(5).Arm(faults.Fault{
+		Site: faults.SiteWorker, Kind: faults.Panic,
+		Trigger: faults.Trigger{AtCall: 2},
+	})
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(10); err == nil {
+		t.Fatal("expected injected failure")
+	}
+	r.Close()
+	r.Close() // and still idempotent afterwards
+}
+
+// TestCloseConcurrent: Close must be safe from several goroutines at
+// once (the supervisor and a signal handler may race to clean up).
+func TestCloseConcurrent(t *testing.T) {
+	r, err := New(parallelBase(ParallelDirect, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Close()
+		}()
+	}
+	wg.Wait()
+}
+
+// TestNewFromSystemResumeBitExact: adopting a mid-run system via
+// NewFromSystem and continuing with the same method must reproduce an
+// uninterrupted run bit for bit — the handover the guard supervisor
+// depends on for clean restarts.
+func TestNewFromSystemResumeBitExact(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Atoms = 108
+
+	straight, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer straight.Close()
+	if _, err := straight.Run(40); err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	if _, err := first.Run(25); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := NewFromSystem(first.System().Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if _, err := resumed.Run(15); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := straight.System(), resumed.System()
+	if a.Steps != b.Steps {
+		t.Fatalf("steps %d vs %d", a.Steps, b.Steps)
+	}
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] || a.Acc[i] != b.Acc[i] {
+			t.Fatalf("resume diverged at atom %d", i)
+		}
+	}
+	if a.PE != b.PE || a.KE != b.KE {
+		t.Fatal("resume energies diverged")
+	}
+}
+
+// TestNewFromSystemDtOverride: the config's Dt must override the
+// adopted system's (the supervisor's halve-dt escalation rung), while
+// a zero Dt keeps the system's own.
+func TestNewFromSystemDtOverride(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Atoms = 108
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	halved := cfg
+	halved.Dt = cfg.Dt / 2
+	r2, err := NewFromSystem(r.System().Clone(), halved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := r2.System().P.Dt; got != cfg.Dt/2 {
+		t.Fatalf("Dt override: got %v, want %v", got, cfg.Dt/2)
+	}
+
+	keep := cfg
+	keep.Dt = 0
+	r3, err := NewFromSystem(r.System().Clone(), keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Close()
+	if got := r3.System().P.Dt; got != cfg.Dt {
+		t.Fatalf("zero Dt must keep the system's: got %v, want %v", got, cfg.Dt)
+	}
+}
+
+// TestNewFromSystemRejectsEmpty guards the nil/empty system paths.
+func TestNewFromSystemRejectsEmpty(t *testing.T) {
+	if _, err := NewFromSystem(nil, baseConfig()); err == nil {
+		t.Fatal("nil system accepted")
+	}
+	r, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	empty := r.System().Clone()
+	empty.Pos = empty.Pos[:0]
+	if _, err := NewFromSystem(empty, baseConfig()); err == nil {
+		t.Fatal("empty system accepted")
+	}
+}

@@ -29,9 +29,11 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
+	"repro/internal/faults"
 	"repro/internal/md"
 	"repro/internal/sim"
 	"repro/internal/vec"
@@ -66,6 +68,10 @@ type Engine[T vec.Float] struct {
 	workers int
 	tasks   chan func()
 	once    sync.Once
+
+	// inj is the fault injector consulted at the worker and
+	// parallel-forces sites; nil (the default) is a no-op.
+	inj faults.Injector
 
 	shards []shard[T]
 }
@@ -110,29 +116,78 @@ func (e *Engine[T]) Close() {
 	})
 }
 
-// runN executes fn(0..n-1) across the pool and waits for all of them.
-// n must be at most e.workers.
-func (e *Engine[T]) runN(n int, fn func(w int)) {
+// SetInjector installs a fault injector consulted once per worker task
+// (faults.SiteWorker: panic, delay, error) and once per kernel
+// evaluation (faults.SiteParallelForces: output corruption). Pass nil
+// to disarm. Must not be called concurrently with a force evaluation.
+func (e *Engine[T]) SetInjector(in faults.Injector) { e.inj = in }
+
+// call runs one worker's share under recover, applying any armed
+// worker-site fault first. A panic — injected or real — becomes an
+// error on the caller instead of killing the process; this isolation
+// is the contract the guard supervisor's retry ladder builds on.
+func (e *Engine[T]) call(w int, fn func(w int)) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("parallel: worker %d panicked: %v", w, rec)
+		}
+	}()
+	if f := faults.Fire(e.inj, faults.SiteWorker); f != nil {
+		if ferr := f.WorkerFault(); ferr != nil {
+			return fmt.Errorf("parallel: worker %d: %w", w, ferr)
+		}
+	}
+	fn(w)
+	return nil
+}
+
+// runN executes fn(0..n-1) across the pool, waits for all of them, and
+// returns the first worker failure (the others still run to
+// completion, so the pool stays consistent). n must be at most
+// e.workers.
+func (e *Engine[T]) runN(n int, fn func(w int)) error {
 	if e.workers == 1 || n == 1 {
 		for w := 0; w < n; w++ {
-			fn(w)
+			if err := e.call(w, fn); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	var wg sync.WaitGroup
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
+	)
 	wg.Add(n)
 	for w := 0; w < n; w++ {
 		w := w
 		e.tasks <- func() {
 			defer wg.Done()
-			fn(w)
+			if err := e.call(w, fn); err != nil {
+				errMu.Lock()
+				if first == nil {
+					first = err
+				}
+				errMu.Unlock()
+			}
 		}
 	}
 	wg.Wait()
+	return first
 }
 
-// run executes fn once per worker and waits.
-func (e *Engine[T]) run(fn func(w int)) { e.runN(e.workers, fn) }
+// run executes fn once per worker, waits, and returns the first worker
+// failure.
+func (e *Engine[T]) run(fn func(w int)) error { return e.runN(e.workers, fn) }
+
+// corruptOutput applies any armed parallel-forces fault to a completed
+// kernel's output.
+func (e *Engine[T]) corruptOutput(acc []vec.V3[T]) {
+	if f := faults.Fire(e.inj, faults.SiteParallelForces); f != nil {
+		faults.CorruptV3(f.Kind, acc)
+	}
+}
 
 // shardRange splits n items into e.workers contiguous ranges and
 // returns worker w's [lo, hi).
@@ -154,18 +209,35 @@ func (e *Engine[T]) reducePE() T {
 // ForcesDirect evaluates the paper's O(N²) kernel with atom-range
 // sharding over the full-loop layout. acc is overwritten; the return
 // value is the total potential energy. With one worker the result is
-// bitwise identical to md.ComputeForcesFull.
+// bitwise identical to md.ComputeForcesFull. A worker failure panics
+// on the caller's goroutine; error-aware callers use TryForcesDirect.
 func (e *Engine[T]) ForcesDirect(p md.Params[T], pos, acc []vec.V3[T]) T {
 	pe, _ := e.ForcesDirectCount(p, pos, acc)
 	return pe
 }
 
+// TryForcesDirect is ForcesDirect on the error-returning kernel path:
+// a worker panic (real or injected) surfaces as an error and the
+// process — and the pool — survive. On error, acc is undefined.
+func (e *Engine[T]) TryForcesDirect(p md.Params[T], pos, acc []vec.V3[T]) (T, error) {
+	pe, _, err := e.forcesDirectCount(p, pos, acc)
+	return pe, err
+}
+
 // ForcesDirectCount is ForcesDirect plus the count of ordered
 // interacting pairs, mirroring md.ComputeForcesFullCount.
 func (e *Engine[T]) ForcesDirectCount(p md.Params[T], pos, acc []vec.V3[T]) (T, int64) {
+	pe, pairs, err := e.forcesDirectCount(p, pos, acc)
+	if err != nil {
+		panic(err)
+	}
+	return pe, pairs
+}
+
+func (e *Engine[T]) forcesDirectCount(p md.Params[T], pos, acc []vec.V3[T]) (T, int64, error) {
 	n := len(pos)
 	rc2 := p.Cutoff * p.Cutoff
-	e.run(func(w int) {
+	err := e.run(func(w int) {
 		lo, hi := e.shardRange(n, w)
 		sh := &e.shards[w]
 		var pe T
@@ -194,11 +266,15 @@ func (e *Engine[T]) ForcesDirectCount(p md.Params[T], pos, acc []vec.V3[T]) (T, 
 		sh.pe = pe
 		sh.pairs = pairs
 	})
+	if err != nil {
+		return 0, 0, err
+	}
+	e.corruptOutput(acc)
 	var pairs int64
 	for w := range e.shards {
 		pairs += e.shards[w].pairs
 	}
-	return e.reducePE() / 2, pairs
+	return e.reducePE() / 2, pairs, nil
 }
 
 // Coarse per-candidate and per-interaction operation mixes for the
@@ -230,7 +306,7 @@ var (
 func (e *Engine[T]) ForcesDirectInstrumented(p md.Params[T], pos, acc []vec.V3[T]) (T, sim.Ledger) {
 	n := len(pos)
 	rc2 := p.Cutoff * p.Cutoff
-	e.run(func(w int) {
+	err := e.run(func(w int) {
 		lo, hi := e.shardRange(n, w)
 		sh := &e.shards[w]
 		sh.ledger.Reset()
@@ -266,6 +342,10 @@ func (e *Engine[T]) ForcesDirectInstrumented(p md.Params[T], pos, acc []vec.V3[T
 			sh.ledger.Add(c.op, c.n*interactions)
 		}
 	})
+	if err != nil {
+		panic(err)
+	}
+	e.corruptOutput(acc)
 	ledgers := make([]sim.Ledger, len(e.shards))
 	for w := range e.shards {
 		ledgers[w] = e.shards[w].ledger
@@ -279,12 +359,25 @@ func (e *Engine[T]) ForcesDirectInstrumented(p md.Params[T], pos, acc []vec.V3[T
 // 27-cell shell. Every atom belongs to exactly one cell, so acc is
 // written race-free; each pair is visited from both sides, so the
 // summed energy is halved. acc is overwritten; the return value is the
-// potential energy, matching cl.Forces to rounding.
+// potential energy, matching cl.Forces to rounding. A worker failure
+// panics on the caller's goroutine; error-aware callers use
+// TryForcesCell.
 func (e *Engine[T]) ForcesCell(cl *md.CellList[T], p md.Params[T], pos, acc []vec.V3[T]) T {
+	pe, err := e.TryForcesCell(cl, p, pos, acc)
+	if err != nil {
+		panic(err)
+	}
+	return pe
+}
+
+// TryForcesCell is ForcesCell on the error-returning kernel path: a
+// worker panic (real or injected) surfaces as an error and the process
+// — and the pool — survive. On error, acc is undefined.
+func (e *Engine[T]) TryForcesCell(cl *md.CellList[T], p md.Params[T], pos, acc []vec.V3[T]) (T, error) {
 	cl.Build(pos)
 	ncells := cl.NumCells()
 	rc2 := p.Cutoff * p.Cutoff
-	e.run(func(w int) {
+	err := e.run(func(w int) {
 		lo, hi := e.shardRange(ncells, w)
 		sh := &e.shards[w]
 		if cap(sh.cellbuf) < 27 {
@@ -321,7 +414,11 @@ func (e *Engine[T]) ForcesCell(cl *md.CellList[T], p md.Params[T], pos, acc []ve
 		}
 		sh.pe = pe
 	})
-	return e.reducePE() / 2
+	if err != nil {
+		return 0, err
+	}
+	e.corruptOutput(acc)
+	return e.reducePE() / 2, nil
 }
 
 // ForcesPairlist evaluates the Verlet-list kernel with pair-chunk
@@ -331,15 +428,28 @@ func (e *Engine[T]) ForcesCell(cl *md.CellList[T], p md.Params[T], pos, acc []ve
 // private acceleration buffer, and the buffers are combined by a
 // parallel tree reduction before being written to acc. The list is
 // rebuilt first if stale. acc is overwritten; the return value is the
-// potential energy, matching nl.Forces to rounding.
+// potential energy, matching nl.Forces to rounding. A worker failure
+// panics on the caller's goroutine; error-aware callers use
+// TryForcesPairlist.
 func (e *Engine[T]) ForcesPairlist(nl *md.NeighborList[T], p md.Params[T], pos, acc []vec.V3[T]) T {
+	pe, err := e.TryForcesPairlist(nl, p, pos, acc)
+	if err != nil {
+		panic(err)
+	}
+	return pe
+}
+
+// TryForcesPairlist is ForcesPairlist on the error-returning kernel
+// path: a worker panic (real or injected) surfaces as an error and the
+// process — and the pool — survive. On error, acc is undefined.
+func (e *Engine[T]) TryForcesPairlist(nl *md.NeighborList[T], p md.Params[T], pos, acc []vec.V3[T]) (T, error) {
 	if nl.Stale(p, pos) {
 		nl.Build(p, pos)
 	}
 	n := len(pos)
 	total := nl.PairCount()
 	rc2 := p.Cutoff * p.Cutoff
-	e.run(func(w int) {
+	err := e.run(func(w int) {
 		sh := &e.shards[w]
 		if cap(sh.acc) < n {
 			sh.acc = make([]vec.V3[T], n)
@@ -383,6 +493,9 @@ func (e *Engine[T]) ForcesPairlist(nl *md.NeighborList[T], p md.Params[T], pos, 
 		}
 		sh.pe = pe
 	})
+	if err != nil {
+		return 0, err
+	}
 
 	// Tree-reduce the private buffers: log₂(workers) rounds of pairwise
 	// adds, each round's adds running in parallel. The fixed tree makes
@@ -394,18 +507,23 @@ func (e *Engine[T]) ForcesPairlist(nl *md.NeighborList[T], p md.Params[T], pos, 
 			nadds++
 		}
 		stride := stride
-		e.runN(nadds, func(k int) {
+		if err := e.runN(nadds, func(k int) {
 			w := k * 2 * stride
 			dst, src := e.shards[w].acc, e.shards[w+stride].acc
 			for i := range dst {
 				dst[i] = dst[i].Add(src[i])
 			}
-		})
+		}); err != nil {
+			return 0, err
+		}
 	}
 	// Publish shard 0's totals into acc, sharded by atom range.
-	e.run(func(w int) {
+	if err := e.run(func(w int) {
 		lo, hi := e.shardRange(n, w)
 		copy(acc[lo:hi], e.shards[0].acc[lo:hi])
-	})
-	return e.reducePE()
+	}); err != nil {
+		return 0, err
+	}
+	e.corruptOutput(acc)
+	return e.reducePE(), nil
 }

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIncidentLogAddCountTotal(t *testing.T) {
+	var l IncidentLog
+	if l.Total() != 0 {
+		t.Fatal("zero log not empty")
+	}
+	l.Add(IncidentNaN, 2)
+	l.Add(IncidentRollback, 1)
+	l.Add(IncidentNaN, 1)
+	if got := l.Count(IncidentNaN); got != 3 {
+		t.Fatalf("Count(nan) = %d, want 3", got)
+	}
+	if got := l.Count(IncidentRetry); got != 0 {
+		t.Fatalf("Count(retry) = %d, want 0", got)
+	}
+	if got := l.Total(); got != 4 {
+		t.Fatalf("Total = %d, want 4", got)
+	}
+}
+
+func TestIncidentLogAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	var l IncidentLog
+	l.Add(IncidentNaN, -1)
+}
+
+func TestIncidentLogMerge(t *testing.T) {
+	var a, b IncidentLog
+	a.Add(IncidentRunError, 2)
+	b.Add(IncidentRunError, 3)
+	b.Add(IncidentSerialFallback, 1)
+	a.Merge(&b)
+	if a.Count(IncidentRunError) != 5 || a.Count(IncidentSerialFallback) != 1 {
+		t.Fatalf("merge wrong: %v", a.String())
+	}
+	// b unchanged.
+	if b.Count(IncidentRunError) != 3 {
+		t.Fatal("merge modified source")
+	}
+}
+
+func TestIncidentStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for i := Incident(0); i < NumIncidents; i++ {
+		s := i.String()
+		if s == "" || strings.HasPrefix(s, "Incident(") {
+			t.Fatalf("incident %d has no name", int(i))
+		}
+		if seen[s] {
+			t.Fatalf("duplicate incident name %q", s)
+		}
+		seen[s] = true
+	}
+	if got := Incident(-1).String(); got != "Incident(-1)" {
+		t.Fatalf("out-of-range String = %q", got)
+	}
+}
+
+func TestIncidentLogString(t *testing.T) {
+	var l IncidentLog
+	if l.String() != "" {
+		t.Fatalf("empty log String = %q", l.String())
+	}
+	l.Add(IncidentNaN, 1)
+	l.Add(IncidentDtHalved, 2)
+	got := l.String()
+	if got != "nan=1 dt-halved=2" {
+		t.Fatalf("String = %q", got)
+	}
+}
