@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/gpu"
 	"repro/internal/guard"
 	"repro/internal/lattice"
@@ -526,6 +528,93 @@ func BenchmarkGuardRecovery(b *testing.B) {
 			m["recovery_overhead_x"] = overhead
 		}
 		sink.Record("GuardRecovery/worker_panic", m)
+	})
+}
+
+// BenchmarkBatchThroughput measures the fleet scheduler end to end:
+// how many supervised replicas per second a full batch sustains, and
+// the shed rate once the offered load exceeds the admission queue.
+// With BENCH_JSON=<path> both points land in the JSON-Lines bench
+// trajectory.
+func BenchmarkBatchThroughput(b *testing.B) {
+	sink := report.NewBenchSink()
+	defer func() {
+		path := os.Getenv("BENCH_JSON")
+		if path == "" || sink.Len() == 0 {
+			return
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			b.Logf("BENCH_JSON: %v", err)
+			return
+		}
+		defer f.Close()
+		if err := sink.WriteJSON(f); err != nil {
+			b.Logf("BENCH_JSON: %v", err)
+		}
+	}()
+
+	replicas := func(n int) []fleet.Replica {
+		reps := make([]fleet.Replica, n)
+		for i := range reps {
+			cfg := mdrun.Config{
+				Atoms: 108, Density: 0.8442, Temperature: 0.728,
+				Lattice: lattice.FCC, Seed: uint64(100 + i),
+				Cutoff: 2.2, Dt: 0.004, Shifted: true,
+				Method: mdrun.Direct, Workers: 1,
+			}
+			reps[i] = fleet.Replica{
+				ID:    i,
+				Guard: guard.Config{Run: cfg, CheckEvery: 5},
+				Steps: 10,
+			}
+		}
+		return reps
+	}
+
+	// Full batch within capacity: every replica admitted and completed.
+	b.Run("admitted", func(b *testing.B) {
+		const n = 8
+		var rep *fleet.BatchReport
+		for i := 0; i < b.N; i++ {
+			rep = fleet.RunBatch(context.Background(), fleet.Config{
+				MaxInflight: runtime.NumCPU(), QueueDepth: n,
+			}, replicas(n))
+			if rep.Succeeded != n {
+				b.Fatalf("batch lost replicas: %v", rep)
+			}
+		}
+		perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		rps := float64(n) / (perOp / 1e9)
+		b.ReportMetric(rps, "replicas_per_sec")
+		sink.Record("BatchThroughput/admitted", map[string]float64{
+			"ns_per_op": perOp, "replicas_per_sec": rps, "replicas": n,
+		})
+	})
+
+	// Overload: offered load far beyond the queue, so the scheduler must
+	// shed rather than block. The metric is the steady-state shed rate.
+	b.Run("overloaded", func(b *testing.B) {
+		const n = 16
+		var rep *fleet.BatchReport
+		for i := 0; i < b.N; i++ {
+			rep = fleet.RunBatch(context.Background(), fleet.Config{
+				MaxInflight: 1, QueueDepth: 1,
+			}, replicas(n))
+			if rep.Shed == 0 {
+				b.Fatal("overload never shed")
+			}
+		}
+		perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		done := rep.Succeeded + rep.Recovered
+		rps := float64(done) / (perOp / 1e9)
+		shedRate := float64(rep.Shed) / float64(rep.Total)
+		b.ReportMetric(rps, "replicas_per_sec")
+		b.ReportMetric(shedRate, "shed_rate")
+		sink.Record("BatchThroughput/overloaded", map[string]float64{
+			"ns_per_op": perOp, "replicas_per_sec": rps,
+			"shed_rate": shedRate, "replicas": n,
+		})
 	})
 }
 

@@ -30,26 +30,9 @@ func runGuarded(o runOpts) error {
 		return err
 	}
 
-	cfg := mdrun.Config{
-		Atoms: o.atoms, Density: core.StdDensity, Temperature: core.StdTemperature,
-		Lattice: lattice.FCC, Seed: core.StdSeed,
-		Cutoff: core.StdCutoff, Dt: core.StdDt,
-		Method: method, Workers: o.workers,
-		Faults: inj,
-	}
-	// Match StandardWorkload's small-system cutoff reduction.
-	if box := math.Cbrt(float64(o.atoms) / core.StdDensity); 2*cfg.Cutoff > box {
-		cfg.Cutoff = box / 2 * 0.99
-	}
-	switch o.thermostat {
-	case "":
-		cfg.Thermostat = mdrun.NVE
-	case "rescale":
-		cfg.Thermostat = mdrun.Rescale
-	case "berendsen":
-		cfg.Thermostat = mdrun.Berendsen
-	default:
-		return fmt.Errorf("unknown thermostat %q (want rescale|berendsen)", o.thermostat)
+	cfg, err := buildRunConfig(o, method, inj)
+	if err != nil {
+		return err
 	}
 	if o.dump != "" {
 		f, err := os.Create(o.dump)
@@ -88,6 +71,34 @@ func runGuarded(o runOpts) error {
 	fmt.Printf("temperature: %.4f (target %.4f)\n", sum.MeanTemperature, core.StdTemperature)
 	fmt.Printf("pressure:    %.4f\n", sum.Pressure)
 	return nil
+}
+
+// buildRunConfig assembles the standard-workload mdrun config the
+// guarded and batch modes share: the paper's LJ argon state with the
+// StandardWorkload small-system cutoff reduction.
+func buildRunConfig(o runOpts, method mdrun.ForceMethod, inj faults.Injector) (mdrun.Config, error) {
+	cfg := mdrun.Config{
+		Atoms: o.atoms, Density: core.StdDensity, Temperature: core.StdTemperature,
+		Lattice: lattice.FCC, Seed: core.StdSeed,
+		Cutoff: core.StdCutoff, Dt: core.StdDt,
+		Method: method, Workers: o.workers,
+		Faults: inj,
+	}
+	// Match StandardWorkload's small-system cutoff reduction.
+	if box := math.Cbrt(float64(o.atoms) / core.StdDensity); 2*cfg.Cutoff > box {
+		cfg.Cutoff = box / 2 * 0.99
+	}
+	switch o.thermostat {
+	case "":
+		cfg.Thermostat = mdrun.NVE
+	case "rescale":
+		cfg.Thermostat = mdrun.Rescale
+	case "berendsen":
+		cfg.Thermostat = mdrun.Berendsen
+	default:
+		return mdrun.Config{}, fmt.Errorf("unknown thermostat %q (want rescale|berendsen)", o.thermostat)
+	}
+	return cfg, nil
 }
 
 // parseMethod maps the -method flag to an mdrun force method.

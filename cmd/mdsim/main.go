@@ -13,12 +13,15 @@
 //	mdsim -device reference -method pardirect -workers 8   # multicore host kernel
 //	mdsim -guard -method parcellgrid -atoms 864 -checkpoint-dir /tmp/ckpt \
 //	      -inject nan-forces@25   # supervised run with fault injection
+//	mdsim -batch 8 -max-inflight 4 -replica-timeout 30s \
+//	      -inject nan-forces@25   # replica fleet; the fault hits replica 0 only
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cell"
 	"repro/internal/core"
@@ -51,19 +54,62 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 100, "guard: steps between checkpoints")
 		retries   = flag.Int("max-retries", 3, "guard: recovery attempts before giving up")
 		inject    = flag.String("inject", "", "guard: fault spec, e.g. nan-forces@25 | worker-panic@3 | traj-error@2 | ckpt-error@1 (comma-separated)")
+		batch     = flag.Int("batch", 0, "run N supervised replicas over the fleet scheduler (0 = single run)")
+		inflight  = flag.Int("max-inflight", 0, "batch: replicas running concurrently (0 = one per CPU)")
+		queue     = flag.Int("queue-depth", 0, "batch: admission queue bound; excess replicas are shed (0 = admit the whole batch)")
+		repTO     = flag.Duration("replica-timeout", 0, "batch: per-replica deadline, e.g. 30s (0 = none)")
 	)
 	flag.Parse()
-	if err := run(runOpts{
+	o := runOpts{
 		devName: *devName, atoms: *atoms, steps: *steps, nspe: *nspe,
 		mode: *mode, ppeOnly: *ppeOnly, threading: *threading, validate: *validate,
 		dump: *dump, dumpEvery: *every, thermostat: *thermo, method: *method,
 		workers: *workers, saveCkpt: *saveCkpt, loadCkpt: *loadCkpt,
 		guard: *guarded, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
 		maxRetries: *retries, inject: *inject,
-	}); err != nil {
+		batch: *batch, maxInflight: *inflight, queueDepth: *queue, replicaTimeout: *repTO,
+	}
+	if err := validateOpts(o); err != nil {
+		fmt.Fprintln(os.Stderr, "mdsim:", err)
+		os.Exit(2)
+	}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "mdsim:", err)
 		os.Exit(1)
 	}
+}
+
+// validateOpts rejects flag values that would otherwise fail deep
+// inside a run (or silently do nothing), so bad invocations exit
+// immediately with a usage error.
+func validateOpts(o runOpts) error {
+	if o.steps < 1 {
+		return fmt.Errorf("-steps %d: want a positive step count", o.steps)
+	}
+	if o.workers < 0 {
+		return fmt.Errorf("-workers %d: want >= 0 (0 = one per CPU)", o.workers)
+	}
+	if o.ckptEvery < 1 {
+		return fmt.Errorf("-checkpoint-every %d: want a positive step interval", o.ckptEvery)
+	}
+	if o.batch < 0 {
+		return fmt.Errorf("-batch %d: want >= 0 (0 = single run)", o.batch)
+	}
+	if o.maxInflight < 0 {
+		return fmt.Errorf("-max-inflight %d: want >= 0 (0 = one per CPU)", o.maxInflight)
+	}
+	if o.queueDepth < 0 {
+		return fmt.Errorf("-queue-depth %d: want >= 0 (0 = max-inflight)", o.queueDepth)
+	}
+	if o.replicaTimeout < 0 {
+		return fmt.Errorf("-replica-timeout %v: want >= 0 (0 = no deadline)", o.replicaTimeout)
+	}
+	// Parse the fault spec in every mode so an unknown -inject kind is
+	// an immediate usage error, not a silently ignored flag.
+	if _, err := parseInject(o.inject); err != nil {
+		return err
+	}
+	return nil
 }
 
 // runOpts carries the parsed flags.
@@ -87,9 +133,17 @@ type runOpts struct {
 	ckptEvery    int
 	maxRetries   int
 	inject       string
+
+	batch          int
+	maxInflight    int
+	queueDepth     int
+	replicaTimeout time.Duration
 }
 
 func run(o runOpts) error {
+	if o.batch > 0 {
+		return runBatch(o)
+	}
 	if o.guard {
 		return runGuarded(o)
 	}

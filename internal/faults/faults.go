@@ -17,6 +17,7 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -149,8 +150,17 @@ type Event struct {
 // Registry is the standard Injector: a set of armed faults with
 // per-site call counters and a seeded random stream for probabilistic
 // triggers. Safe for concurrent use (pool workers fire concurrently).
+//
+// Sharing semantics: the counters are per-Registry, not per-run. A
+// Registry shared by several concurrent replicas is data-race free,
+// but its call numbering is global — an AtCall(25) trigger fires in
+// whichever replica happens to make the 25th call overall, and under
+// concurrency that replica is nondeterministic. Batch schedulers that
+// want "call 25 of replica K" semantics must give each replica its own
+// Registry; Clone exists for exactly that.
 type Registry struct {
 	mu     sync.Mutex
+	seed   uint64
 	rng    *xrand.Source
 	calls  map[Site]int
 	armed  map[Site][]*Fault
@@ -161,6 +171,7 @@ type Registry struct {
 // draw from a SplitMix64 stream seeded with seed.
 func NewRegistry(seed uint64) *Registry {
 	return &Registry{
+		seed:  seed,
 		rng:   xrand.New(seed),
 		calls: make(map[Site]int),
 		armed: make(map[Site][]*Fault),
@@ -175,6 +186,24 @@ func (r *Registry) Arm(f Fault) *Registry {
 	fc := f
 	r.armed[f.Site] = append(r.armed[f.Site], &fc)
 	return r
+}
+
+// Clone returns an independent Registry with the same armed faults and
+// the same probabilistic-trigger seed but fresh call counters and an
+// empty event log — one per replica is what makes an injected fault
+// schedule deterministic within a batch. The armed Faults are copied,
+// so arming more faults on either registry does not affect the other.
+func (r *Registry) Clone() *Registry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := NewRegistry(r.seed)
+	for _, fs := range r.armed {
+		for _, f := range fs {
+			fc := *f
+			c.armed[fc.Site] = append(c.armed[fc.Site], &fc)
+		}
+	}
+	return c
 }
 
 // Fire implements Injector.
@@ -252,11 +281,23 @@ func CorruptV3[T vec.Float](k Kind, arr []vec.V3[T]) {
 // Delay sleeps, Panic panics (the pool recovers it into an error),
 // Error returns ErrInjected, and value-corruption kinds are no-ops
 // (workers own no output of their own to poison).
-func (f *Fault) WorkerFault() error {
+func (f *Fault) WorkerFault() error { return f.WorkerFaultCtx(context.Background()) }
+
+// WorkerFaultCtx is WorkerFault with an interruptible Delay: a
+// cancelled context cuts the injected straggler sleep short and
+// surfaces the context error, so a replica deadline bounds even a
+// fault-delayed worker.
+func (f *Fault) WorkerFaultCtx(ctx context.Context) error {
 	switch f.Kind {
 	case Delay:
-		time.Sleep(f.Delay)
-		return nil
+		t := time.NewTimer(f.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	case Panic:
 		panic(fmt.Sprintf("faults: injected worker panic (site %s)", f.Site))
 	case Error:

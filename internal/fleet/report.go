@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// BatchReport aggregates a batch: per-replica results, state counts,
+// the merged incident log (fleet-level and guard-level), and
+// wall-clock percentiles over the replicas that actually ran.
+type BatchReport struct {
+	Results []Result
+
+	Total     int
+	Succeeded int
+	Recovered int
+	Shed      int
+	Failed    int
+
+	// Incidents merges every replica's fleet-level incidents with its
+	// guard RunReport counts — the batch-wide answer to "what did this
+	// ensemble survive".
+	Incidents sim.IncidentLog
+
+	// Wall-time percentiles (nearest-rank) over non-shed replicas.
+	WallP50, WallP90, WallMax time.Duration
+
+	// Elapsed is the whole batch's wall time.
+	Elapsed time.Duration
+}
+
+// buildReport folds per-replica results into the aggregate.
+func buildReport(results []Result, elapsed time.Duration) *BatchReport {
+	r := &BatchReport{Results: results, Total: len(results), Elapsed: elapsed}
+	var walls []time.Duration
+	for i := range results {
+		res := &results[i]
+		switch res.State {
+		case Succeeded:
+			r.Succeeded++
+		case Recovered:
+			r.Recovered++
+		case Shed:
+			r.Shed++
+		default:
+			r.Failed++
+		}
+		r.Incidents.Merge(&res.Incidents)
+		if res.Report != nil {
+			r.Incidents.Merge(&res.Report.Counts)
+		}
+		if res.State != Shed {
+			walls = append(walls, res.Wall)
+		}
+	}
+	if len(walls) > 0 {
+		sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+		r.WallP50 = percentile(walls, 0.50)
+		r.WallP90 = percentile(walls, 0.90)
+		r.WallMax = walls[len(walls)-1]
+	}
+	return r
+}
+
+// percentile returns the nearest-rank q-quantile of sorted durations.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Replica returns the result for the given replica ID, or nil.
+func (r *BatchReport) Replica(id int) *Result {
+	for i := range r.Results {
+		if r.Results[i].ID == id {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// String renders a compact one-paragraph account.
+func (r *BatchReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "batch: %d replicas — %d succeeded, %d recovered, %d shed, %d failed",
+		r.Total, r.Succeeded, r.Recovered, r.Shed, r.Failed)
+	fmt.Fprintf(&b, "; wall p50 %v p90 %v max %v, batch %v",
+		r.WallP50.Round(time.Microsecond), r.WallP90.Round(time.Microsecond),
+		r.WallMax.Round(time.Microsecond), r.Elapsed.Round(time.Microsecond))
+	if s := r.Incidents.String(); s != "" {
+		fmt.Fprintf(&b, " [%s]", s)
+	}
+	return b.String()
+}

@@ -24,6 +24,7 @@
 package guard
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -173,6 +174,15 @@ func (s *Supervisor) Report() *RunReport { return s.report }
 // are not aggregated across recoveries (they reset at each rollback)
 // so they are left zero.
 func (s *Supervisor) Run(steps int) (*mdrun.Summary, *RunReport, error) {
+	return s.RunContext(context.Background(), steps)
+}
+
+// RunContext is Run bounded by a context. Cancellation (or deadline
+// expiry) is deliberate, not transient: it is logged as a single
+// IncidentCancelled, never retried or escalated, and surfaces as an
+// error wrapping ctx.Err() within one MD step of the cancellation —
+// the property the batch scheduler's per-replica timeouts rely on.
+func (s *Supervisor) RunContext(ctx context.Context, steps int) (*mdrun.Summary, *RunReport, error) {
 	rep := s.report
 	if s.ran {
 		return nil, rep, fmt.Errorf("guard: Supervisor is single-use")
@@ -195,17 +205,21 @@ func (s *Supervisor) Run(steps int) (*mdrun.Summary, *RunReport, error) {
 		if rem := target - sys.Steps; rem < seg {
 			seg = rem
 		}
-		sum, err := s.runner.Run(seg)
+		sum, err := s.runner.RunContext(ctx, seg)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				rep.log(s.runner.System().Steps, attempt, sim.IncidentCancelled, err.Error())
+				return nil, rep, fmt.Errorf("guard: run cancelled: %w", cerr)
+			}
 			rep.log(s.runner.System().Steps, attempt, sim.IncidentRunError, err.Error())
-			if gerr := s.recover(&attempt, err); gerr != nil {
+			if gerr := s.recover(ctx, &attempt, err); gerr != nil {
 				return nil, rep, gerr
 			}
 			continue
 		}
 		if inc, detail := s.healthCheck(); inc >= 0 {
 			rep.log(s.runner.System().Steps, attempt, inc, detail)
-			if gerr := s.recover(&attempt, fmt.Errorf("guard: watchdog: %s", detail)); gerr != nil {
+			if gerr := s.recover(ctx, &attempt, fmt.Errorf("guard: watchdog: %s", detail)); gerr != nil {
 				return nil, rep, gerr
 			}
 			continue
@@ -291,8 +305,9 @@ func (s *Supervisor) healthCheck() (sim.Incident, string) {
 // recover rolls back to the newest trustworthy state and rebuilds the
 // runner one rung further up the escalation ladder. It returns nil
 // when the run should continue, or the terminal give-up error once the
-// retry budget is exhausted.
-func (s *Supervisor) recover(attempt *int, cause error) error {
+// retry budget is exhausted or the context is cancelled (backoff never
+// outlives the caller's deadline).
+func (s *Supervisor) recover(ctx context.Context, attempt *int, cause error) error {
 	rep := s.report
 	*attempt++
 	if *attempt > s.cfg.MaxRetries {
@@ -311,6 +326,10 @@ func (s *Supervisor) recover(attempt *int, cause error) error {
 
 	if s.cfg.BaseBackoff > 0 {
 		s.cfg.Sleep(s.cfg.BaseBackoff << (*attempt - 1))
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		rep.log(restored.Steps, *attempt, sim.IncidentCancelled, cerr.Error())
+		return fmt.Errorf("guard: run cancelled during recovery: %w", cerr)
 	}
 
 	s.runner.Close()

@@ -12,6 +12,7 @@
 package mdrun
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -400,8 +401,23 @@ func (r *Runner) System() *md.System[float64] { return r.sys }
 // may be mid-step; continue only from a restored checkpoint (see
 // internal/guard).
 func (r *Runner) Run(steps int) (*Summary, error) {
+	return r.RunContext(context.Background(), steps)
+}
+
+// RunContext is Run bounded by a context: cancellation (or deadline
+// expiry) is checked at every step boundary and inside the parallel
+// worker pool, so a cancelled run stops within one MD step — with a
+// partial Summary and an error wrapping ctx.Err() — rather than at run
+// end. Cancellation caught at a step boundary leaves the system at
+// whole-step state; cancellation that lands mid-force-evaluation is a
+// failed step like any other (state may be mid-step; the guard
+// supervisor rolls back before reuse).
+func (r *Runner) RunContext(ctx context.Context, steps int) (*Summary, error) {
 	if steps < 0 {
 		return nil, fmt.Errorf("mdrun: steps must be non-negative, got %d", steps)
+	}
+	if r.engine != nil {
+		r.engine.SetContext(ctx)
 	}
 
 	sys := r.sys
@@ -421,6 +437,9 @@ func (r *Runner) Run(steps int) (*Summary, error) {
 		return sum, fmt.Errorf("mdrun: %w", err)
 	}
 	for s := 1; s <= steps; s++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return fail(s-1, fmt.Errorf("cancelled before step %d: %w", sys.Steps+1, cerr))
+		}
 		if err := sys.StepWithE(r.forces); err != nil {
 			return fail(s-1, fmt.Errorf("step %d: %w", sys.Steps+1, err))
 		}

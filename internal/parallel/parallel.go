@@ -29,6 +29,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -72,6 +73,12 @@ type Engine[T vec.Float] struct {
 	// inj is the fault injector consulted at the worker and
 	// parallel-forces sites; nil (the default) is a no-op.
 	inj faults.Injector
+
+	// ctx, when non-nil, bounds every kernel evaluation: a worker
+	// checks it before starting its shard (and an injected Delay fault
+	// selects on it), so a cancelled caller aborts an in-flight
+	// evaluation at worker-task granularity instead of at run end.
+	ctx context.Context
 
 	shards []shard[T]
 }
@@ -122,6 +129,21 @@ func (e *Engine[T]) Close() {
 // to disarm. Must not be called concurrently with a force evaluation.
 func (e *Engine[T]) SetInjector(in faults.Injector) { e.inj = in }
 
+// SetContext installs the context that bounds subsequent kernel
+// evaluations: once it is cancelled, workers skip their shards and the
+// evaluation returns the context error. Pass nil to clear. Like
+// SetInjector, it must not be called concurrently with a force
+// evaluation — the runner sets it once per Run.
+func (e *Engine[T]) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// evalCtx returns the context bounding the current evaluation.
+func (e *Engine[T]) evalCtx() context.Context {
+	if e.ctx != nil {
+		return e.ctx
+	}
+	return context.Background()
+}
+
 // call runs one worker's share under recover, applying any armed
 // worker-site fault first. A panic — injected or real — becomes an
 // error on the caller instead of killing the process; this isolation
@@ -132,8 +154,12 @@ func (e *Engine[T]) call(w int, fn func(w int)) (err error) {
 			err = fmt.Errorf("parallel: worker %d panicked: %v", w, rec)
 		}
 	}()
+	ctx := e.evalCtx()
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("parallel: worker %d: %w", w, cerr)
+	}
 	if f := faults.Fire(e.inj, faults.SiteWorker); f != nil {
-		if ferr := f.WorkerFault(); ferr != nil {
+		if ferr := f.WorkerFaultCtx(ctx); ferr != nil {
 			return fmt.Errorf("parallel: worker %d: %w", w, ferr)
 		}
 	}

@@ -41,6 +41,18 @@ const (
 	// IncidentSerialFallback is an escalation to the serial force
 	// kernel.
 	IncidentSerialFallback
+	// IncidentCancelled is a run stopped by context cancellation or
+	// deadline expiry — deliberate, so never retried.
+	IncidentCancelled
+	// IncidentShed is a replica rejected at admission because the
+	// batch scheduler's queue was full (load shedding).
+	IncidentShed
+	// IncidentReplicaPanic is a panic isolated at the replica boundary
+	// by the batch scheduler.
+	IncidentReplicaPanic
+	// IncidentResubmit is a fleet-level re-submission of a whole
+	// replica after a transient failure (backoff + jitter retry).
+	IncidentResubmit
 
 	// NumIncidents is the number of incident classes.
 	NumIncidents
@@ -50,6 +62,7 @@ var incidentNames = [NumIncidents]string{
 	"nan", "energy-drift", "temp-explosion", "run-error",
 	"ckpt-corrupt", "ckpt-write-fail",
 	"rollback", "retry", "dt-halved", "serial-fallback",
+	"cancelled", "shed", "replica-panic", "resubmit",
 }
 
 // String implements fmt.Stringer.
