@@ -1,0 +1,137 @@
+// Command mdlint runs the project's static-analysis suite
+// (internal/analysis) over the module: determinism, precision,
+// randomness, cancellation, and I/O-error invariants that the paper's
+// cross-architecture validation story depends on.
+//
+// Usage:
+//
+//	mdlint ./...                      # lint the whole module
+//	mdlint -rules floatdet,closeerr ./internal/...
+//	mdlint -json ./...                # machine-readable findings
+//	mdlint -bench-json BENCH_PR4.json ./...   # record lint wall time
+//
+// Exit status: 0 when clean, 1 when any diagnostic is reported, 2 when
+// the module fails to load (build error, unknown rule, bad flags) —
+// suitable as a CI gate next to go vet.
+//
+// Suppress a finding with an in-source annotation carrying a reason:
+//
+//	sum += v //mdlint:ignore floatdet summed in sorted key order above
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mdlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		asJSON    = fs.Bool("json", false, "emit diagnostics as a JSON array")
+		rules     = fs.String("rules", "", "comma-separated rule subset (default: all)")
+		benchJSON = fs.String("bench-json", "", "write a BENCH_JSON wall-time record to this file")
+		dir       = fs.String("C", ".", "run as if launched from this directory")
+		list      = fs.Bool("list", false, "list the registered rules and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			scope := "all packages"
+			if len(a.Scope) > 0 {
+				scope = fmt.Sprintf("packages %v", a.Scope)
+			}
+			fmt.Fprintf(stdout, "%-10s %s (%s)\n", a.Name, a.Doc, scope)
+		}
+		return 0
+	}
+
+	selected, err := analysis.Select(*rules)
+	if err != nil {
+		fmt.Fprintln(stderr, "mdlint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	start := time.Now()
+	diags, stats, err := analysis.Run(*dir, patterns, selected)
+	wall := time.Since(start)
+	if err != nil {
+		fmt.Fprintln(stderr, "mdlint:", err)
+		return 2
+	}
+
+	if *benchJSON != "" {
+		if err := writeBenchRecord(*benchJSON, wall, stats); err != nil {
+			fmt.Fprintln(stderr, "mdlint:", err)
+			return 2
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "mdlint:", err)
+			return 2
+		}
+	} else {
+		cwd, _ := os.Getwd()
+		for _, d := range diags {
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, d.File); err == nil && !filepath.IsAbs(rel) {
+					d.File = rel
+				}
+			}
+			fmt.Fprintln(stdout, d)
+		}
+		fmt.Fprintf(stderr, "mdlint: %d packages, %d files, %d findings in %v\n",
+			stats.Packages, stats.Files, stats.Diagnostics, wall.Round(time.Millisecond))
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// writeBenchRecord appends the lint cost to the BENCH_JSON trajectory
+// via the same sink the kernel benchmarks use, so lint wall time is
+// tracked across PRs alongside speedups.
+func writeBenchRecord(path string, wall time.Duration, stats analysis.Stats) error {
+	sink := report.NewBenchSink()
+	sink.Record("MDLint/module", map[string]float64{
+		"wall_seconds": wall.Seconds(),
+		"packages":     float64(stats.Packages),
+		"files":        float64(stats.Files),
+		"findings":     float64(stats.Diagnostics),
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sink.WriteJSON(f); err != nil {
+		f.Close() //mdlint:ignore closeerr write already failed; the write error is the one to report
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestSelfLint is the gate the repository ships under: the module's own
+// production tree must lint clean.
+func TestSelfLint(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "../..", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("mdlint on the repository exited %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+}
+
+// scratchModule writes a throwaway module with a seeded floatdet
+// violation (float accumulation across a map range) and returns its
+// directory.
+func scratchModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("main.go", `package main
+
+import "fmt"
+
+func main() {
+	m := map[string]float64{"a": 0.1, "b": 0.2, "c": 0.3}
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	fmt.Println(total)
+}
+`)
+	return dir
+}
+
+// TestSeededViolation checks the CI contract end to end: a module with
+// a map-range float accumulation must exit non-zero with a floatdet
+// finding.
+func TestSeededViolation(t *testing.T) {
+	dir := scratchModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("mdlint on the seeded module exited %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "floatdet") || !strings.Contains(stdout.String(), "main.go:9") {
+		t.Fatalf("expected a floatdet finding at main.go:9, got:\n%s", stdout.String())
+	}
+}
+
+// TestJSONOutput checks that -json emits a parseable diagnostic array.
+func TestJSONOutput(t *testing.T) {
+	dir := scratchModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 1 || diags[0].Rule != "floatdet" || diags[0].Line != 9 {
+		t.Fatalf("diagnostics = %+v, want one floatdet finding at line 9", diags)
+	}
+}
+
+// TestBenchRecord checks that -bench-json writes an MDLint wall-time
+// record in the BENCH_JSON trajectory format.
+func TestBenchRecord(t *testing.T) {
+	dir := scratchModule(t)
+	bench := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-bench-json", bench, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	data, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{"MDLint/module", "wall_seconds", "findings"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("bench record missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestUsageErrors checks the exit-2 paths: unknown rule, unknown flag,
+// unloadable pattern.
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-rules", "nosuchrule", "./..."},
+		{"-no-such-flag"},
+		{"-C", "../..", "./does/not/exist"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) exited %d, want 2", args, code)
+		}
+	}
+}
+
+// TestList checks that every registered rule is listed.
+func TestList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d, want 0", code)
+	}
+	for _, a := range analysis.Analyzers() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing rule %q:\n%s", a.Name, stdout.String())
+		}
+	}
+}

@@ -17,7 +17,7 @@ import (
 // runGuarded executes the reference simulation under the resilient run
 // supervisor: numerical-health watchdog, atomic checkpoint/rollback
 // recovery, and the retry → halve-dt → serial escalation ladder.
-func runGuarded(o runOpts) error {
+func runGuarded(o runOpts) (err error) {
 	if o.devName != "reference" {
 		return fmt.Errorf("-guard supervises only -device reference (got %q)", o.devName)
 	}
@@ -35,11 +35,17 @@ func runGuarded(o runOpts) error {
 		return err
 	}
 	if o.dump != "" {
-		f, err := os.Create(o.dump)
-		if err != nil {
-			return err
+		f, ferr := os.Create(o.dump)
+		if ferr != nil {
+			return ferr
 		}
-		defer f.Close()
+		// Same contract as runReference: a trajectory that failed to
+		// reach the disk fails the run.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("closing trajectory %s: %w", o.dump, cerr)
+			}
+		}()
 		cfg.Trajectory = f
 		if o.dumpEvery >= 1 {
 			cfg.TrajectoryEvery = o.dumpEvery

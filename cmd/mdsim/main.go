@@ -184,7 +184,7 @@ func run(o runOpts) error {
 	return nil
 }
 
-func runReference(w device.Workload, o runOpts) error {
+func runReference(w device.Workload, o runOpts) (err error) {
 	var sys *md.System[float64]
 	if o.loadCkpt != "" {
 		f, err := os.Open(o.loadCkpt)
@@ -192,7 +192,7 @@ func runReference(w device.Workload, o runOpts) error {
 			return err
 		}
 		sys, err = md.ReadCheckpoint(f)
-		f.Close()
+		_ = f.Close() // read path; the checkpoint CRC already vouched for the payload
 		if err != nil {
 			return err
 		}
@@ -229,11 +229,17 @@ func runReference(w device.Workload, o runOpts) error {
 	}
 	var traj *md.XYZWriter
 	if o.dump != "" {
-		f, err := os.Create(o.dump)
-		if err != nil {
-			return err
+		f, ferr := os.Create(o.dump)
+		if ferr != nil {
+			return ferr
 		}
-		defer f.Close()
+		// A trajectory that failed to hit the disk must fail the run:
+		// surface the close error unless an earlier error already did.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("closing trajectory %s: %w", o.dump, cerr)
+			}
+		}()
 		traj = md.NewXYZWriter(f, "Ar")
 		if o.dumpEvery < 1 {
 			o.dumpEvery = 1
@@ -276,7 +282,7 @@ func runReference(w device.Workload, o runOpts) error {
 			return err
 		}
 		if err := md.WriteCheckpoint(f, sys); err != nil {
-			f.Close()
+			f.Close() //mdlint:ignore closeerr the checkpoint write already failed; its error is the one worth reporting
 			return err
 		}
 		if err := f.Close(); err != nil {

@@ -1,0 +1,205 @@
+// Package analysis is the project's static-analysis framework: a
+// stdlib-only (go/ast, go/parser, go/token, go/types) driver that loads
+// every package in the module and runs project-specific analyzers over
+// the typed syntax trees.
+//
+// The analyzers mechanically enforce the invariants the repository's
+// correctness story rests on — and that, until now, only held because
+// the current code happened to respect them:
+//
+//   - floatdet: no floating-point reduction may accumulate across a
+//     map-range (unordered) iteration; summation order is part of the
+//     bitwise-reproducibility contract the serial-path pinning tests
+//     and the sibling-replica bitwise-equality tests rely on.
+//   - precision: kernel packages must not change float width silently;
+//     every float64↔float32 conversion is either one of the audited
+//     widen-compute-narrow helpers or carries an annotation. This is
+//     the paper's single-vs-double comparability requirement.
+//   - rawrand: no math/rand — all randomness flows through the seeded,
+//     replayable internal/xrand streams.
+//   - ctxloop: long-running loops in the run/scheduler layers must
+//     observe their context so cancellation lands within one MD step.
+//   - closeerr: the checkpoint and report I/O paths must not drop
+//     Close/Sync/Flush/Write errors — a checkpoint that silently failed
+//     to persist is worse than none.
+//
+// Diagnostics are suppressible per line with
+//
+//	//mdlint:ignore <rule>[,<rule>...] <reason>
+//
+// where the reason is mandatory: a suppression is a reviewed decision,
+// and the reviewer's argument travels with it. A suppression comment
+// covers its own source line and the line directly below it, so it can
+// sit either at the end of the offending line or on its own line above.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a rule, a position, and a message.
+type Diagnostic struct {
+	Rule    string `json:"rule"`
+	Package string `json:"package"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// String renders the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	// Name is the rule name used in output and in //mdlint:ignore
+	// comments.
+	Name string
+
+	// Doc is a one-line description.
+	Doc string
+
+	// Scope restricts the analyzer to packages whose import path ends
+	// with one of these path suffixes (e.g. "vec", "cmd/mdsim"). Empty
+	// means every package.
+	Scope []string
+
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// AppliesTo reports whether the analyzer runs on the given import path.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, s := range a.Scope {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		Rule:    p.Analyzer.Name,
+		Package: p.Pkg.Path,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// Analyzers returns the full rule set in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{FloatDet, Precision, RawRand, CtxLoop, CloseErr}
+}
+
+// Select resolves a comma-separated rule list ("" = all) against the
+// registry.
+func Select(rules string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if rules == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(rules, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown rule %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Stats summarizes one driver run, for the benchmark trajectory record.
+type Stats struct {
+	Packages    int
+	Files       int
+	Diagnostics int
+}
+
+// Run loads the packages matching patterns (resolved relative to dir,
+// exactly as the go tool would) and applies the analyzers. Returned
+// diagnostics are suppression-filtered and sorted by file, line,
+// column, and rule. Malformed //mdlint:ignore comments (missing reason,
+// unknown rule) surface as diagnostics of the pseudo-rule "ignore".
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, Stats, error) {
+	pkgs, fset, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	valid := make(map[string]bool)
+	for _, a := range Analyzers() {
+		valid[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	stats := Stats{Packages: len(pkgs)}
+	for _, pkg := range pkgs {
+		stats.Files += len(pkg.Files)
+		sup, supDiags := suppressions(fset, pkg, valid)
+		diags = append(diags, supDiags...)
+		for _, a := range analyzers {
+			if !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Pkg:      pkg,
+				report: func(d Diagnostic) {
+					if !sup.covers(d.Rule, d.File, d.Line) {
+						diags = append(diags, d)
+					}
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	stats.Diagnostics = len(diags)
+	return diags, stats, nil
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestFixtures runs each analyzer over its fixture package and checks
+// the diagnostics against the "// want <rule>" markers in the fixture
+// source: every marked line must be reported (once per listed rule),
+// and nothing else may be. Suppressed cases in the fixtures carry
+// //mdlint:ignore annotations and therefore must not surface.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		rule    string
+		pattern string
+	}{
+		{"floatdet", "./testdata/src/floatdet"},
+		{"rawrand", "./testdata/src/rawrand"},
+		{"precision", "./testdata/src/precision/vec"},
+		{"ctxloop", "./testdata/src/ctxloop/mdrun"},
+		{"closeerr", "./testdata/src/closeerr/guard"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.rule, func(t *testing.T) {
+			azs, err := Select(tc.rule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, stats, err := Run(".", []string{tc.pattern}, azs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Packages != 1 || stats.Files == 0 {
+				t.Fatalf("loaded %d packages / %d files, want 1 package with files", stats.Packages, stats.Files)
+			}
+
+			want := wantMarkers(t, tc.pattern)
+			got := make(map[string]int)
+			for _, d := range diags {
+				if d.Rule == "ignore" {
+					t.Errorf("fixture has a malformed suppression: %s", d)
+					continue
+				}
+				got[fmt.Sprintf("%s:%d:%s", filepath.Base(d.File), d.Line, d.Rule)]++
+			}
+			for k, n := range want {
+				if got[k] != n {
+					t.Errorf("%s: got %d diagnostics, want %d", k, got[k], n)
+				}
+			}
+			for k, n := range got {
+				if want[k] == 0 {
+					t.Errorf("unexpected diagnostic ×%d at %s", n, k)
+				}
+			}
+		})
+	}
+}
+
+// wantMarkers scans a fixture directory for "// want rule[ rule...]"
+// markers and returns expected counts keyed by file:line:rule.
+func wantMarkers(t *testing.T, dir string) map[string]int {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	want := make(map[string]int)
+	for _, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			_, marker, ok := strings.Cut(sc.Text(), "// want ")
+			if !ok {
+				continue
+			}
+			for _, rule := range strings.Fields(marker) {
+				want[fmt.Sprintf("%s:%d:%s", filepath.Base(name), line, rule)]++
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		_ = f.Close() // read path; Scanner already surfaced any read error
+	}
+	if len(want) == 0 {
+		t.Fatalf("fixture %s has no want markers", dir)
+	}
+	return want
+}
+
+// TestSuppressionValidation checks that malformed //mdlint:ignore
+// annotations surface under the pseudo-rule "ignore" — and that a
+// well-formed one does not.
+func TestSuppressionValidation(t *testing.T) {
+	diags, _, err := Run(".", []string{"./testdata/src/badignore"}, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range diags {
+		if d.Rule != "ignore" {
+			t.Errorf("unexpected non-ignore diagnostic: %s", d)
+			continue
+		}
+		msgs = append(msgs, d.Message)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("got %d ignore diagnostics (%q), want 3", len(msgs), msgs)
+	}
+	sort.Strings(msgs)
+	for i, substr := range []string{"needs a reason", "unknown rule nosuchrule", "needs a rule name"} {
+		if !strings.Contains(msgs[i], substr) {
+			t.Errorf("diagnostic %d = %q, want it to mention %q", i, msgs[i], substr)
+		}
+	}
+}
+
+// TestSelect checks rule-list resolution.
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("Select(\"\") = %d analyzers, %v; want the full registry", len(all), err)
+	}
+	two, err := Select("floatdet, closeerr")
+	if err != nil || len(two) != 2 || two[0].Name != "floatdet" || two[1].Name != "closeerr" {
+		t.Fatalf("Select(\"floatdet, closeerr\") = %v, %v", two, err)
+	}
+	if _, err := Select("nosuchrule"); err == nil {
+		t.Fatal("Select(\"nosuchrule\") succeeded, want error")
+	}
+}
+
+// TestAppliesTo checks the path-suffix scope matching.
+func TestAppliesTo(t *testing.T) {
+	a := &Analyzer{Scope: []string{"vec", "cmd/mdsim"}}
+	for path, want := range map[string]bool{
+		"repro/internal/vec":       true,
+		"vec":                      true,
+		"repro/cmd/mdsim":          true,
+		"repro/internal/vecmath":   false,
+		"repro/internal/gpu":       false,
+		"repro/internal/approvec":  false,
+	} {
+		if got := a.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+	unscoped := &Analyzer{}
+	if !unscoped.AppliesTo("anything/at/all") {
+		t.Error("unscoped analyzer must apply everywhere")
+	}
+}
+
+// TestLoadErrors checks that an unresolvable pattern is a load error,
+// not a silent empty result.
+func TestLoadErrors(t *testing.T) {
+	if _, _, err := Run(".", []string{"./does/not/exist"}, Analyzers()); err == nil {
+		t.Fatal("Run on a nonexistent pattern succeeded, want error")
+	}
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatDet flags floating-point accumulation carried across a range
+// over a map: Go randomizes map iteration order, and floating-point
+// addition is not associative, so such a reduction produces different
+// bits run to run. That breaks the repository's two hardest-won
+// properties — the bitwise-pinned serial force path and the
+// bitwise-clean sibling replicas in a faulted batch — in a way no unit
+// test catches until the digits actually wobble.
+//
+// Per-key updates (m[k] *= f inside range over m) are deterministic
+// regardless of visit order and are not flagged; neither are integer
+// accumulations, which are associative.
+var FloatDet = &Analyzer{
+	Name: "floatdet",
+	Doc:  "floating-point accumulation over unordered (map-range) iteration",
+	Run:  runFloatDet,
+}
+
+func runFloatDet(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := p.TypeOf(rs.X); t == nil || !isMapType(t) {
+				return true
+			}
+			checkMapRangeBody(p, rs)
+			return true
+		})
+	}
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeBody scans one map-range body (closures excluded) for
+// loop-carried float accumulation.
+func checkMapRangeBody(p *Pass, rs *ast.RangeStmt) {
+	loopVars := rangeVarObjects(p, rs)
+	inspectSkipFuncLit(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			lhs := as.Lhs[0]
+			if p.accumulates(lhs, rs, loopVars) {
+				p.Reportf(as.Pos(), "%s accumulation of %s across map iteration: map order is randomized, float addition is not associative — iterate a sorted or insertion-ordered key list instead", as.Tok, widthName(floatWidth(p.TypeOf(lhs))))
+			}
+		case token.ASSIGN:
+			// x = x + e (and e + x) spelled longhand.
+			if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			lhs := as.Lhs[0]
+			bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch bin.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+			default:
+				return true
+			}
+			if !exprMentions(bin, lhs) {
+				return true
+			}
+			if p.accumulates(lhs, rs, loopVars) {
+				p.Reportf(as.Pos(), "%s accumulation across map iteration (x = x %s ...): map order is randomized, float addition is not associative — iterate a sorted or insertion-ordered key list instead", widthName(floatWidth(p.TypeOf(lhs))), bin.Op)
+			}
+		}
+		return true
+	})
+}
+
+// accumulates reports whether assigning through lhs inside rs is a
+// loop-carried float reduction: float-typed, surviving the iteration
+// (declared outside the body), and not a per-element update keyed by
+// the loop variables.
+func (p *Pass) accumulates(lhs ast.Expr, rs *ast.RangeStmt, loopVars map[types.Object]bool) bool {
+	if w := floatWidth(p.TypeOf(lhs)); w == notFloat {
+		return false
+	}
+	if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+		// m[k] op= v with k a loop variable touches each element once:
+		// deterministic for any visit order.
+		if p.mentionsAny(ix.Index, loopVars) {
+			return false
+		}
+	}
+	if base := baseIdent(lhs); base != nil {
+		if obj := p.Pkg.Info.ObjectOf(base); obj != nil &&
+			rs.Body.Pos() <= obj.Pos() && obj.Pos() < rs.Body.End() {
+			return false // scoped to one iteration; not loop-carried
+		}
+	}
+	return true
+}
+
+// rangeVarObjects collects the key/value loop variable objects.
+func rangeVarObjects(p *Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := p.Pkg.Info.ObjectOf(id); obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// mentionsAny reports whether e references any of the given objects.
+func (p *Pass) mentionsAny(e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Pkg.Info.ObjectOf(id); obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// baseIdent digs the root identifier out of selector/index chains.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprMentions reports whether tree contains a syntactic copy of want
+// (an identifier or selector chain).
+func exprMentions(tree ast.Node, want ast.Expr) bool {
+	found := false
+	ast.Inspect(tree, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && sameExpr(e, want) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sameExpr compares identifier/selector shapes structurally.
+func sameExpr(a, b ast.Expr) bool {
+	switch av := ast.Unparen(a).(type) {
+	case *ast.Ident:
+		bv, ok := ast.Unparen(b).(*ast.Ident)
+		return ok && av.Name == bv.Name
+	case *ast.SelectorExpr:
+		bv, ok := ast.Unparen(b).(*ast.SelectorExpr)
+		return ok && av.Sel.Name == bv.Sel.Name && sameExpr(av.X, bv.X)
+	}
+	return false
+}

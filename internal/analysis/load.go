@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the slice of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+}
+
+// Load resolves patterns with the go tool (run in dir), parses the
+// matched packages' production sources, and type-checks them against
+// the compiler's export data for their dependencies. Only the stdlib is
+// used: dependency types come from `go list -export` artifacts read by
+// the gc importer, so no package — stdlib included — is re-type-checked
+// from source.
+//
+// Test files are deliberately excluded: the rules guard production
+// paths, and the analyzers' own fixtures live in testdata packages that
+// the go tool keeps out of wildcard patterns anyway.
+func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=Dir,ImportPath,Name,GoFiles,Export,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, nil, fmt.Errorf("analysis: go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+
+	exports := make(map[string]string)
+	var targets []listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		files := make([]*ast.File, 0, len(t.GoFiles))
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, nil, fmt.Errorf("analysis: %w", err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: type-checking %s: %w", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  t.ImportPath,
+			Name:  t.Name,
+			Dir:   t.Dir,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, fset, nil
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//mdlint:ignore rule[,rule...] reason
+const ignorePrefix = "//mdlint:ignore"
+
+// suppressionSet indexes which (file, line) pairs are covered for which
+// rules. A comment covers its own line and the line directly below it,
+// so it works both trailing an offending statement and standing alone
+// above one.
+type suppressionSet map[string]map[int]map[string]bool
+
+func (s suppressionSet) add(file string, line int, rule string) {
+	byLine, ok := s[file]
+	if !ok {
+		byLine = make(map[int]map[string]bool)
+		s[file] = byLine
+	}
+	for _, l := range [2]int{line, line + 1} {
+		rules, ok := byLine[l]
+		if !ok {
+			rules = make(map[string]bool)
+			byLine[l] = rules
+		}
+		rules[rule] = true
+	}
+}
+
+// covers reports whether a diagnostic of rule at file:line is
+// suppressed.
+func (s suppressionSet) covers(rule, file string, line int) bool {
+	return s[file][line][rule]
+}
+
+// suppressions scans a package's comments for //mdlint:ignore
+// annotations. Malformed annotations — no rule, a rule the registry
+// does not know, or a missing reason — are themselves reported under
+// the pseudo-rule "ignore": a suppression that silently suppresses
+// nothing (or everything) is exactly the kind of rot this tool exists
+// to prevent.
+func suppressions(fset *token.FileSet, pkg *Package, validRules map[string]bool) (suppressionSet, []Diagnostic) {
+	set := make(suppressionSet)
+	var diags []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		p := fset.Position(pos)
+		diags = append(diags, Diagnostic{
+			Rule: "ignore", Package: pkg.Path,
+			File: p.Filename, Line: p.Line, Col: p.Column,
+			Message: msg,
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //mdlint:ignoreXXX — not ours
+				}
+				ruleList, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if ruleList == "" {
+					report(c.Pos(), "mdlint:ignore needs a rule name and a reason")
+					continue
+				}
+				if strings.TrimSpace(reason) == "" {
+					report(c.Pos(), "mdlint:ignore "+ruleList+" needs a reason: suppressions document a reviewed decision")
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, rule := range strings.Split(ruleList, ",") {
+					if !validRules[rule] {
+						report(c.Pos(), "mdlint:ignore names unknown rule "+rule)
+						continue
+					}
+					set.add(pos.Filename, pos.Line, rule)
+				}
+			}
+		}
+	}
+	return set, diags
+}

@@ -1,0 +1,17 @@
+// Package badignore is a fixture for suppression validation: every
+// malformed //mdlint:ignore annotation must surface under the
+// pseudo-rule "ignore". The assertions live in the driver test rather
+// than in want-markers, since the annotation is itself the finding.
+package badignore
+
+//mdlint:ignore
+var missingRule = 1
+
+//mdlint:ignore floatdet
+var missingReason = 2
+
+//mdlint:ignore nosuchrule fixture: this rule name is not registered
+var unknownRule = 3
+
+// wellFormed is a correct annotation on a clean line: no finding.
+var wellFormed = 4 //mdlint:ignore floatdet fixture: a well-formed annotation is never reported

@@ -1,0 +1,72 @@
+// Package guard is a fixture for the closeerr analyzer. Its import
+// path ends in /guard, so it lands in the analyzer's checkpoint/report
+// I/O scope.
+package guard
+
+import (
+	"bytes"
+	"os"
+	"strings"
+)
+
+// saveBad drops both the Write and the Close error: flagged twice.
+func saveBad(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Write(data) // want closeerr
+	f.Close()     // want closeerr
+	return nil
+}
+
+// saveDeferred drops the Close error through defer: flagged.
+func saveDeferred(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want closeerr
+	return nil
+}
+
+// saveGood handles every error: not flagged.
+func saveGood(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// saveExplicit discards visibly with _ = — a reviewable decision, not
+// flagged.
+func saveExplicit(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	_ = f.Close()
+}
+
+// build uses the never-fail writers: exempt, not flagged.
+func build() string {
+	var sb strings.Builder
+	sb.WriteString("x")
+	var buf bytes.Buffer
+	buf.WriteString("y")
+	return sb.String() + buf.String()
+}
+
+// saveSuppressed carries the annotation, so the finding must not
+// surface.
+func saveSuppressed(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Close() //mdlint:ignore closeerr fixture: proves suppression silences the finding
+}

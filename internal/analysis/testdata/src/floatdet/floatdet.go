@@ -1,0 +1,80 @@
+// Package floatdet is a fixture for the floatdet analyzer. Lines
+// carrying a want-marker comment must be reported; everything else
+// must not.
+package floatdet
+
+// sumMap accumulates across a map range: the classic violation.
+func sumMap(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want floatdet
+	}
+	return total
+}
+
+// sumLonghand spells the same reduction as x = x + e.
+func sumLonghand(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want floatdet
+	}
+	return total
+}
+
+// sumField accumulates into a struct field through a pointer.
+type acc struct{ t float32 }
+
+func sumField(m map[int]float32, a *acc) {
+	for _, v := range m {
+		a.t += v // want floatdet
+	}
+}
+
+// sumSlice is ordered iteration: not flagged.
+func sumSlice(xs []float64) float64 {
+	var total float64
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// scale touches each element exactly once, keyed by the loop variable:
+// deterministic for any visit order, not flagged.
+func scale(m map[string]float64, f float64) {
+	for k := range m {
+		m[k] *= f
+	}
+}
+
+// count is an integer reduction: associative, not flagged.
+func count(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// perIter's accumulator is scoped to one iteration — each key's sum is
+// independent of visit order, not flagged.
+func perIter(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// sumSuppressed carries the annotation, so the finding must not surface.
+func sumSuppressed(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v //mdlint:ignore floatdet fixture: proves suppression silences the finding
+	}
+	return total
+}

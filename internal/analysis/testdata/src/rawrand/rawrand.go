@@ -1,0 +1,27 @@
+// Package rawrand is a fixture for the rawrand analyzer: both the
+// import line and every use site must be reported.
+package rawrand
+
+import (
+	"math/rand" // want rawrand
+)
+
+// roll uses the shared global stream: flagged at the use site.
+func roll() float64 {
+	return rand.Float64() // want rawrand
+}
+
+// source constructs a local source: still flagged — nothing forces an
+// explicit seed.
+func source() *rand.Rand { // want rawrand
+	return rand.New(rand.NewSource(1)) // want rawrand rawrand
+}
+
+// pure has no randomness: not flagged.
+func pure(x float64) float64 { return 2 * x }
+
+// rollSuppressed carries the annotation, so the finding must not
+// surface.
+func rollSuppressed() float64 {
+	return rand.Float64() //mdlint:ignore rawrand fixture: proves suppression silences the finding
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Float width classification for the precision and floatdet rules.
+const (
+	notFloat     = 0
+	float32Width = 32
+	float64Width = 64
+	// genericFloat is a type parameter constrained to float widths
+	// (vec.Float-style): its concrete width is chosen at instantiation.
+	genericFloat = 1
+)
+
+// floatWidth classifies a type: concrete float32/float64 (through named
+// types), a float-constrained type parameter, or not a float at all.
+func floatWidth(t types.Type) int {
+	if t == nil {
+		return notFloat
+	}
+	if tp, ok := types.Unalias(t).(*types.TypeParam); ok {
+		if constraintIsFloat(tp) {
+			return genericFloat
+		}
+		return notFloat
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Float32:
+			return float32Width
+		case types.Float64:
+			return float64Width
+		case types.UntypedFloat:
+			// Untyped constants adapt to their context losslessly per
+			// the spec's representability rules; not a width change.
+			return notFloat
+		}
+	}
+	return notFloat
+}
+
+// constraintIsFloat reports whether every term of a type parameter's
+// constraint is a float width — the vec.Float shape.
+func constraintIsFloat(tp *types.TypeParam) bool {
+	iface, ok := tp.Constraint().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	sawTerm := false
+	for i := 0; i < iface.NumEmbeddeds(); i++ {
+		emb := iface.EmbeddedType(i)
+		terms := []*types.Term{}
+		switch e := emb.Underlying().(type) {
+		case *types.Union:
+			for j := 0; j < e.Len(); j++ {
+				terms = append(terms, e.Term(j))
+			}
+		default:
+			terms = append(terms, types.NewTerm(false, emb))
+		}
+		for _, term := range terms {
+			sawTerm = true
+			b, ok := term.Type().Underlying().(*types.Basic)
+			if !ok || (b.Kind() != types.Float32 && b.Kind() != types.Float64) {
+				return false
+			}
+		}
+	}
+	return sawTerm
+}
+
+// widthName renders a float width for messages.
+func widthName(w int) string {
+	switch w {
+	case float32Width:
+		return "float32"
+	case float64Width:
+		return "float64"
+	case genericFloat:
+		return "generic float"
+	}
+	return "non-float"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// calleeName returns the bare name of a call's callee: the selector
+// name for method/package calls, the identifier for plain calls, "".
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return ""
+}
+
+// inspectSkipFuncLit walks the subtree rooted at n, calling fn for each
+// node but not descending into function literals: a closure's body runs
+// on its own schedule, so loop- and statement-level rules must not
+// attribute its contents to the enclosing code.
+func inspectSkipFuncLit(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// enclosingFuncs pairs each top-level function declaration with its
+// body for analyzers that need the declaration context.
+func enclosingFuncs(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			out = append(out, fd)
+		}
+	}
+	return out
+}

@@ -207,10 +207,12 @@ func (c *Processor) variantLabel() string {
 
 // kernelParamsFor builds the compiled-in constants from a workload.
 func kernelParamsFor(w device.Workload) kernelParams {
+	//mdlint:ignore precision device boundary: the SPE kernels run single precision by design, narrowed once at entry
+	box, cutoff := float32(w.State.Box), float32(w.Cutoff)
 	return kernelParams{
-		box:     float32(w.State.Box),
-		halfBox: float32(w.State.Box) / 2,
-		cutoff:  float32(w.Cutoff),
+		box:     box,
+		halfBox: box / 2,
+		cutoff:  cutoff,
 		eps:     1,
 		sigma2:  1,
 	}
@@ -221,6 +223,7 @@ func (c *Processor) Run(w device.Workload) (*device.Result, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
+	//mdlint:ignore precision device boundary: the single-precision port narrows the float64 workload once at entry
 	p := md.Params[float32]{Box: float32(w.State.Box), Cutoff: float32(w.Cutoff), Dt: float32(w.Dt)}
 	sys, err := md.NewSystem(w.State, p)
 	if err != nil {
@@ -253,7 +256,7 @@ func (c *Processor) runPPEOnly(w device.Workload, sys *md.System[float32]) (*dev
 		Variant: c.variantLabel(),
 		N:       sys.N(),
 		Steps:   w.Steps,
-		PE:      float64(sys.PE),
+		PE:      float64(sys.PE), //mdlint:ignore precision widening the device-native energies into the float64 result schema
 		KE:      float64(sys.KE),
 		Time:    bd,
 		Ledger:  ctx.L,
@@ -379,7 +382,7 @@ func (c *Processor) runSPE(w device.Workload, sys *md.System[float32]) (*device.
 		Variant: c.variantLabel(),
 		N:       n,
 		Steps:   w.Steps,
-		PE:      float64(sys.PE),
+		PE:      float64(sys.PE), //mdlint:ignore precision widening the device-native energies into the float64 result schema
 		KE:      float64(sys.KE),
 		Time:    bd,
 		Ledger:  merged,
@@ -448,6 +451,7 @@ func (c *Processor) AccelKernelTime(w device.Workload, v Variant) (float64, erro
 	if err := w.Validate(); err != nil {
 		return 0, err
 	}
+	//mdlint:ignore precision device boundary: the single-precision port narrows the float64 workload once at entry
 	p := md.Params[float32]{Box: float32(w.State.Box), Cutoff: float32(w.Cutoff), Dt: float32(w.Dt)}
 	sys, err := md.NewSystem(w.State, p)
 	if err != nil {

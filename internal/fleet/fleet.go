@@ -332,6 +332,7 @@ func (s *Scheduler) RunBatch(ctx context.Context, reps []Replica) *BatchReport {
 		}
 		tickets[i] = t
 	}
+	//mdlint:ignore ctxloop each ticket resolves through its replica's context (deadline + batch ctx), so this wait is bounded per replica
 	for i, t := range tickets {
 		if t != nil {
 			results[i] = *t.Wait()

@@ -141,6 +141,7 @@ func (d *Device) Run(w device.Workload) (*device.Result, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
+	//mdlint:ignore precision device boundary: the single-precision port narrows the float64 workload once at entry
 	p := md.Params[float32]{Box: float32(w.State.Box), Cutoff: float32(w.Cutoff), Dt: float32(w.Dt)}
 	sys, err := md.NewSystem(w.State, p)
 	if err != nil {
@@ -148,7 +149,7 @@ func (d *Device) Run(w device.Workload) (*device.Result, error) {
 	}
 	n := sys.N()
 
-	shader := mdShader(n, float32(w.State.Box), float32(w.Cutoff))
+	shader := mdShader(n, float32(w.State.Box), float32(w.Cutoff)) //mdlint:ignore precision device boundary: shader constants are single precision by design
 	posTex := NewTexture("pos", packPositions(sys.Pos))
 
 	bd := sim.NewBreakdown()
@@ -209,7 +210,7 @@ func (d *Device) Run(w device.Workload) (*device.Result, error) {
 		Variant: fmt.Sprintf("%dpipe", d.cfg.Pipelines),
 		N:       n,
 		Steps:   w.Steps,
-		PE:      float64(sys.PE),
+		PE:      float64(sys.PE), //mdlint:ignore precision widening the device-native energies into the float64 result schema
 		KE:      float64(sys.KE),
 		Time:    bd,
 		Ledger:  ledger,

@@ -39,11 +39,13 @@ func (b *Breakdown) Component(label string) float64 { return b.seconds[label] }
 // Labels returns the component names in insertion order.
 func (b *Breakdown) Labels() []string { return append([]string(nil), b.labels...) }
 
-// Total returns the sum over all components.
+// Total returns the sum over all components, accumulated in insertion
+// order so the float result is identical run to run (summing in map
+// order would randomize the rounding).
 func (b *Breakdown) Total() float64 {
 	var t float64
-	for _, s := range b.seconds {
-		t += s
+	for _, label := range b.labels {
+		t += b.seconds[label]
 	}
 	return t
 }

@@ -1,0 +1,26 @@
+#!/bin/sh
+# verify.sh — the repository's full verification gate, in escalating
+# cost order: compile, vet, the whole test suite, the race-detector
+# pass over the sharded/recovery/scheduling paths (tier-1.5), and the
+# project static-analysis suite (mdlint). Any failure fails the gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race (tier-1.5: parallel, faults, guard, fleet)"
+go test -race -short ./internal/parallel/... ./internal/faults/... \
+    ./internal/guard/... ./internal/fleet/...
+
+echo "==> go run ./cmd/mdlint ./..."
+go run ./cmd/mdlint ./...
+
+echo "verify: all gates passed"
