@@ -440,6 +440,126 @@ func BenchmarkParallelForces(b *testing.B) {
 	})
 }
 
+// buildBenchWorkers enumerates the worker sweep for the neighbor-list
+// build bench. Unlike parallelBenchWorkers it always includes 4: the
+// cross-PR trajectory tracks the 4-worker point at every atom count,
+// and on hosts with fewer cores the entry records how the sharded
+// build degrades (or holds, thanks to the cell-binned algorithm) when
+// oversubscribed.
+func buildBenchWorkers() []int {
+	ws := []int{1, 2, 4}
+	if ncpu := runtime.NumCPU(); ncpu > 4 {
+		ws = append(ws, ncpu)
+	}
+	return ws
+}
+
+// BenchmarkNeighborBuild sweeps the neighbor-list build itself across
+// atom counts and strategies: the reference O(N²) scan, the serial
+// cell-binned build, and the sharded parallel build at the worker
+// sweep. Every strategy produces byte-identical pair lists (pinned by
+// the md and parallel package tests), so the only thing that varies
+// here is wall-clock. The reported metric is the speedup over the
+// serial N² scan; set BENCH_JSON=<path> to append machine-readable
+// JSON-Lines records (build_speedup_vs_serial) for the cross-PR bench
+// trajectory.
+func BenchmarkNeighborBuild(b *testing.B) {
+	sink := report.NewBenchSink()
+	defer func() {
+		path := os.Getenv("BENCH_JSON")
+		if path == "" || sink.Len() == 0 {
+			return
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			b.Logf("BENCH_JSON: %v", err)
+			return
+		}
+		defer f.Close()
+		if err := sink.WriteJSON(f); err != nil {
+			b.Logf("BENCH_JSON: %v", err)
+		}
+	}()
+
+	const skin = 0.4
+	newList := func(b *testing.B) *md.NeighborList[float64] {
+		nl, err := md.NewNeighborList[float64](skin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return nl
+	}
+
+	// serialNs lazily measures the reference O(N²) build once per atom
+	// count — the denominator of every speedup metric.
+	serialNs := map[int]float64{}
+	serialBaseline := func(b *testing.B, p md.Params[float64], pos []vec.V3[float64]) float64 {
+		n := len(pos)
+		if ns, ok := serialNs[n]; ok {
+			return ns
+		}
+		nl := newList(b)
+		reps := 0
+		start := time.Now()
+		for time.Since(start) < 200*time.Millisecond || reps < 2 {
+			nl.BuildN2(p, pos)
+			reps++
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(reps)
+		serialNs[n] = ns
+		sink.Record(fmt.Sprintf("NeighborBuild/n%d_serial_n2", n), map[string]float64{"ns_per_op": ns})
+		return ns
+	}
+
+	for _, n := range []int{512, 2048, 8192} {
+		st, err := lattice.Generate(lattice.Config{
+			N: n, Density: 0.8442, Temperature: 0.728, Kind: lattice.FCC, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := md.Params[float64]{Box: st.Box, Cutoff: 2.5, Dt: 0.004}
+
+		b.Run(fmt.Sprintf("cell/n%d", n), func(b *testing.B) {
+			sNs := serialBaseline(b, p, st.Pos)
+			nl := newList(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nl.Build(p, st.Pos)
+			}
+			b.StopTimer()
+			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			speedup := sNs / perOp
+			b.ReportMetric(speedup, "build_speedup_vs_serial")
+			sink.Record(fmt.Sprintf("NeighborBuild/cell_n%d", n), map[string]float64{
+				"ns_per_op": perOp, "build_speedup_vs_serial": speedup,
+			})
+		})
+		for _, w := range buildBenchWorkers() {
+			b.Run(fmt.Sprintf("parallel/n%d_w%d", n, w), func(b *testing.B) {
+				sNs := serialBaseline(b, p, st.Pos)
+				nl := newList(b)
+				e := parallel.New[float64](w)
+				defer e.Close()
+				ctx := context.Background()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := e.BuildPairlist(ctx, nl, p, st.Pos); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				speedup := sNs / perOp
+				b.ReportMetric(speedup, "build_speedup_vs_serial")
+				sink.Record(fmt.Sprintf("NeighborBuild/parallel_n%d_w%d", n, w), map[string]float64{
+					"ns_per_op": perOp, "build_speedup_vs_serial": speedup, "workers": float64(w),
+				})
+			})
+		}
+	}
+}
+
 // BenchmarkGuardRecovery measures the resilient run supervisor
 // (internal/guard): a clean guarded run as the baseline, then a run
 // that takes an injected worker panic and recovers via checkpoint

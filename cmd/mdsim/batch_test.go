@@ -73,6 +73,8 @@ func TestValidateOpts(t *testing.T) {
 		{"zero steps", func(o *runOpts) { o.steps = 0 }, "-steps"},
 		{"negative steps", func(o *runOpts) { o.steps = -3 }, "-steps"},
 		{"negative workers", func(o *runOpts) { o.workers = -1 }, "-workers"},
+		{"zero skin", func(o *runOpts) { o.skin = 0 }, "-skin"},
+		{"negative skin", func(o *runOpts) { o.skin = -0.4 }, "-skin"},
 		{"zero checkpoint interval", func(o *runOpts) { o.ckptEvery = 0 }, "-checkpoint-every"},
 		{"negative batch", func(o *runOpts) { o.batch = -1 }, "-batch"},
 		{"negative inflight", func(o *runOpts) { o.maxInflight = -2 }, "-max-inflight"},

@@ -87,7 +87,7 @@ func buildRunConfig(o runOpts, method mdrun.ForceMethod, inj faults.Injector) (m
 		Atoms: o.atoms, Density: core.StdDensity, Temperature: core.StdTemperature,
 		Lattice: lattice.FCC, Seed: core.StdSeed,
 		Cutoff: core.StdCutoff, Dt: core.StdDt,
-		Method: method, Workers: o.workers,
+		Method: method, Workers: o.workers, PairlistSkin: o.skin,
 		Faults: inj,
 	}
 	// Match StandardWorkload's small-system cutoff reduction.

@@ -47,6 +47,7 @@ func main() {
 		thermo    = flag.String("thermostat", "", "reference: ''|rescale|berendsen (hold the standard temperature)")
 		method    = flag.String("method", "direct", "reference: direct|pairlist|cellgrid|pardirect|parpairlist|parcellgrid force evaluation")
 		workers   = flag.Int("workers", 0, "reference: host worker pool for the par* methods (0 = one per CPU)")
+		skin      = flag.Float64("skin", 0.4, "reference: Verlet-list skin width for the pairlist methods")
 		saveCkpt  = flag.String("save-checkpoint", "", "reference: write a restart file after the run")
 		loadCkpt  = flag.String("load-checkpoint", "", "reference: resume from a restart file (ignores -atoms)")
 		guarded   = flag.Bool("guard", false, "reference: run under the resilient supervisor (watchdog + checkpoint/rollback recovery)")
@@ -64,7 +65,7 @@ func main() {
 		devName: *devName, atoms: *atoms, steps: *steps, nspe: *nspe,
 		mode: *mode, ppeOnly: *ppeOnly, threading: *threading, validate: *validate,
 		dump: *dump, dumpEvery: *every, thermostat: *thermo, method: *method,
-		workers: *workers, saveCkpt: *saveCkpt, loadCkpt: *loadCkpt,
+		workers: *workers, skin: *skin, saveCkpt: *saveCkpt, loadCkpt: *loadCkpt,
 		guard: *guarded, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
 		maxRetries: *retries, inject: *inject,
 		batch: *batch, maxInflight: *inflight, queueDepth: *queue, replicaTimeout: *repTO,
@@ -88,6 +89,9 @@ func validateOpts(o runOpts) error {
 	}
 	if o.workers < 0 {
 		return fmt.Errorf("-workers %d: want >= 0 (0 = one per CPU)", o.workers)
+	}
+	if !(o.skin > 0) {
+		return fmt.Errorf("-skin %v: want a positive skin width", o.skin)
 	}
 	if o.ckptEvery < 1 {
 		return fmt.Errorf("-checkpoint-every %d: want a positive step interval", o.ckptEvery)
@@ -126,6 +130,7 @@ type runOpts struct {
 	thermostat   string
 	method       string
 	workers      int
+	skin         float64
 	saveCkpt     string
 	loadCkpt     string
 	guard        bool
@@ -205,7 +210,7 @@ func runReference(w device.Workload, o runOpts) (err error) {
 			return err
 		}
 	}
-	forces, closeForces, err := buildForces(sys, o.method, o.workers)
+	forces, closeForces, err := buildForces(sys, o.method, o.workers, o.skin)
 	if err != nil {
 		return err
 	}
@@ -295,15 +300,16 @@ func runReference(w device.Workload, o runOpts) (err error) {
 
 // buildForces selects the non-bonded force evaluation for the
 // reference device. The par* methods shard the kernel across a host
-// worker pool (workers = 0 means one per CPU); the returned close
-// function releases the pool and is a no-op for the serial methods.
-func buildForces(sys *md.System[float64], method string, workers int) (func() float64, func(), error) {
+// worker pool (workers = 0 means one per CPU); the pairlist methods
+// take the Verlet skin width from -skin; the returned close function
+// releases the pool and is a no-op for the serial methods.
+func buildForces(sys *md.System[float64], method string, workers int, skin float64) (func() float64, func(), error) {
 	noop := func() {}
 	switch method {
 	case "direct", "":
 		return func() float64 { return md.ComputeForces(sys.P, sys.Pos, sys.Acc) }, noop, nil
 	case "pairlist":
-		nl, err := md.NewNeighborList[float64](0.4)
+		nl, err := md.NewNeighborList[float64](skin)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -318,7 +324,7 @@ func buildForces(sys *md.System[float64], method string, workers int) (func() fl
 		e := parallel.New[float64](workers)
 		return func() float64 { return e.ForcesDirect(sys.P, sys.Pos, sys.Acc) }, e.Close, nil
 	case "parpairlist":
-		nl, err := md.NewNeighborList[float64](0.4)
+		nl, err := md.NewNeighborList[float64](skin)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -8,7 +8,7 @@ import (
 
 func opts(dev string) runOpts {
 	return runOpts{
-		devName: dev, atoms: 108, steps: 2, nspe: 2,
+		devName: dev, atoms: 108, steps: 2, nspe: 2, skin: 0.4,
 		mode: "amortized", threading: "full", validate: true, dumpEvery: 1,
 	}
 }

@@ -33,6 +33,7 @@ var ctxSteppers = map[string]bool{
 	"Run": true, "RunContext": true,
 	"ForcesDirect": true, "ForcesPairlist": true, "ForcesCell": true,
 	"TryForcesDirect": true, "TryForcesPairlist": true, "TryForcesCell": true,
+	"BuildPairlist": true, "BuildRow": true,
 	"Sleep": true, "Submit": true, "Wait": true,
 	"attempt": true, "backoff": true,
 }

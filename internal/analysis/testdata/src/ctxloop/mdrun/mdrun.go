@@ -7,9 +7,10 @@ import "context"
 
 type system struct{}
 
-func (s *system) Step()                           {}
-func (s *system) Rebuild()                        {}
+func (s *system) Step()                          {}
+func (s *system) Rebuild()                       {}
 func (s *system) RunContext(ctx context.Context) {}
+func (s *system) BuildRow(i int)                 {}
 
 // runBlind steps the system but never observes a context: flagged.
 func runBlind(ctx context.Context, sys *system, steps int) {
@@ -46,6 +47,25 @@ func runSelect(ctx context.Context, sys *system) {
 func runDelegated(ctx context.Context, sys *system, steps int) {
 	for i := 0; i < steps; i++ {
 		sys.RunContext(ctx)
+	}
+}
+
+// buildBlind fills neighbor-list rows without ever observing a
+// context: flagged (the parallel build's row loop is a stepper).
+func buildBlind(ctx context.Context, sys *system, n int) {
+	for i := 0; i < n; i++ { // want ctxloop
+		sys.BuildRow(i)
+	}
+}
+
+// buildChecked polls ctx.Err at a stride, like the real sharded build:
+// compliant.
+func buildChecked(ctx context.Context, sys *system, n int) {
+	for i := 0; i < n; i++ {
+		if i%256 == 0 && ctx.Err() != nil {
+			return
+		}
+		sys.BuildRow(i)
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/md"
 	"repro/internal/mdrun"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/xrand"
 )
@@ -252,15 +253,25 @@ type Scheduler struct {
 	mu     sync.Mutex // guards closed, queue sends vs close, rng
 	closed bool
 	rng    *xrand.Source
+
+	// buildEngine is the scheduler-wide neighbor-list build pool: every
+	// replica whose Run.BuildEngine is unset borrows it, so concurrent
+	// pairlist replicas share WorkerBudget build workers instead of each
+	// building serially inside its own slot. The parallel build is
+	// byte-identical to the serial one, so sharing never couples replica
+	// physics; builds from different replicas serialize inside the
+	// engine, each under its own replica context.
+	buildEngine *parallel.Engine[float64]
 }
 
 // New starts a scheduler with cfg.MaxInflight replica workers.
 func New(cfg Config) *Scheduler {
 	cfg = cfg.withDefaults()
 	s := &Scheduler{
-		cfg:   cfg,
-		queue: make(chan *job, cfg.QueueDepth),
-		rng:   xrand.New(cfg.JitterSeed),
+		cfg:         cfg,
+		queue:       make(chan *job, cfg.QueueDepth),
+		rng:         xrand.New(cfg.JitterSeed),
+		buildEngine: parallel.New[float64](cfg.WorkerBudget),
 	}
 	s.wg.Add(cfg.MaxInflight)
 	for i := 0; i < cfg.MaxInflight; i++ {
@@ -290,6 +301,10 @@ func (s *Scheduler) Close() {
 	close(s.queue)
 	s.mu.Unlock()
 	s.wg.Wait()
+	// All replicas have finished; no build can be in flight. Engine
+	// Close is itself idempotent, so the early-return path above (a
+	// second concurrent Close) is safe without reaching here.
+	s.buildEngine.Close()
 }
 
 // Submit offers a replica to the admission queue without blocking: it
@@ -405,6 +420,11 @@ func (s *Scheduler) attempt(j *job) (sum *mdrun.Summary, rep *guard.RunReport, f
 	gcfg := j.rep.Guard
 	if gcfg.Run.Workers == 0 {
 		gcfg.Run.Workers = s.workerShare()
+	}
+	if gcfg.Run.BuildEngine == nil {
+		// Pairlist replicas share the scheduler-wide build pool; an
+		// explicitly configured engine is respected.
+		gcfg.Run.BuildEngine = s.buildEngine
 	}
 	sup, err := guard.New(gcfg)
 	if err != nil {

@@ -363,3 +363,70 @@ func TestBatchReportPercentiles(t *testing.T) {
 		t.Fatal("empty report string")
 	}
 }
+
+// TestSharedBuildEngineBitwise pins the shared build pool the ROADMAP
+// asked for: batched pairlist replicas — which the scheduler silently
+// hands its scheduler-wide parallel.Engine for neighbor-list builds —
+// must match unbatched supervised runs (serial cell-binned builds)
+// bitwise. The parallel build being byte-identical to the serial one
+// is exactly what makes sharing one pool safe.
+func TestSharedBuildEngineBitwise(t *testing.T) {
+	const (
+		n     = 6
+		steps = 25
+	)
+	// 500 atoms: box ≈ 8.4 with cutoff+skin ≈ 2.6 gives a 3³ grid, so
+	// the shared engine runs the real cell-binned sharded build, not
+	// the small-box fallback.
+	pairCfg := func(seed uint64) guard.Config {
+		g := replicaCfg(seed)
+		g.Run.Atoms = 500
+		g.Run.Method = mdrun.Pairlist
+		return g
+	}
+	reps := make([]Replica, n)
+	for i := range reps {
+		reps[i] = Replica{ID: i, Guard: pairCfg(uint64(300 + i)), Steps: steps}
+	}
+	s := New(Config{MaxInflight: 3, QueueDepth: n, WorkerBudget: 4})
+	rep := s.RunBatch(context.Background(), reps)
+	s.Close()
+	if rep.Succeeded != n {
+		t.Fatalf("want %d clean successes, got %v", n, rep)
+	}
+	for i := 0; i < n; i++ {
+		r := rep.Replica(i)
+		sup, err := guard.New(pairCfg(uint64(300 + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := sup.Run(steps); err != nil {
+			t.Fatalf("unbatched replica %d: %v", i, err)
+		}
+		sameSystem(t, r.Final, sup.System())
+		sup.Close()
+	}
+}
+
+// TestSchedulerCloseClosesBuildEngine ensures a closed scheduler does
+// not leak the shared build pool's worker goroutines.
+func TestSchedulerCloseClosesBuildEngine(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		s := New(Config{MaxInflight: 2, WorkerBudget: 4})
+		rep := s.RunBatch(context.Background(), []Replica{
+			{ID: 0, Guard: replicaCfg(1), Steps: 2},
+		})
+		s.Close()
+		if rep.Succeeded != 1 {
+			t.Fatalf("round %d: %v", i, rep)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, g)
+	}
+}

@@ -2,6 +2,7 @@ package md
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/vec"
 )
@@ -19,8 +20,22 @@ import (
 type CellList[T vec.Float] struct {
 	dims  int     // cells per box edge
 	width T       // cell edge length (>= cutoff)
+	box   T       // box edge the grid was sized for
 	heads []int32 // heads[c] = first atom in cell c, -1 if empty
 	next  []int32 // next[i] = next atom in i's cell, -1 at the end
+
+	// Packed (CSR) layout, built by BinWrapped for the neighbor-list
+	// gather: order holds atom indices grouped by cell (ascending within
+	// each cell), packed the corresponding positions copied alongside,
+	// and starts[c]..starts[c+1] delimits cell c's run. Streaming these
+	// contiguous runs beats chasing the head/next chains — each chain
+	// step is a dependent load — by a wide margin in the build's inner
+	// loop.
+	starts []int32
+	order  []int32
+	packed []vec.V3[T]
+	cursor []int32 // counting-sort scratch
+	cellOf []int32 // counting-sort scratch: each atom's cell, one fold per atom
 
 	builds int
 }
@@ -39,6 +54,26 @@ func NewCellList[T vec.Float](box, cutoff T) (*CellList[T], error) {
 	return &CellList[T]{
 		dims:  dims,
 		width: box / T(dims),
+		box:   box,
+	}, nil
+}
+
+// NewCellListDims sizes a grid with an explicit per-edge cell count.
+// The neighbor-list builder uses this to bin with cutoff+skin-wide
+// cells (so the 27-cell shell provably covers the list radius) and to
+// cap the cell count for sparse systems, where NewCellList's "as many
+// cells as fit" policy would allocate far more cells than atoms.
+func NewCellListDims[T vec.Float](box T, dims int) (*CellList[T], error) {
+	if !(box > 0) {
+		return nil, fmt.Errorf("md: cell list needs a positive box, got %v", box)
+	}
+	if dims < 3 {
+		return nil, fmt.Errorf("md: cell grid needs >= 3 cells per edge, got %d", dims)
+	}
+	return &CellList[T]{
+		dims:  dims,
+		width: box / T(dims),
+		box:   box,
 	}, nil
 }
 
@@ -106,8 +141,93 @@ func (cl *CellList[T]) NeighborCells(c int, buf []int) []int {
 	return buf
 }
 
-// Build rebuilds the linked cells from the wrapped positions.
-func (cl *CellList[T]) Build(pos []vec.V3[T]) {
+// foldCoord folds one coordinate into [0, box) for binning. Unlike
+// Wrap it is total: a coordinate that is already in range (every real
+// caller) takes the fast path, out-of-range finite values fold by one
+// modulo step, and non-finite values come back 0 instead of looping —
+// a hostile position may land in the wrong cell (and so miss pairs the
+// reference scan would also score as non-finite), but it can never
+// hang or index out of bounds. box must be positive.
+func foldCoord[T vec.Float](x, box T) T {
+	if x >= 0 && x < box {
+		return x
+	}
+	x = T(math.Mod(float64(x), float64(box)))
+	if x < 0 {
+		x += box
+	}
+	if !(x >= 0 && x < box) { // NaN from Inf inputs, or x+box rounding to box
+		return 0
+	}
+	return x
+}
+
+// CellOfWrapped returns the cell BinWrapped assigns to position p —
+// the lookup the neighbor-list row builder uses to find an atom's home
+// cell without storing a per-atom cell table.
+func (cl *CellList[T]) CellOfWrapped(p vec.V3[T]) int {
+	return (cl.axisCell(foldCoord(p.X, cl.box))*cl.dims+
+		cl.axisCell(foldCoord(p.Y, cl.box)))*cl.dims +
+		cl.axisCell(foldCoord(p.Z, cl.box))
+}
+
+// BinWrapped rebuilds the packed cell layout, folding each coordinate
+// into [0, box) first. The force-path Build assumes pre-wrapped
+// positions and clamps strays into edge cells; the neighbor-list build
+// uses this folding variant instead so that an unwrapped (or
+// adversarial) input still bins every atom into the cell its minimum
+// image lives in. Binning is a counting sort — count, prefix-sum,
+// scatter — so order stays ascending within every cell and the whole
+// pass is O(N + cells).
+func (cl *CellList[T]) BinWrapped(pos []vec.V3[T]) {
+	n := len(pos)
+	ncells := cl.dims * cl.dims * cl.dims
+	if cap(cl.starts) < ncells+1 {
+		cl.starts = make([]int32, ncells+1)
+		cl.cursor = make([]int32, ncells)
+	}
+	cl.starts = cl.starts[:ncells+1]
+	cl.cursor = cl.cursor[:ncells]
+	for c := range cl.cursor {
+		cl.cursor[c] = 0
+	}
+	if cap(cl.order) < n {
+		cl.order = make([]int32, n)
+		cl.packed = make([]vec.V3[T], n)
+		cl.cellOf = make([]int32, n)
+	}
+	cl.order = cl.order[:n]
+	cl.packed = cl.packed[:n]
+	cl.cellOf = cl.cellOf[:n]
+
+	for i, p := range pos {
+		c := cl.CellOfWrapped(p)
+		cl.cellOf[i] = int32(c)
+		cl.cursor[c]++
+	}
+	cl.starts[0] = 0
+	for c := 0; c < ncells; c++ {
+		cl.starts[c+1] = cl.starts[c] + cl.cursor[c]
+		cl.cursor[c] = cl.starts[c]
+	}
+	for i, p := range pos {
+		c := cl.cellOf[i]
+		k := cl.cursor[c]
+		cl.cursor[c] = k + 1
+		cl.order[k] = int32(i)
+		cl.packed[k] = p
+	}
+	cl.builds++
+}
+
+// CellSpan returns the half-open range of cell c's run in the packed
+// layout. Valid after BinWrapped.
+func (cl *CellList[T]) CellSpan(c int) (lo, hi int32) {
+	return cl.starts[c], cl.starts[c+1]
+}
+
+// resetChains sizes and clears the head/next arrays for n atoms.
+func (cl *CellList[T]) resetChains(n int) {
 	ncells := cl.dims * cl.dims * cl.dims
 	if cap(cl.heads) < ncells {
 		cl.heads = make([]int32, ncells)
@@ -116,10 +236,15 @@ func (cl *CellList[T]) Build(pos []vec.V3[T]) {
 	for i := range cl.heads {
 		cl.heads[i] = -1
 	}
-	if cap(cl.next) < len(pos) {
-		cl.next = make([]int32, len(pos))
+	if cap(cl.next) < n {
+		cl.next = make([]int32, n)
 	}
-	cl.next = cl.next[:len(pos)]
+	cl.next = cl.next[:n]
+}
+
+// Build rebuilds the linked cells from the wrapped positions.
+func (cl *CellList[T]) Build(pos []vec.V3[T]) {
+	cl.resetChains(len(pos))
 	for i, p := range pos {
 		c := cl.cellIndex(p)
 		cl.next[i] = cl.heads[c]

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/lattice"
 	"repro/internal/vec"
+	"repro/internal/xrand"
 )
 
 // FuzzXYZReader must never panic on arbitrary input, and any frame it
@@ -82,6 +83,82 @@ func FuzzReadCheckpoint(f *testing.F) {
 		}
 		if s2.N() != s.N() || s2.Steps != s.Steps || s2.P != s.P {
 			t.Fatal("round trip of accepted checkpoint diverged")
+		}
+	})
+}
+
+// FuzzNeighborListBuild feeds the cell-binned build pathological
+// geometry — zero or non-finite boxes, atoms exactly on box and cell
+// boundaries, coincident atoms, out-of-range stragglers — and asserts
+// it never panics or hangs, always produces well-formed rows (strictly
+// ascending, in-bounds, j > i), and always matches the reference O(N²)
+// build pair for pair: the two paths score identical MinImage
+// distances, so any divergence is a binning coverage bug.
+func FuzzNeighborListBuild(f *testing.F) {
+	f.Add(9.0, 2.5, 0.4, uint64(1), uint8(32), uint8(0))
+	f.Add(0.0, 2.5, 0.4, uint64(2), uint8(16), uint8(0))  // zero-size box
+	f.Add(-3.0, 1.0, 0.3, uint64(3), uint8(16), uint8(0)) // negative box
+	f.Add(math.Inf(1), 1.0, 0.3, uint64(4), uint8(8), uint8(0))
+	f.Add(9.0, 2.5, 0.4, uint64(5), uint8(24), uint8(1))     // boundary atom
+	f.Add(9.0, 2.5, 0.4, uint64(6), uint8(24), uint8(2))     // coincident atoms
+	f.Add(9.0, 2.5, 0.4, uint64(7), uint8(24), uint8(4))     // out-of-range atom
+	f.Add(1e-8, 1e-9, 1e-10, uint64(8), uint8(12), uint8(7)) // degenerate scale
+	f.Fuzz(func(t *testing.T, box, cutoff, skin float64, seed uint64, n, patho uint8) {
+		if skin <= 0 || skin != skin {
+			skin = 0.3
+		}
+		nn := int(n%64) + 2
+		span := box
+		if !(span > 0) || span > 1e9 {
+			span = 1
+		}
+		rng := xrand.New(seed)
+		pos := make([]vec.V3[float64], nn)
+		for i := range pos {
+			pos[i] = vec.V3[float64]{
+				X: rng.Float64() * span,
+				Y: rng.Float64() * span,
+				Z: rng.Float64() * span,
+			}
+		}
+		if patho&1 != 0 { // exactly on the box edge (folds to 0)
+			pos[0] = vec.V3[float64]{X: box, Y: box, Z: box}
+		}
+		if patho&2 != 0 && nn >= 3 { // coincident pile
+			pos[1], pos[2] = pos[0], pos[0]
+		}
+		if patho&4 != 0 { // outside [0, box)
+			pos[nn-1] = vec.V3[float64]{X: -span / 3, Y: 2.5 * span, Z: span / 2}
+		}
+		p := Params[float64]{Box: box, Cutoff: cutoff, Dt: 1}
+
+		ref, err := NewNeighborList[float64](skin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewNeighborList[float64](skin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.BuildN2(p, pos)
+		got.Build(p, pos)
+		for i := 0; i < nn; i++ {
+			w, g := ref.Neighbors(i), got.Neighbors(i)
+			if len(w) != len(g) {
+				t.Fatalf("row %d: %d neighbors, want %d (box %v cutoff %v skin %v patho %d)",
+					i, len(g), len(w), box, cutoff, skin, patho)
+			}
+			prev := int32(i)
+			for k := range w {
+				if g[k] != w[k] {
+					t.Fatalf("row %d entry %d: %d, want %d (box %v cutoff %v skin %v patho %d)",
+						i, k, g[k], w[k], box, cutoff, skin, patho)
+				}
+				if g[k] <= prev || int(g[k]) >= nn {
+					t.Fatalf("row %d malformed: %d after %d (n=%d)", i, g[k], prev, nn)
+				}
+				prev = g[k]
+			}
 		}
 	})
 }

@@ -2,6 +2,7 @@ package md
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/vec"
 )
@@ -20,10 +21,18 @@ import (
 type NeighborList[T vec.Float] struct {
 	Skin T // extra shell beyond the cutoff (> 0)
 
-	pairs   [][]int32   // pairs[i] = neighbors j > i
+	pairs   [][]int32   // pairs[i] = neighbors j > i, ascending
 	refPos  []vec.V3[T] // positions at build time
 	builds  int         // number of (re)builds performed
 	queries int         // number of force evaluations served
+
+	// grid is the cell binning the build gathers over, cached across
+	// rebuilds and resized when the box or list radius changes. It is
+	// nil when the box cannot support cell binning and the build falls
+	// back to the reference O(N²) scan.
+	grid     *CellList[T]
+	gridBox  T
+	gridDims int
 }
 
 // NewNeighborList creates an empty list with the given skin width.
@@ -40,25 +49,152 @@ func (nl *NeighborList[T]) Builds() int { return nl.builds }
 // Queries returns how many force evaluations the list has served.
 func (nl *NeighborList[T]) Queries() int { return nl.queries }
 
-// Build rebuilds the list from the current positions.
+// Build rebuilds the list from the current positions. When the box can
+// hold a 3×3×3 grid of (Cutoff+Skin)-wide cells the build bins atoms
+// and gathers each row from the 27 neighboring cells — O(N·density)
+// instead of the reference scan's O(N²) — and otherwise falls back to
+// the O(N²) scan. Both paths emit, for every atom i, exactly the
+// neighbors j > i within Cutoff+Skin in ascending-j order, so the
+// built list (and every force evaluation over it) is bitwise
+// independent of the path taken. BuildN2 pins this in the tests.
 func (nl *NeighborList[T]) Build(p Params[T], pos []vec.V3[T]) {
-	n := len(pos)
+	grid := nl.BeginBuild(p, pos)
+	for i := range pos {
+		nl.BuildRow(p, pos, grid, i)
+	}
+	nl.EndBuild(pos)
+}
+
+// BuildN2 rebuilds the list with the reference O(N²) scan regardless
+// of whether the box supports cell binning — the oracle the property
+// tests, the fuzz target, and the build benchmarks compare the
+// cell-binned and parallel builds against.
+func (nl *NeighborList[T]) BuildN2(p Params[T], pos []vec.V3[T]) {
+	nl.sizeRows(len(pos))
+	for i := range pos {
+		nl.BuildRow(p, pos, nil, i)
+	}
+	nl.EndBuild(pos)
+}
+
+// maxBuildGridDims bounds the build grid's per-edge cell count: more
+// cells than ~8 atoms' worth buys nothing (most cells are empty) and a
+// pathological box/cutoff ratio must not size a grid at all. The floor
+// of 3 is the CellList minimum; the hard ceiling keeps the head array
+// bounded for any input.
+func maxBuildGridDims(n int) int {
+	const hardCap = 128 // 128³ cells ≈ 2M int32 heads, the most a build may allocate
+	d := 3
+	for d < hardCap && (d+1)*(d+1)*(d+1) <= 8*n {
+		d++
+	}
+	return d
+}
+
+// buildGridDims returns the per-edge cell count for the cell-binned
+// build, or 0 when the geometry forces the O(N²) fallback. Guards are
+// written so NaN/Inf boxes and radii answer 0 or a clamped grid, never
+// a panic: the comparison form !(x > 0) is false-for-NaN on both sides.
+func buildGridDims[T vec.Float](box, rl T, n int) int {
+	if !(box > 0) || !(rl > 0) {
+		return 0
+	}
+	r := box / rl // +Inf when rl underflows the division; handled below
+	if !(r >= 3) {
+		return 0
+	}
+	maxDims := maxBuildGridDims(n)
+	if r >= T(maxDims) { // also catches +Inf before any float→int conversion
+		return maxDims
+	}
+	return int(r)
+}
+
+// BeginBuild prepares a rebuild: it sizes the row table and returns
+// the cell grid rows should gather over, or nil when the box cannot
+// support cell binning (rows then fall back to the O(N²) scan). It is
+// exported, together with BuildRow and EndBuild, for the sharded
+// parallel builder in internal/parallel; serial callers use Build.
+func (nl *NeighborList[T]) BeginBuild(p Params[T], pos []vec.V3[T]) *CellList[T] {
+	nl.sizeRows(len(pos))
+	rl := p.Cutoff + nl.Skin
+	dims := buildGridDims(p.Box, rl, len(pos))
+	if dims == 0 {
+		nl.grid = nil
+		return nil
+	}
+	if nl.grid == nil || nl.gridBox != p.Box || nl.gridDims != dims {
+		g, err := NewCellListDims(p.Box, dims)
+		if err != nil {
+			// Unreachable given buildGridDims' guards; fall back rather
+			// than fail the build.
+			nl.grid = nil
+			return nil
+		}
+		nl.grid, nl.gridBox, nl.gridDims = g, p.Box, dims
+	}
+	nl.grid.BinWrapped(pos)
+	return nl.grid
+}
+
+// sizeRows resizes the row table to n atoms, keeping row capacity.
+func (nl *NeighborList[T]) sizeRows(n int) {
 	if cap(nl.pairs) < n {
 		nl.pairs = make([][]int32, n)
 	}
 	nl.pairs = nl.pairs[:n]
+}
+
+// BuildRow fills pairs[i]: the neighbors j > i within Cutoff+Skin, in
+// ascending-j order. With a grid it gathers candidates from atom i's
+// cell and its 26 periodic neighbors and sorts the survivors (the
+// gather visits cells in shell order, so a sort restores the global
+// ascending order the O(N²) scan produces by construction); with a nil
+// grid it is the reference scan for one row. Rows are independent:
+// the parallel builder shards them by range with no post-merge.
+func (nl *NeighborList[T]) BuildRow(p Params[T], pos []vec.V3[T], grid *CellList[T], i int) {
+	row := nl.pairs[i][:0]
 	rl := p.Cutoff + nl.Skin
 	rl2 := rl * rl
-	for i := 0; i < n; i++ {
-		nl.pairs[i] = nl.pairs[i][:0]
-		pi := pos[i]
-		for j := i + 1; j < n; j++ {
+	pi := pos[i]
+	if grid == nil {
+		for j := i + 1; j < len(pos); j++ {
 			d := MinImage(pi.Sub(pos[j]), p.Box)
 			if d.Norm2() < rl2 {
-				nl.pairs[i] = append(nl.pairs[i], int32(j))
+				row = append(row, int32(j))
+			}
+		}
+		nl.pairs[i] = row
+		return
+	}
+	var cellbuf [27]int
+	order, packed := grid.order, grid.packed
+	for _, c := range grid.NeighborCells(grid.CellOfWrapped(pi), cellbuf[:]) {
+		lo, hi := grid.CellSpan(c)
+		// order is ascending within the run, so the j <= i prefix ends at
+		// the first index past i; everything after it needs only the
+		// distance test.
+		k := lo
+		for k < hi && int(order[k]) <= i {
+			k++
+		}
+		for ; k < hi; k++ {
+			d := MinImage(pi.Sub(packed[k]), p.Box)
+			if d.Norm2() < rl2 {
+				row = append(row, order[k])
 			}
 		}
 	}
+	slices.Sort(row)
+	nl.pairs[i] = row
+}
+
+// EndBuild commits a rebuild: reference positions for the staleness
+// check, and the build counter. A build abandoned before EndBuild (a
+// cancelled parallel build) leaves refPos at the last committed build,
+// so Stale keeps answering true and the next evaluation rebuilds — a
+// torn row table is never trusted.
+func (nl *NeighborList[T]) EndBuild(pos []vec.V3[T]) {
 	nl.refPos = append(nl.refPos[:0], pos...)
 	nl.builds++
 }

@@ -115,6 +115,15 @@ type Config struct {
 	// parallel.MaxWorkers. Workers=1 routes to the corresponding serial
 	// kernel, byte for byte. Ignored by the serial methods.
 	Workers int
+	// BuildEngine, when non-nil, is a shared worker pool used for
+	// neighbor-list builds by the Pairlist and ParallelPairlist methods
+	// (the fleet scheduler hands every replica the same engine, so
+	// replicas share one build pool instead of spawning their own).
+	// The engine is borrowed: Runner.Close does not close it, and the
+	// parallel build is byte-identical to the serial one for any worker
+	// count, so sharing never perturbs the physics. Nil (the default)
+	// builds on the method's own path.
+	BuildEngine *parallel.Engine[float64]
 
 	// Optional bonded topology (nil for the pure LJ fluid).
 	Topology *md.Topology
@@ -200,6 +209,11 @@ type Runner struct {
 	rdf    *md.RDF
 	msd    *md.MSD
 	engine *parallel.Engine[float64] // non-nil for the Parallel* methods with Workers > 1
+
+	// runCtx is the context of the Run in progress; the shared-engine
+	// build path reads it so a cancelled replica abandons its build
+	// without cancelling siblings on the same pool.
+	runCtx context.Context
 }
 
 // New builds and validates a runner; forces are evaluated once so the
@@ -251,7 +265,7 @@ func NewFromSystem(sys *md.System[float64], cfg Config) (*Runner, error) {
 // assemble wires forces, thermostat, trajectory, and observables
 // around an existing system.
 func assemble(cfg Config, sys *md.System[float64]) (*Runner, error) {
-	r := &Runner{cfg: cfg, sys: sys, bonded: cfg.Topology}
+	r := &Runner{cfg: cfg, sys: sys, bonded: cfg.Topology, runCtx: context.Background()}
 
 	if r.bonded != nil {
 		if err := r.bonded.Validate(sys.N()); err != nil {
@@ -334,6 +348,14 @@ func (r *Runner) buildForces() (func() (float64, error), error) {
 		if err != nil {
 			return nil, err
 		}
+		if build := r.sharedBuild(nl); build != nil {
+			return func() (float64, error) {
+				if err := build(); err != nil {
+					return 0, err
+				}
+				return nl.Forces(sys.P, sys.Pos, sys.Acc), nil
+			}, nil
+		}
 		return infallible(func() float64 { return nl.Forces(sys.P, sys.Pos, sys.Acc) }), nil
 	case CellGrid:
 		cl, err := md.NewCellList(sys.P.Box, sys.P.Cutoff)
@@ -352,10 +374,27 @@ func (r *Runner) buildForces() (func() (float64, error), error) {
 		if err != nil {
 			return nil, err
 		}
+		build := r.sharedBuild(nl)
 		if r.cfg.Workers == 1 {
+			if build != nil {
+				return func() (float64, error) {
+					if err := build(); err != nil {
+						return 0, err
+					}
+					return nl.Forces(sys.P, sys.Pos, sys.Acc), nil
+				}, nil
+			}
 			return infallible(func() float64 { return nl.Forces(sys.P, sys.Pos, sys.Acc) }), nil
 		}
 		r.newEngine()
+		if build != nil {
+			return func() (float64, error) {
+				if err := build(); err != nil {
+					return 0, err
+				}
+				return r.engine.TryForcesPairlist(nl, sys.P, sys.Pos, sys.Acc)
+			}, nil
+		}
 		return func() (float64, error) { return r.engine.TryForcesPairlist(nl, sys.P, sys.Pos, sys.Acc) }, nil
 	case ParallelCellGrid:
 		cl, err := md.NewCellList(sys.P.Box, sys.P.Cutoff)
@@ -369,6 +408,26 @@ func (r *Runner) buildForces() (func() (float64, error), error) {
 		return func() (float64, error) { return r.engine.TryForcesCell(cl, sys.P, sys.Pos, sys.Acc) }, nil
 	default:
 		return nil, fmt.Errorf("mdrun: unknown force method %d", int(r.cfg.Method))
+	}
+}
+
+// sharedBuild returns a pre-forces hook that keeps nl fresh through
+// the shared Config.BuildEngine, or nil when no shared engine is
+// configured (the force path then rebuilds on its own). The hook
+// passes the current Run's context, so a cancelled replica abandons
+// its build (list left stale-but-consistent) without disturbing other
+// runners on the same pool.
+func (r *Runner) sharedBuild(nl *md.NeighborList[float64]) func() error {
+	be := r.cfg.BuildEngine
+	if be == nil {
+		return nil
+	}
+	sys := r.sys
+	return func() error {
+		if nl.Stale(sys.P, sys.Pos) {
+			return be.BuildPairlist(r.runCtx, nl, sys.P, sys.Pos)
+		}
+		return nil
 	}
 }
 
@@ -419,6 +478,7 @@ func (r *Runner) RunContext(ctx context.Context, steps int) (*Summary, error) {
 	if r.engine != nil {
 		r.engine.SetContext(ctx)
 	}
+	r.runCtx = ctx
 
 	sys := r.sys
 	sum := &Summary{Steps: steps, InitialEnergy: sys.TotalEnergy()}

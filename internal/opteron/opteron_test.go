@@ -204,3 +204,65 @@ func TestExactCacheMatchesAnalyticModel(t *testing.T) {
 		}
 	}
 }
+
+// TestPairlistBreakdownPinnedToN2Build pins the device model's modeled
+// runtime against the neighbor-list build rework: a pairlist run (whose
+// list is now built cell-binned) must reproduce — bitwise, including
+// Breakdown.Total — a replica of the same run whose list is rebuilt
+// with the reference O(N²) scan. Identical pair sets mean identical
+// forces, identical PairCount-driven ledgers, and identical cycle
+// accounting; any drift here means the build rework changed the list.
+func TestPairlistBreakdownPinnedToN2Build(t *testing.T) {
+	const steps = 20
+	w := workload(t, 500, steps)
+	cfg := DefaultConfig()
+	cfg.UsePairlist = true
+	res, err := New(cfg).Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replica of Run's pairlist path with BuildN2-driven rebuilds.
+	p := md.Params[float64]{Box: w.State.Box, Cutoff: w.Cutoff, Dt: w.Dt}
+	sys, err := md.NewSystem(w.State, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := md.NewNeighborList[float64](cfg.PairlistSkin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ledger sim.Ledger
+	forces := func() float64 {
+		if nl.Stale(sys.P, sys.Pos) {
+			nl.BuildN2(sys.P, sys.Pos)
+		}
+		pe := nl.Forces(sys.P, sys.Pos, sys.Acc)
+		countPairlistForcePass(&ledger, sys.N(), nl.PairCount(), interactingPairs(sys.P, sys.Pos))
+		return pe
+	}
+	for s := 0; s < steps; s++ {
+		sys.StepWith(forces)
+		countIntegration(&ledger, sys.N())
+	}
+	bd := sim.NewBreakdown()
+	clock := sim.Clock{Hz: cfg.ClockHz}
+	bd.Add("compute", clock.Seconds(ledger.Cycles(cfg.Costs)))
+	memCycles, err := New(cfg).memoryModel(sys.N(), steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd.Add("memory", clock.Seconds(memCycles))
+
+	if res.PE != sys.PE || res.KE != sys.KE {
+		t.Fatalf("physics differs: PE %v vs %v, KE %v vs %v", res.PE, sys.PE, res.KE, sys.KE)
+	}
+	if got, want := res.Time.Total(), bd.Total(); got != want {
+		t.Fatalf("Breakdown.Total differs: %v vs %v", got, want)
+	}
+	for _, label := range []string{"compute", "memory"} {
+		if got, want := res.Time.Component(label), bd.Component(label); got != want {
+			t.Fatalf("Breakdown %s differs: %v vs %v", label, got, want)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/md"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// buildList builds a fresh neighbor list for pos through an engine of
+// the given worker count and returns it.
+func buildList(t *testing.T, workers int, p md.Params[float64], pos []vec.V3[float64], skin float64) *md.NeighborList[float64] {
+	t.Helper()
+	nl, err := md.NewNeighborList[float64](skin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New[float64](workers)
+	defer e.Close()
+	if err := e.BuildPairlist(context.Background(), nl, p, pos); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// samePairs asserts two lists hold byte-identical rows.
+func samePairs(t *testing.T, want, got *md.NeighborList[float64], n int, label string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		w, g := want.Neighbors(i), got.Neighbors(i)
+		if len(w) != len(g) {
+			t.Fatalf("%s: row %d has %d neighbors, want %d", label, i, len(g), len(w))
+		}
+		for k := range w {
+			if w[k] != g[k] {
+				t.Fatalf("%s: row %d entry %d is %d, want %d", label, i, k, g[k], w[k])
+			}
+		}
+	}
+}
+
+// TestBuildPairlistWorkersBitwise is the parallel half of the build
+// property test: for randomized geometries, the sharded build at
+// Workers ∈ {2, 4, 8} produces byte-identical pairs slices to
+// Workers=1, which in turn matches the serial Build. Forces evaluated
+// over the lists are then bitwise equal by construction.
+func TestBuildPairlistWorkersBitwise(t *testing.T) {
+	rng := xrand.New(21)
+	for trial := 0; trial < 8; trial++ {
+		box := 6 + 8*rng.Float64()
+		skin := 0.2 + 0.4*rng.Float64()
+		n := 100 + rng.Intn(400)
+		pos := make([]vec.V3[float64], n)
+		for i := range pos {
+			pos[i] = vec.V3[float64]{
+				X: rng.Float64() * box,
+				Y: rng.Float64() * box,
+				Z: rng.Float64() * box,
+			}
+		}
+		p := md.Params[float64]{Box: box, Cutoff: 1.8, Dt: 0.001}
+
+		serial, err := md.NewNeighborList[float64](skin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial.Build(p, pos)
+		one := buildList(t, 1, p, pos, skin)
+		samePairs(t, serial, one, n, "workers=1 vs serial Build")
+		for _, w := range []int{2, 4, 8} {
+			many := buildList(t, w, p, pos, skin)
+			samePairs(t, one, many, n, "workers="+string(rune('0'+w))+" vs workers=1")
+		}
+	}
+}
+
+// TestBuildPairlistForcesBitwise pins the consequence the determinism
+// argument rests on: identical pair lists mean identical summation
+// order, so the serial Forces over a parallel-built list is bitwise
+// equal to the serial Forces over a serially-built one.
+func TestBuildPairlistForcesBitwise(t *testing.T) {
+	st, p := makeState(t, 500)
+	serial, err := md.NewNeighborList[float64](0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial.Build(p, st.Pos)
+	par := buildList(t, 8, p, st.Pos, 0.4)
+
+	accS := make([]vec.V3[float64], len(st.Pos))
+	accP := make([]vec.V3[float64], len(st.Pos))
+	peS := serial.Forces(p, st.Pos, accS)
+	peP := par.Forces(p, st.Pos, accP)
+	if peS != peP {
+		t.Fatalf("PE differs: serial-built %v, parallel-built %v", peS, peP)
+	}
+	for i := range accS {
+		if accS[i] != accP[i] {
+			t.Fatalf("force %d differs: %+v vs %+v", i, accS[i], accP[i])
+		}
+	}
+}
+
+// TestBuildPairlistCancelled pins the torn-build contract: a cancelled
+// build returns the context error, leaves the list stale (so nothing
+// trusts the torn rows), and the same list builds cleanly afterwards.
+func TestBuildPairlistCancelled(t *testing.T) {
+	st, p := makeState(t, 500)
+	nl, err := md.NewNeighborList[float64](0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New[float64](4)
+	defer e.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = e.BuildPairlist(ctx, nl, p, st.Pos)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled build returned %v, want context.Canceled", err)
+	}
+	if nl.Builds() != 0 {
+		t.Fatalf("cancelled build committed (builds=%d)", nl.Builds())
+	}
+	if !nl.Stale(p, st.Pos) {
+		t.Fatal("list not stale after an abandoned build")
+	}
+
+	if err := e.BuildPairlist(context.Background(), nl, p, st.Pos); err != nil {
+		t.Fatal(err)
+	}
+	if nl.Builds() != 1 {
+		t.Fatalf("recovery build count %d, want 1", nl.Builds())
+	}
+	ref, err := md.NewNeighborList[float64](0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Build(p, st.Pos)
+	samePairs(t, ref, nl, len(st.Pos), "post-cancellation rebuild")
+}
+
+// TestBuildPairlistNilContext accepts nil as context.Background().
+func TestBuildPairlistNilContext(t *testing.T) {
+	st, p := makeState(t, 108)
+	nl, err := md.NewNeighborList[float64](0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New[float64](2)
+	defer e.Close()
+	if err := e.BuildPairlist(nil, nl, p, st.Pos); err != nil {
+		t.Fatal(err)
+	}
+	if nl.Builds() != 1 {
+		t.Fatalf("builds = %d, want 1", nl.Builds())
+	}
+}
+
+// TestBuildPairlistSharedEngineConcurrent is the shared-build-pool
+// contract under the race detector: many goroutines build their own
+// lists through one engine at once, and every result matches the
+// serial reference — concurrent callers serialize inside the engine
+// without corrupting each other's lists.
+func TestBuildPairlistSharedEngineConcurrent(t *testing.T) {
+	st, p := makeState(t, 500)
+	ref, err := md.NewNeighborList[float64](0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Build(p, st.Pos)
+
+	e := New[float64](4)
+	defer e.Close()
+	const callers = 8
+	lists := make([]*md.NeighborList[float64], callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for c := 0; c < callers; c++ {
+		c := c
+		go func() {
+			defer wg.Done()
+			nl, err := md.NewNeighborList[float64](0.4)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			errs[c] = e.BuildPairlist(context.Background(), nl, p, st.Pos)
+			lists[c] = nl
+		}()
+	}
+	wg.Wait()
+	for c := 0; c < callers; c++ {
+		if errs[c] != nil {
+			t.Fatalf("caller %d: %v", c, errs[c])
+		}
+		samePairs(t, ref, lists[c], len(st.Pos), "concurrent caller")
+	}
+}

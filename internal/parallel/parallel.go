@@ -26,6 +26,13 @@
 // kernel with one worker is bitwise identical to ComputeForcesFull);
 // the package tests pin this, and the whole package is race-detector
 // clean.
+//
+// The neighbor-list *build* is parallel too: BuildPairlist shards the
+// list rows across the pool after a single cell-binning pass. Rows are
+// disjoint and row content is sharding-independent, so the built list
+// — and every force evaluated over it — is byte-identical for any
+// worker count, and a single engine may serve builds for many runners
+// at once (the fleet scheduler's shared build pool).
 package parallel
 
 import (
@@ -69,6 +76,13 @@ type Engine[T vec.Float] struct {
 	workers int
 	tasks   chan func()
 	once    sync.Once
+
+	// buildMu serializes neighbor-list builds: unlike force
+	// evaluations, BuildPairlist may be called concurrently from
+	// several runners sharing one engine (the fleet scheduler's shared
+	// build pool), and consecutive builds must not interleave on the
+	// task queue.
+	buildMu sync.Mutex
 
 	// inj is the fault injector consulted at the worker and
 	// parallel-forces sites; nil (the default) is a no-op.
@@ -148,19 +162,29 @@ func (e *Engine[T]) evalCtx() context.Context {
 // worker-site fault first. A panic — injected or real — becomes an
 // error on the caller instead of killing the process; this isolation
 // is the contract the guard supervisor's retry ladder builds on.
-func (e *Engine[T]) call(w int, fn func(w int)) (err error) {
+func (e *Engine[T]) call(w int, fn func(w int)) error {
+	return e.callWith(e.evalCtx(), w, true, fn)
+}
+
+// callWith is call with an explicit context bound and an arm switch:
+// the neighbor-list build path passes the caller's context (a shared
+// build engine serves many runners, each with its own deadline) and
+// arm=false so builds do not advance the worker-site fault schedule
+// the force-evaluation tests pin call numbers against.
+func (e *Engine[T]) callWith(ctx context.Context, w int, arm bool, fn func(w int)) (err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			err = fmt.Errorf("parallel: worker %d panicked: %v", w, rec)
 		}
 	}()
-	ctx := e.evalCtx()
 	if cerr := ctx.Err(); cerr != nil {
 		return fmt.Errorf("parallel: worker %d: %w", w, cerr)
 	}
-	if f := faults.Fire(e.inj, faults.SiteWorker); f != nil {
-		if ferr := f.WorkerFaultCtx(ctx); ferr != nil {
-			return fmt.Errorf("parallel: worker %d: %w", w, ferr)
+	if arm {
+		if f := faults.Fire(e.inj, faults.SiteWorker); f != nil {
+			if ferr := f.WorkerFaultCtx(ctx); ferr != nil {
+				return fmt.Errorf("parallel: worker %d: %w", w, ferr)
+			}
 		}
 	}
 	fn(w)
@@ -172,9 +196,15 @@ func (e *Engine[T]) call(w int, fn func(w int)) (err error) {
 // completion, so the pool stays consistent). n must be at most
 // e.workers.
 func (e *Engine[T]) runN(n int, fn func(w int)) error {
+	return e.runNWith(e.evalCtx(), n, true, fn)
+}
+
+// runNWith is runN under an explicit context and arm switch (see
+// callWith).
+func (e *Engine[T]) runNWith(ctx context.Context, n int, arm bool, fn func(w int)) error {
 	if e.workers == 1 || n == 1 {
 		for w := 0; w < n; w++ {
-			if err := e.call(w, fn); err != nil {
+			if err := e.callWith(ctx, w, arm, fn); err != nil {
 				return err
 			}
 		}
@@ -190,7 +220,7 @@ func (e *Engine[T]) runN(n int, fn func(w int)) error {
 		w := w
 		e.tasks <- func() {
 			defer wg.Done()
-			if err := e.call(w, fn); err != nil {
+			if err := e.callWith(ctx, w, arm, fn); err != nil {
 				errMu.Lock()
 				if first == nil {
 					first = err
@@ -447,6 +477,54 @@ func (e *Engine[T]) TryForcesCell(cl *md.CellList[T], p md.Params[T], pos, acc [
 	return e.reducePE() / 2, nil
 }
 
+// buildCtxStride is how many neighbor-list rows a build worker fills
+// between context checks: frequent enough that a cancelled replica
+// stops a large build well inside one MD step, rare enough that the
+// check is free against the ~100 distance tests each row costs.
+const buildCtxStride = 256
+
+// BuildPairlist rebuilds nl from pos with row-range sharding over the
+// pool: BeginBuild bins the atoms once, then each worker fills a
+// contiguous range of rows. Rows are disjoint and each row's content
+// is independent of the sharding (ascending-j by construction, see
+// md.NeighborList.BuildRow), so the built list is byte-identical for
+// every worker count — including one, where the build runs inline on
+// the caller — and identical to the serial Build. ctx bounds the
+// build at row-stride granularity; on cancellation (or a worker
+// failure) the list is left stale-but-consistent and an error is
+// returned. nil ctx means context.Background().
+//
+// Unlike the force kernels, BuildPairlist is safe to call from several
+// runners sharing one engine: concurrent builds serialize on an
+// internal mutex. This is the fleet scheduler's shared-build-pool
+// contract; each call still observes only its own context.
+func (e *Engine[T]) BuildPairlist(ctx context.Context, nl *md.NeighborList[T], p md.Params[T], pos []vec.V3[T]) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	grid := nl.BeginBuild(p, pos)
+	n := len(pos)
+	err := e.runNWith(ctx, e.workers, false, func(w int) {
+		lo, hi := e.shardRange(n, w)
+		for i := lo; i < hi; i++ {
+			if (i-lo)%buildCtxStride == 0 && ctx.Err() != nil {
+				return // abandon the shard; EndBuild below is skipped
+			}
+			nl.BuildRow(p, pos, grid, i)
+		}
+	})
+	if err == nil {
+		err = ctx.Err() // a late cancellation may have abandoned rows
+	}
+	if err != nil {
+		return fmt.Errorf("parallel: pairlist build: %w", err)
+	}
+	nl.EndBuild(pos)
+	return nil
+}
+
 // ForcesPairlist evaluates the Verlet-list kernel with pair-chunk
 // sharding: the flattened (i, j) pair sequence is split into one
 // near-equal chunk per worker (splitting inside an atom's neighbor list
@@ -470,7 +548,9 @@ func (e *Engine[T]) ForcesPairlist(nl *md.NeighborList[T], p md.Params[T], pos, 
 // process — and the pool — survive. On error, acc is undefined.
 func (e *Engine[T]) TryForcesPairlist(nl *md.NeighborList[T], p md.Params[T], pos, acc []vec.V3[T]) (T, error) {
 	if nl.Stale(p, pos) {
-		nl.Build(p, pos)
+		if err := e.BuildPairlist(e.evalCtx(), nl, p, pos); err != nil {
+			return 0, err
+		}
 	}
 	n := len(pos)
 	total := nl.PairCount()

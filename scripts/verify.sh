@@ -16,9 +16,10 @@ go vet ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race (tier-1.5: parallel, faults, guard, fleet)"
-go test -race -short ./internal/parallel/... ./internal/faults/... \
-    ./internal/guard/... ./internal/fleet/...
+echo "==> go test -race (tier-1.5: md, parallel, faults, guard, fleet, mdrun)"
+go test -race -short ./internal/md/... ./internal/parallel/... \
+    ./internal/faults/... ./internal/guard/... ./internal/fleet/... \
+    ./internal/mdrun/...
 
 echo "==> go run ./cmd/mdlint ./..."
 go run ./cmd/mdlint ./...
