@@ -1,0 +1,119 @@
+// benchdiff joins two BENCH_*.json trajectory files (JSON Lines of
+// report.BenchRecord, one per benchmark arm) by bench name and prints
+// the per-metric ratio new/old for every metric the two runs share —
+// the cross-PR comparison tool behind scripts/bench_diff.sh.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//
+// Output is one line per (bench, metric) pair in the NEW file's
+// order with metrics sorted, so diffs of diffs stay stable. Benches
+// or metrics present in only one file are listed at the end rather
+// than silently dropped; a ratio needs both sides.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: benchdiff OLD.json NEW.json")
+	}
+	oldRecs, err := readFile(args[0])
+	if err != nil {
+		return err
+	}
+	newRecs, err := readFile(args[1])
+	if err != nil {
+		return err
+	}
+
+	oldBy := make(map[string]map[string]float64, len(oldRecs))
+	for _, r := range oldRecs {
+		oldBy[r.Bench] = r.Metrics
+	}
+
+	matched := make(map[string]bool)
+	fmt.Fprintf(w, "%-52s %-24s %14s %14s %8s\n", "bench", "metric", "old", "new", "ratio")
+	for _, nr := range newRecs {
+		om, ok := oldBy[nr.Bench]
+		if !ok {
+			continue
+		}
+		matched[nr.Bench] = true
+		keys := make([]string, 0, len(nr.Metrics))
+		for k := range nr.Metrics {
+			if _, shared := om[k]; shared {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ov, nv := om[k], nr.Metrics[k]
+			ratio := "n/a"
+			if ov != 0 {
+				ratio = fmt.Sprintf("%.3f", nv/ov)
+			}
+			fmt.Fprintf(w, "%-52s %-24s %14.6g %14.6g %8s\n", nr.Bench, k, ov, nv, ratio)
+		}
+	}
+
+	var onlyNew, onlyOld []string
+	for _, nr := range newRecs {
+		if !matched[nr.Bench] {
+			onlyNew = append(onlyNew, nr.Bench)
+		}
+	}
+	for _, or := range oldRecs {
+		found := false
+		for _, nr := range newRecs {
+			if nr.Bench == or.Bench {
+				found = true
+				break
+			}
+		}
+		if !found {
+			onlyOld = append(onlyOld, or.Bench)
+		}
+	}
+	if len(onlyNew) > 0 {
+		fmt.Fprintf(w, "only in %s:\n", "new")
+		for _, b := range onlyNew {
+			fmt.Fprintf(w, "  %s\n", b)
+		}
+	}
+	if len(onlyOld) > 0 {
+		fmt.Fprintf(w, "only in %s:\n", "old")
+		for _, b := range onlyOld {
+			fmt.Fprintf(w, "  %s\n", b)
+		}
+	}
+	return nil
+}
+
+func readFile(path string) ([]report.BenchRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := report.ReadBenchRecords(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}

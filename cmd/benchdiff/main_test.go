@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDiffJoinsByBenchAndPrintsRatios(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeFile(t, dir, "old.json",
+		`{"bench":"A/x","metrics":{"ns_per_op":200,"speedup":1.0}}
+{"bench":"gone","metrics":{"ns_per_op":5}}
+`)
+	newPath := writeFile(t, dir, "new.json",
+		`{"bench":"A/x","metrics":{"ns_per_op":100,"speedup":2.0,"extra":7}}
+{"bench":"fresh","metrics":{"ns_per_op":9}}
+`)
+	var out bytes.Buffer
+	if err := run([]string{oldPath, newPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	// Shared metrics produce ratio lines: 100/200 = 0.5, 2/1 = 2.
+	if !strings.Contains(s, "0.500") {
+		t.Errorf("missing ns_per_op ratio 0.500 in:\n%s", s)
+	}
+	if !strings.Contains(s, "2.000") {
+		t.Errorf("missing speedup ratio 2.000 in:\n%s", s)
+	}
+	// The unshared metric must not produce a ratio row.
+	if strings.Contains(s, "extra") {
+		t.Errorf("unshared metric leaked into the join:\n%s", s)
+	}
+	// Unmatched benches are listed, not dropped.
+	if !strings.Contains(s, "fresh") || !strings.Contains(s, "gone") {
+		t.Errorf("unmatched benches missing from output:\n%s", s)
+	}
+}
+
+func TestDiffZeroDenominator(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeFile(t, dir, "old.json", `{"bench":"A","metrics":{"m":0}}`+"\n")
+	newPath := writeFile(t, dir, "new.json", `{"bench":"A","metrics":{"m":3}}`+"\n")
+	var out bytes.Buffer
+	if err := run([]string{oldPath, newPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "n/a") {
+		t.Errorf("zero old value should print n/a, got:\n%s", out.String())
+	}
+}
+
+func TestDiffBadArgsAndMissingFile(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if err := run([]string{"/nonexistent/a.json", "/nonexistent/b.json"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing files accepted")
+	}
+}

@@ -22,7 +22,7 @@ func runBatch(o runOpts) error {
 	if o.devName != "reference" {
 		return fmt.Errorf("-batch supervises only -device reference (got %q)", o.devName)
 	}
-	method, err := parseMethod(o.method)
+	method, err := parseMethod(o.method, o.precision)
 	if err != nil {
 		return err
 	}

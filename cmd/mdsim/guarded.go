@@ -21,7 +21,7 @@ func runGuarded(o runOpts) (err error) {
 	if o.devName != "reference" {
 		return fmt.Errorf("-guard supervises only -device reference (got %q)", o.devName)
 	}
-	method, err := parseMethod(o.method)
+	method, err := parseMethod(o.method, o.precision)
 	if err != nil {
 		return err
 	}
@@ -107,8 +107,27 @@ func buildRunConfig(o runOpts, method mdrun.ForceMethod, inj faults.Injector) (m
 	return cfg, nil
 }
 
-// parseMethod maps the -method flag to an mdrun force method.
-func parseMethod(s string) (mdrun.ForceMethod, error) {
+// parseMethod maps the -method and -precision flags to an mdrun force
+// method; -precision f32 selects the mixed-precision variant of the
+// pair-kernel methods (the guard's escalation ladder then stays on the
+// f32 ladder: ParallelPairlistF32 degrades to PairlistF32, never
+// silently to float64).
+func parseMethod(s, precision string) (mdrun.ForceMethod, error) {
+	if precision == "f32" {
+		switch s {
+		case "pairlist":
+			return mdrun.PairlistF32, nil
+		case "parpairlist":
+			return mdrun.ParallelPairlistF32, nil
+		case "cellgrid":
+			return mdrun.CellGridF32, nil
+		default:
+			return 0, fmt.Errorf("-precision f32 supports -method pairlist|parpairlist|cellgrid, got %q", s)
+		}
+	}
+	if precision != "" && precision != "f64" {
+		return 0, fmt.Errorf("-precision %q: want f64|f32", precision)
+	}
 	switch s {
 	case "direct", "":
 		return mdrun.Direct, nil

@@ -30,6 +30,7 @@ import (
 	"repro/internal/mta"
 	"repro/internal/parallel"
 	"repro/internal/report"
+	"repro/internal/vec"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func main() {
 		every     = flag.Int("dump-every", 10, "reference: frames written every N steps")
 		thermo    = flag.String("thermostat", "", "reference: ''|rescale|berendsen (hold the standard temperature)")
 		method    = flag.String("method", "direct", "reference: direct|pairlist|cellgrid|pardirect|parpairlist|parcellgrid force evaluation")
+		precision = flag.String("precision", "f64", "reference: f64|f32 kernel precision (f32: float32 pair geometry, float64 accumulation; pairlist|parpairlist|cellgrid only)")
 		workers   = flag.Int("workers", 0, "reference: host worker pool for the par* methods (0 = one per CPU)")
 		skin      = flag.Float64("skin", 0.4, "reference: Verlet-list skin width for the pairlist methods")
 		saveCkpt  = flag.String("save-checkpoint", "", "reference: write a restart file after the run")
@@ -65,6 +67,7 @@ func main() {
 		devName: *devName, atoms: *atoms, steps: *steps, nspe: *nspe,
 		mode: *mode, ppeOnly: *ppeOnly, threading: *threading, validate: *validate,
 		dump: *dump, dumpEvery: *every, thermostat: *thermo, method: *method,
+		precision: *precision,
 		workers: *workers, skin: *skin, saveCkpt: *saveCkpt, loadCkpt: *loadCkpt,
 		guard: *guarded, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
 		maxRetries: *retries, inject: *inject,
@@ -92,6 +95,17 @@ func validateOpts(o runOpts) error {
 	}
 	if !(o.skin > 0) {
 		return fmt.Errorf("-skin %v: want a positive skin width", o.skin)
+	}
+	switch o.precision {
+	case "", "f64":
+	case "f32":
+		switch o.method {
+		case "pairlist", "parpairlist", "cellgrid":
+		default:
+			return fmt.Errorf("-precision f32 supports -method pairlist|parpairlist|cellgrid, got %q", o.method)
+		}
+	default:
+		return fmt.Errorf("-precision %q: want f64|f32", o.precision)
 	}
 	if o.ckptEvery < 1 {
 		return fmt.Errorf("-checkpoint-every %d: want a positive step interval", o.ckptEvery)
@@ -129,6 +143,7 @@ type runOpts struct {
 	dumpEvery    int
 	thermostat   string
 	method       string
+	precision    string
 	workers      int
 	skin         float64
 	saveCkpt     string
@@ -210,7 +225,7 @@ func runReference(w device.Workload, o runOpts) (err error) {
 			return err
 		}
 	}
-	forces, closeForces, err := buildForces(sys, o.method, o.workers, o.skin)
+	forces, closeForces, err := buildForces(sys, o.method, o.precision, o.workers, o.skin)
 	if err != nil {
 		return err
 	}
@@ -218,6 +233,9 @@ func runReference(w device.Workload, o runOpts) (err error) {
 	switch o.method {
 	case "pardirect", "parpairlist", "parcellgrid":
 		fmt.Printf("force method: %s, %d host workers\n", o.method, parallel.ClampWorkers(o.workers))
+	}
+	if o.precision == "f32" {
+		fmt.Println("precision: f32 pair kernel, f64 accumulation (master state f64)")
 	}
 	var th md.Thermostat[float64]
 	switch o.thermostat {
@@ -301,10 +319,54 @@ func runReference(w device.Workload, o runOpts) (err error) {
 // buildForces selects the non-bonded force evaluation for the
 // reference device. The par* methods shard the kernel across a host
 // worker pool (workers = 0 means one per CPU); the pairlist methods
-// take the Verlet skin width from -skin; the returned close function
-// releases the pool and is a no-op for the serial methods.
-func buildForces(sys *md.System[float64], method string, workers int, skin float64) (func() float64, func(), error) {
+// take the Verlet skin width from -skin; precision "f32" swaps in the
+// mixed-precision fast path (float32 pair geometry over a narrowed
+// mirror, float64 accumulation into the master state); the returned
+// close function releases the pool and is a no-op for the serial
+// methods.
+func buildForces(sys *md.System[float64], method, precision string, workers int, skin float64) (func() float64, func(), error) {
 	noop := func() {}
+	if precision != "" && precision != "f64" && precision != "f32" {
+		return nil, nil, fmt.Errorf("-precision %q: want f64|f32", precision)
+	}
+	if precision == "f32" {
+		mx, err := md.NewMirror32(sys.P)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch method {
+		case "pairlist":
+			nl, err := md.NewNeighborList[float32](vec.Narrow[float32](skin))
+			if err != nil {
+				return nil, nil, err
+			}
+			return func() float64 {
+				mx.Refresh(sys.Pos)
+				return md.ForcesPairlistMixed(nl, mx.P, mx.Pos, sys.Acc)
+			}, noop, nil
+		case "parpairlist":
+			nl, err := md.NewNeighborList[float32](vec.Narrow[float32](skin))
+			if err != nil {
+				return nil, nil, err
+			}
+			e := parallel.New[float64](workers)
+			return func() float64 {
+				mx.Refresh(sys.Pos)
+				return e.ForcesPairlistF32(nl, mx.P, mx.Pos, sys.Acc)
+			}, e.Close, nil
+		case "cellgrid":
+			cl, err := md.NewCellList(mx.P.Box, mx.P.Cutoff)
+			if err != nil {
+				return nil, nil, err
+			}
+			return func() float64 {
+				mx.Refresh(sys.Pos)
+				return md.ForcesCellMixed(cl, mx.P, mx.Pos, sys.Acc)
+			}, noop, nil
+		default:
+			return nil, nil, fmt.Errorf("-precision f32 supports pairlist|parpairlist|cellgrid, got %q", method)
+		}
+	}
 	switch method {
 	case "direct", "":
 		return func() float64 { return md.ComputeForces(sys.P, sys.Pos, sys.Acc) }, noop, nil

@@ -77,6 +77,63 @@ func TestReferenceForceMethods(t *testing.T) {
 	}
 }
 
+func TestReferenceMixedPrecision(t *testing.T) {
+	for _, m := range []string{"pairlist", "parpairlist", "cellgrid"} {
+		o := opts("reference")
+		o.atoms = 864 // cellgrid needs >= 3 cutoff-wide cells per edge
+		o.method = m
+		o.precision = "f32"
+		if err := run(o); err != nil {
+			t.Fatalf("%s f32: %v", m, err)
+		}
+	}
+}
+
+func TestGuardedAndBatchMixedPrecision(t *testing.T) {
+	// -guard and -batch route through parseMethod, not buildForces:
+	// -precision f32 must select the F32 mdrun methods there too, not
+	// silently fall back to float64.
+	o := opts("reference")
+	o.atoms = 256
+	o.method = "parpairlist"
+	o.precision = "f32"
+	o.guard = true
+	o.steps = 4
+	if err := run(o); err != nil {
+		t.Fatalf("guarded f32: %v", err)
+	}
+	o.guard = false
+	o.batch = 2
+	o.maxInflight = 2
+	if err := run(o); err != nil {
+		t.Fatalf("batch f32: %v", err)
+	}
+	o = opts("reference")
+	o.method = "direct"
+	o.precision = "f32"
+	o.guard = true
+	if err := run(o); err == nil {
+		t.Fatal("guarded -precision f32 accepted for -method direct")
+	}
+}
+
+func TestPrecisionFlagValidation(t *testing.T) {
+	// f32 is a reference-device pair-kernel option: only the methods
+	// with a mixed-precision kernel accept it.
+	o := opts("reference")
+	o.method = "direct"
+	o.precision = "f32"
+	if err := run(o); err == nil {
+		t.Fatal("-precision f32 accepted for -method direct")
+	}
+	o = opts("reference")
+	o.method = "pairlist"
+	o.precision = "f16"
+	if err := run(o); err == nil {
+		t.Fatal("unknown precision accepted")
+	}
+}
+
 func TestReferenceParallelForceMethods(t *testing.T) {
 	for _, m := range []string{"pardirect", "parpairlist", "parcellgrid"} {
 		for _, workers := range []int{0, 1, 3} {

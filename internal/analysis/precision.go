@@ -31,12 +31,18 @@ var Precision = &Analyzer{
 // the vec package documents each one. Keyed by package base name and
 // function name.
 var precisionAllowed = map[[2]string]bool{
-	{"vec", "Sqrt"}:     true,
-	{"vec", "Copysign"}: true,
-	{"vec", "Floor"}:    true,
-	{"vec", "Round"}:    true,
-	{"vec", "ToV3f64"}:  true,
+	{"vec", "Sqrt"}:      true,
+	{"vec", "Copysign"}:  true,
+	{"vec", "Floor"}:     true,
+	{"vec", "Round"}:     true,
+	{"vec", "ToV3f64"}:   true,
 	{"vec", "FromV3f64"}: true,
+	// Mixed-precision fast-path helpers (PR 6): the audited crossing
+	// points between float32 pair geometry and float64 accumulation.
+	{"vec", "Widen"}:    true,
+	{"vec", "Narrow"}:   true,
+	{"vec", "AccumAdd"}: true,
+	{"vec", "AccumSub"}: true,
 	{"spu", "sqrt32"}:    true,
 	{"spu", "Copysign"}:  true,
 	{"spu", "VCopysign"}: true,

@@ -388,6 +388,11 @@ func SerialOf(m mdrun.ForceMethod) mdrun.ForceMethod {
 		return mdrun.Pairlist
 	case mdrun.ParallelCellGrid:
 		return mdrun.CellGrid
+	case mdrun.ParallelPairlistF32:
+		// The serial rung keeps the requested precision: a run that
+		// finishes on this rung is still the mixed-precision run the
+		// user asked for, just unsharded.
+		return mdrun.PairlistF32
 	default:
 		return m
 	}

@@ -406,6 +406,12 @@ func TestSerialOf(t *testing.T) {
 		mdrun.ParallelDirect:   mdrun.Direct,
 		mdrun.ParallelPairlist: mdrun.Pairlist,
 		mdrun.ParallelCellGrid: mdrun.CellGrid,
+		// The escalation ladder preserves the requested precision:
+		// mixed-precision runs land on the serial mixed kernel, never
+		// silently back on float64.
+		mdrun.PairlistF32:         mdrun.PairlistF32,
+		mdrun.CellGridF32:         mdrun.CellGridF32,
+		mdrun.ParallelPairlistF32: mdrun.PairlistF32,
 	}
 	for in, want := range cases {
 		if got := SerialOf(in); got != want {

@@ -1,0 +1,222 @@
+package md
+
+import (
+	"fmt"
+
+	"repro/internal/vec"
+)
+
+// This file is the float32 host fast path: the same widen-compute-
+// narrow discipline the paper's single-precision devices (Cell SPE,
+// GPU float4) apply, brought to the host kernels. Pair geometry —
+// minimum image, r², the LJ pair evaluation — runs in float32, which
+// halves the working-set bytes of the hot loop; per-atom force and
+// energy accumulation stay in float64 via the audited helpers in
+// internal/vec, so no accumulator ever sums float32 into float32. The
+// float64 System remains the master state: integration, thermostat,
+// checkpoints, and the guard watchdog are untouched, and the fast
+// path only ever reads a narrowed mirror of the positions and writes
+// float64 accelerations back.
+
+// NarrowParams narrows float64 simulation parameters to the float32
+// kernel width via the audited vec.Narrow helper.
+func NarrowParams(p Params[float64]) Params[float32] {
+	return Params[float32]{
+		Box:     vec.Narrow[float32](p.Box),
+		Cutoff:  vec.Narrow[float32](p.Cutoff),
+		Dt:      vec.Narrow[float32](p.Dt),
+		Epsilon: vec.Narrow[float32](p.Epsilon),
+		Sigma:   vec.Narrow[float32](p.Sigma),
+		Shifted: p.Shifted,
+	}
+}
+
+// Mirror32 is the float32 shadow of a float64 master state: narrowed
+// parameters plus a narrowed position buffer, refreshed from the
+// master once per force evaluation. Only positions are mirrored —
+// velocities, accelerations, and energies never exist at float32 on
+// the host fast path.
+type Mirror32 struct {
+	P   Params[float32]
+	Pos []vec.V3[float32]
+}
+
+// NewMirror32 narrows the parameters and validates them at float32:
+// a box/cutoff pair that is valid in double precision can round to an
+// invalid one in single (2*Cutoff > Box after narrowing), and that
+// must fail at construction, not corrupt a minimum image mid-run.
+func NewMirror32(p Params[float64]) (*Mirror32, error) {
+	p32 := NarrowParams(p)
+	if err := p32.Validate(); err != nil {
+		return nil, fmt.Errorf("md: params do not survive narrowing to float32: %w", err)
+	}
+	return &Mirror32{P: p32}, nil
+}
+
+// Refresh narrows the master positions into the mirror. Each
+// conversion is a correctly-rounded Narrow; the cost is O(N) against
+// the force loop's O(N·pairs).
+func (m *Mirror32) Refresh(pos []vec.V3[float64]) {
+	if cap(m.Pos) < len(pos) {
+		m.Pos = make([]vec.V3[float32], len(pos))
+	}
+	m.Pos = m.Pos[:len(pos)]
+	for i, p := range pos {
+		m.Pos[i] = vec.FromV3f64[float32](p)
+	}
+}
+
+// ForcesPairlistMixed evaluates the Verlet-list LJ forces with
+// float32 pair geometry and float64 accumulation: the list is rebuilt
+// from the float32 positions if stale, each pair's displacement,
+// distance, and LJ terms are computed at float32, and the resulting
+// pair force is widened exactly into the float64 accumulators. acc is
+// overwritten; the return value is the float64 potential energy. The
+// pair order is the list order (fixed by the build, which is itself
+// bitwise sharding-independent), so the result is deterministic.
+func ForcesPairlistMixed(nl *NeighborList[float32], p Params[float32], pos []vec.V3[float32], acc []vec.V3[float64]) float64 {
+	if nl.Stale(p, pos) {
+		nl.Build(p, pos)
+	}
+	for i := range acc {
+		acc[i] = vec.V3[float64]{}
+	}
+	rc2 := p.Cutoff * p.Cutoff
+	var pe float64
+	for i, js := range nl.pairs {
+		pi := pos[i]
+		for _, j := range js {
+			d := MinImage(pi.Sub(pos[j]), p.Box)
+			r2 := d.Norm2()
+			if r2 >= rc2 || r2 == 0 {
+				continue
+			}
+			v, f := LJPair(p, r2)
+			pe += vec.Widen(v)
+			fd := d.Scale(f)
+			acc[i] = vec.AccumAdd(acc[i], fd)
+			acc[j] = vec.AccumSub(acc[j], fd)
+		}
+	}
+	nl.queries++
+	return pe
+}
+
+// ForcesCellMixed evaluates the linked-cell LJ forces with float32
+// pair geometry and float64 accumulation, rebuilding the grid from
+// the float32 positions first (O(N), tracks every step). acc is
+// overwritten; the return value is the float64 potential energy.
+func ForcesCellMixed(cl *CellList[float32], p Params[float32], pos []vec.V3[float32], acc []vec.V3[float64]) float64 {
+	cl.Build(pos)
+	for i := range acc {
+		acc[i] = vec.V3[float64]{}
+	}
+	rc2 := p.Cutoff * p.Cutoff
+	var pe float64
+	d := cl.dims
+	for cx := 0; cx < d; cx++ {
+		for cy := 0; cy < d; cy++ {
+			for cz := 0; cz < d; cz++ {
+				c := (cx*d+cy)*d + cz
+				for i := cl.heads[c]; i >= 0; i = cl.next[i] {
+					pi := pos[i]
+					// Within the home cell: pairs i<j only.
+					for j := cl.next[i]; j >= 0; j = cl.next[j] {
+						pe += pairMixed(p, rc2, pos, acc, int(i), int(j), pi)
+					}
+					// Half of the 26 neighbor cells (each unordered
+					// cell pair once).
+					for _, off := range halfNeighborOffsets {
+						nc := cl.wrapCell(cx+off[0], cy+off[1], cz+off[2])
+						for j := cl.heads[nc]; j >= 0; j = cl.next[j] {
+							pe += pairMixed(p, rc2, pos, acc, int(i), int(j), pi)
+						}
+					}
+				}
+			}
+		}
+	}
+	return pe
+}
+
+// pairMixed applies one i-j interaction at float32 and folds it into
+// the float64 accumulators, returning the widened pair energy.
+func pairMixed(p Params[float32], rc2 float32, pos []vec.V3[float32], acc []vec.V3[float64], i, j int, pi vec.V3[float32]) float64 {
+	dv := MinImage(pi.Sub(pos[j]), p.Box)
+	r2 := dv.Norm2()
+	if r2 >= rc2 || r2 == 0 {
+		return 0
+	}
+	v, f := LJPair(p, r2)
+	fd := dv.Scale(f)
+	acc[i] = vec.AccumAdd(acc[i], fd)
+	acc[j] = vec.AccumSub(acc[j], fd)
+	return vec.Widen(v)
+}
+
+// FullRows is the gather (full-shell) view of a NeighborList: for
+// every atom i, all neighbors — j < i and j > i — in ascending order,
+// derived from the half (j > i) rows the list stores. The parallel
+// mixed-precision kernel shards atoms over workers and has each one
+// gather its own atoms' full rows, so every acc[i] is written by
+// exactly one worker in an order fixed by the list alone — the
+// property that makes the f32 output bytes independent of the worker
+// count. Sync rebuilds the expansion only when the list has been
+// rebuilt since the last call (tracked via Builds()).
+type FullRows[T vec.Float] struct {
+	rows   [][]int32
+	flat   []int32 // backing store for rows, one allocation per resize
+	counts []int32 // per-atom degree scratch
+	seen   int     // nl.Builds() at the last Sync
+}
+
+// Sync brings the expansion up to date with nl. It is cheap when the
+// list has not been rebuilt (one counter compare).
+func (fr *FullRows[T]) Sync(nl *NeighborList[T]) {
+	if fr.seen == nl.builds && len(fr.rows) == len(nl.pairs) {
+		return
+	}
+	n := len(nl.pairs)
+	if cap(fr.counts) < n {
+		fr.counts = make([]int32, n)
+		fr.rows = make([][]int32, n)
+	}
+	fr.counts = fr.counts[:n]
+	fr.rows = fr.rows[:n]
+	for i := range fr.counts {
+		fr.counts[i] = 0
+	}
+	total := 0
+	for i, js := range nl.pairs {
+		fr.counts[i] += int32(len(js))
+		for _, j := range js {
+			fr.counts[j]++
+		}
+		total += 2 * len(js)
+	}
+	if cap(fr.flat) < total {
+		fr.flat = make([]int32, total)
+	}
+	fr.flat = fr.flat[:total]
+	off := int32(0)
+	for i, c := range fr.counts {
+		fr.rows[i] = fr.flat[off : off : off+c]
+		off += c
+	}
+	// Scanning i ascending appends, for every atom k, first its
+	// smaller neighbors (in ascending i) and then — at i == k — its
+	// larger ones (ascending by list order), so each full row comes
+	// out globally ascending with no sort.
+	for i, js := range nl.pairs {
+		for _, j := range js {
+			fr.rows[i] = append(fr.rows[i], j)
+			fr.rows[j] = append(fr.rows[j], int32(i))
+		}
+	}
+	fr.seen = nl.builds
+}
+
+// Row returns atom i's full neighbor row, ascending. Valid until the
+// next Sync that observes a rebuild; callers must treat it as
+// read-only.
+func (fr *FullRows[T]) Row(i int) []int32 { return fr.rows[i] }

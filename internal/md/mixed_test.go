@@ -1,0 +1,312 @@
+package md
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/vec"
+)
+
+// randomizedBox builds a thermalized state: a seeded lattice with a
+// small deterministic jitter, equilibrated for a few dozen float64
+// steps so the positions carry a liquid-like force distribution
+// instead of the near-cancelling forces of a perfect crystal. These
+// are the "randomized periodic boxes" the mixed-precision error pin
+// runs on; varying the seed varies the whole trajectory.
+func randomizedBox(t *testing.T, n int, seed uint64) ([]vec.V3[float64], Params[float64]) {
+	t.Helper()
+	st, err := lattice.Generate(lattice.Config{
+		N: n, Density: 0.8442, Temperature: 0.728, Kind: lattice.FCC, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(seed * 7919)))
+	for i := range st.Pos {
+		st.Pos[i].X += 0.02 * (rng.Float64() - 0.5)
+		st.Pos[i].Y += 0.02 * (rng.Float64() - 0.5)
+		st.Pos[i].Z += 0.02 * (rng.Float64() - 0.5)
+	}
+	p := Params[float64]{Box: st.Box, Cutoff: 2.0, Dt: 0.004, Shifted: true}
+	sys, err := NewSystem(st, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(50)
+	return sys.Pos, p
+}
+
+// forceScale returns the largest force-component magnitude in the
+// box, the regularizer for the per-component relative-error pin:
+// where a component is significant the error is measured relative to
+// it, and where opposing steep pairs cancel a component toward zero
+// it is measured against the strongest force present instead of
+// exploding to 0/0 (the usual force-error normalization in MD).
+func forceScale(acc []vec.V3[float64]) float64 {
+	var m float64
+	for _, a := range acc {
+		m = math.Max(m, math.Max(math.Abs(a.X), math.Max(math.Abs(a.Y), math.Abs(a.Z))))
+	}
+	return m
+}
+
+func maxRelErr(f32acc []vec.V3[float64], oracle []vec.V3[float64], scale float64) float64 {
+	worst := 0.0
+	rel := func(got, want float64) float64 {
+		return math.Abs(got-want) / math.Max(math.Abs(want), scale)
+	}
+	for i := range oracle {
+		worst = math.Max(worst, rel(f32acc[i].X, oracle[i].X))
+		worst = math.Max(worst, rel(f32acc[i].Y, oracle[i].Y))
+		worst = math.Max(worst, rel(f32acc[i].Z, oracle[i].Z))
+	}
+	return worst
+}
+
+// TestForcesPairlistMixedMatchesFloat64Oracle is the tentpole error
+// pin: float32 pair geometry with float64 accumulation must land
+// within 1e-5 per-component relative error of the all-float64 Verlet
+// kernel on randomized boxes, and the potential energy within 1e-5
+// relative. float32 carries 2^-24 ≈ 6e-8 per pair, so 1e-5 over ~50
+// neighbors leaves real margin without tolerating a precision bug.
+func TestForcesPairlistMixedMatchesFloat64Oracle(t *testing.T) {
+	for _, seed := range []uint64{3, 17, 99} {
+		pos, p := randomizedBox(t, 256, seed)
+		n := len(pos)
+
+		nl64, err := NewNeighborList[float64](0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := make([]vec.V3[float64], n)
+		pe64 := nl64.Forces(p, pos, oracle)
+
+		mx, err := NewMirror32(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mx.Refresh(pos)
+		nl32, err := NewNeighborList[float32](0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := make([]vec.V3[float64], n)
+		pe32 := ForcesPairlistMixed(nl32, mx.P, mx.Pos, acc)
+
+		worst := maxRelErr(acc, oracle, forceScale(oracle))
+		t.Logf("seed %d: worst per-component relative force error %.3g", seed, worst)
+		if worst > 1e-5 {
+			t.Errorf("seed %d: worst per-component relative force error %v > 1e-5", seed, worst)
+		}
+		if rel := math.Abs(pe32-pe64) / math.Abs(pe64); rel > 1e-5 {
+			t.Errorf("seed %d: PE relative error %v > 1e-5 (f32 %v, f64 %v)", seed, rel, pe32, pe64)
+		}
+	}
+}
+
+// TestForcesCellMixedMatchesFloat64Oracle: same pin for the
+// linked-cell mixed kernel against the all-float64 cell kernel.
+func TestForcesCellMixedMatchesFloat64Oracle(t *testing.T) {
+	for _, seed := range []uint64{5, 42} {
+		pos, p := randomizedBox(t, 256, seed)
+		n := len(pos)
+
+		cl64, err := NewCellList(p.Box, p.Cutoff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := make([]vec.V3[float64], n)
+		pe64 := cl64.Forces(p, pos, oracle)
+
+		mx, err := NewMirror32(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mx.Refresh(pos)
+		cl32, err := NewCellList(mx.P.Box, mx.P.Cutoff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := make([]vec.V3[float64], n)
+		pe32 := ForcesCellMixed(cl32, mx.P, mx.Pos, acc)
+
+		worst := maxRelErr(acc, oracle, forceScale(oracle))
+		t.Logf("seed %d: worst per-component relative force error %.3g", seed, worst)
+		if worst > 1e-5 {
+			t.Errorf("seed %d: worst per-component relative force error %v > 1e-5", seed, worst)
+		}
+		if rel := math.Abs(pe32-pe64) / math.Abs(pe64); rel > 1e-5 {
+			t.Errorf("seed %d: PE relative error %v > 1e-5", seed, rel)
+		}
+	}
+}
+
+// TestMixedKernelsAgree: the pairlist and cell mixed kernels evaluate
+// the identical float32 pair terms, differing only in float64
+// summation order, so they must agree to f64 roundoff — far tighter
+// than the 1e-5 oracle bound.
+func TestMixedKernelsAgree(t *testing.T) {
+	pos, p := randomizedBox(t, 256, 8)
+	mx, err := NewMirror32(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx.Refresh(pos)
+	// The skinned list carries pairs beyond the cutoff, but both
+	// kernels cull at the same float32 rc², so the evaluated term sets
+	// are identical and only the summation order differs.
+	nl, err := NewNeighborList[float32](0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCellList(mx.P.Box, mx.P.Cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(pos)
+	accNL := make([]vec.V3[float64], n)
+	accCL := make([]vec.V3[float64], n)
+	peNL := ForcesPairlistMixed(nl, mx.P, mx.Pos, accNL)
+	peCL := ForcesCellMixed(cl, mx.P, mx.Pos, accCL)
+	if rel := math.Abs(peNL-peCL) / math.Abs(peNL); rel > 1e-12 {
+		t.Fatalf("mixed kernels disagree on PE: %v vs %v (rel %v)", peNL, peCL, rel)
+	}
+	for i := range accNL {
+		d := accNL[i].Sub(accCL[i]).Norm()
+		if d > 1e-10 {
+			t.Fatalf("atom %d: mixed kernels disagree on force by %v", i, d)
+		}
+	}
+}
+
+// TestNewMirror32RejectsNarrowingInvalidParams: a box/cutoff pair
+// valid in float64 can round to 2*Cutoff > Box in float32 (cutoff
+// rounds up, box rounds down). The mirror must refuse at construction
+// rather than run with an ambiguous minimum image.
+func TestNewMirror32RejectsNarrowingInvalidParams(t *testing.T) {
+	// In float32's normal range narrowing cannot break 2*Cutoff <= Box:
+	// doubling is exact and rounding is monotone, so round(2c) =
+	// 2*round(c) <= round(b). The subnormal grid has fixed absolute
+	// spacing, though, so there 2*round(c) can overshoot round(b):
+	// cutoff 0.6*2^-149 rounds up to 2^-149 while box 1.2*2^-149
+	// rounds down to 2^-149, leaving 2*Cutoff = 2^-148 > Box. Also
+	// cover the blunter hazard: a tiny box that underflows to zero.
+	cases := []Params[float64]{
+		{Cutoff: 0.6 * math.Pow(2, -149), Box: 1.2 * math.Pow(2, -149), Dt: 0.004},
+		{Cutoff: 2.5e-47, Box: 1e-46, Dt: 0.004},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("case %d: float64 params unexpectedly invalid: %v", i, err)
+		}
+		if err := NarrowParams(p).Validate(); err == nil {
+			t.Fatalf("case %d: narrowed params unexpectedly valid; test premise broken", i)
+		}
+		if _, err := NewMirror32(p); err == nil {
+			t.Fatalf("case %d: NewMirror32 accepted params that are invalid at float32", i)
+		}
+	}
+	// And a plainly valid set must pass.
+	if _, err := NewMirror32(Params[float64]{Box: 10, Cutoff: 2.5, Dt: 0.004}); err != nil {
+		t.Fatalf("NewMirror32 rejected valid params: %v", err)
+	}
+}
+
+// TestMirror32RefreshTracksMaster: Refresh must narrow every master
+// position with correct rounding and reuse its buffer across calls.
+func TestMirror32RefreshTracksMaster(t *testing.T) {
+	pos, p := randomizedBox(t, 108, 13)
+	mx, err := NewMirror32(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx.Refresh(pos)
+	for i, m := range mx.Pos {
+		want := vec.FromV3f64[float32](pos[i])
+		if m != want {
+			t.Fatalf("mirror position %d = %+v, want %+v", i, m, want)
+		}
+	}
+	first := &mx.Pos[0]
+	pos[0].X += 0.25
+	mx.Refresh(pos)
+	if &mx.Pos[0] != first {
+		t.Fatal("Refresh reallocated for an unchanged atom count")
+	}
+	if mx.Pos[0] != vec.FromV3f64[float32](pos[0]) {
+		t.Fatal("Refresh did not pick up the moved atom")
+	}
+}
+
+// TestFullRowsExpandsHalfList: the gather expansion must hold, for
+// every atom, exactly the union of its half-list rows (as neighbor)
+// and entries (as owner), in strictly ascending order, with every
+// unordered pair appearing exactly twice.
+func TestFullRowsExpandsHalfList(t *testing.T) {
+	pos, p64 := randomizedBox(t, 200, 21)
+	mx, err := NewMirror32(p64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx.Refresh(pos)
+	nl, err := NewNeighborList[float32](0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.Build(mx.P, mx.Pos)
+
+	var fr FullRows[float32]
+	fr.Sync(nl)
+
+	n := len(pos)
+	want := make([][]int32, n)
+	for i, js := range nl.pairs {
+		for _, j := range js {
+			if int32(i) >= j {
+				t.Fatalf("half list violated: row %d holds %d", i, j)
+			}
+			want[i] = append(want[i], j)
+			want[j] = append(want[j], int32(i))
+		}
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		row := fr.Row(i)
+		total += len(row)
+		if !sort.SliceIsSorted(row, func(a, b int) bool { return row[a] < row[b] }) {
+			t.Fatalf("full row %d is not ascending: %v", i, row)
+		}
+		sort.Slice(want[i], func(a, b int) bool { return want[i][a] < want[i][b] })
+		if len(row) != len(want[i]) {
+			t.Fatalf("row %d has %d neighbors, want %d", i, len(row), len(want[i]))
+		}
+		for k := range row {
+			if row[k] != want[i][k] {
+				t.Fatalf("row %d entry %d = %d, want %d", i, k, row[k], want[i][k])
+			}
+		}
+	}
+	if total%2 != 0 {
+		t.Fatalf("full expansion holds %d entries; every pair must appear twice", total)
+	}
+
+	// Sync with no rebuild must be a no-op (same backing rows).
+	r0 := &fr.Row(0)[0]
+	fr.Sync(nl)
+	if &fr.Row(0)[0] != r0 {
+		t.Fatal("Sync rebuilt the expansion without a list rebuild")
+	}
+	// After a forced rebuild, Sync must refresh.
+	builds := nl.Builds()
+	nl.Build(mx.P, mx.Pos)
+	if nl.Builds() == builds {
+		t.Fatal("forced rebuild did not bump Builds")
+	}
+	fr.Sync(nl)
+	if fr.seen != nl.builds {
+		t.Fatal("Sync did not observe the rebuild")
+	}
+}

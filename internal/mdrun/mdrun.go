@@ -20,6 +20,7 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/md"
 	"repro/internal/parallel"
+	"repro/internal/vec"
 )
 
 // ForceMethod selects the non-bonded force evaluation.
@@ -40,6 +41,17 @@ const (
 	ParallelPairlist
 	// ParallelCellGrid is CellGrid sharded by cell ranges.
 	ParallelCellGrid
+	// PairlistF32 is the mixed-precision Verlet list: pair geometry
+	// and the LJ evaluation at float32 over a narrowed position
+	// mirror, per-atom force and energy accumulation at float64. The
+	// master state — integration, thermostat, checkpoints — stays
+	// float64.
+	PairlistF32
+	// ParallelPairlistF32 is PairlistF32 sharded by atom ranges with
+	// full-row gather; its output bytes are independent of Workers.
+	ParallelPairlistF32
+	// CellGridF32 is the mixed-precision linked-cell method.
+	CellGridF32
 )
 
 // String implements fmt.Stringer.
@@ -57,6 +69,12 @@ func (f ForceMethod) String() string {
 		return "parpairlist"
 	case ParallelCellGrid:
 		return "parcellgrid"
+	case PairlistF32:
+		return "pairlist-f32"
+	case ParallelPairlistF32:
+		return "parpairlist-f32"
+	case CellGridF32:
+		return "cellgrid-f32"
 	default:
 		return fmt.Sprintf("ForceMethod(%d)", int(f))
 	}
@@ -113,10 +131,13 @@ type Config struct {
 	// Workers sizes the host worker pool for the Parallel* methods:
 	// 0 means one per CPU, negative clamps to 1, huge counts clamp to
 	// parallel.MaxWorkers. Workers=1 routes to the corresponding serial
-	// kernel, byte for byte. Ignored by the serial methods.
+	// kernel, byte for byte — except ParallelPairlistF32, whose gather
+	// kernel produces the same bytes for every worker count and
+	// therefore always runs on the pool. Ignored by the serial methods.
 	Workers int
 	// BuildEngine, when non-nil, is a shared worker pool used for
-	// neighbor-list builds by the Pairlist and ParallelPairlist methods
+	// neighbor-list builds by the Pairlist, ParallelPairlist,
+	// PairlistF32, and ParallelPairlistF32 methods
 	// (the fleet scheduler hands every replica the same engine, so
 	// replicas share one build pool instead of spawning their own).
 	// The engine is borrowed: Runner.Close does not close it, and the
@@ -406,6 +427,54 @@ func (r *Runner) buildForces() (func() (float64, error), error) {
 		}
 		r.newEngine()
 		return func() (float64, error) { return r.engine.TryForcesCell(cl, sys.P, sys.Pos, sys.Acc) }, nil
+	case PairlistF32:
+		mx, nl, err := r.newMixedPairlist()
+		if err != nil {
+			return nil, err
+		}
+		build := r.sharedBuildF32(nl, mx)
+		return func() (float64, error) {
+			mx.Refresh(sys.Pos)
+			if build != nil {
+				if err := build(); err != nil {
+					return 0, err
+				}
+			}
+			return md.ForcesPairlistMixed(nl, mx.P, mx.Pos, sys.Acc), nil
+		}, nil
+	case ParallelPairlistF32:
+		mx, nl, err := r.newMixedPairlist()
+		if err != nil {
+			return nil, err
+		}
+		build := r.sharedBuildF32(nl, mx)
+		// No Workers==1 serial rerouting here: the gather kernel's
+		// output bytes are worker-count-independent by design (one
+		// worker runs it inline with no pool), and routing to the
+		// serial scatter kernel would break exactly that pin.
+		r.newEngine()
+		return func() (float64, error) {
+			mx.Refresh(sys.Pos)
+			if build != nil {
+				if err := build(); err != nil {
+					return 0, err
+				}
+			}
+			return r.engine.TryForcesPairlistF32(nl, mx.P, mx.Pos, sys.Acc)
+		}, nil
+	case CellGridF32:
+		mx, err := md.NewMirror32(sys.P)
+		if err != nil {
+			return nil, err
+		}
+		cl, err := md.NewCellList(mx.P.Box, mx.P.Cutoff)
+		if err != nil {
+			return nil, err
+		}
+		return func() (float64, error) {
+			mx.Refresh(sys.Pos)
+			return md.ForcesCellMixed(cl, mx.P, mx.Pos, sys.Acc), nil
+		}, nil
 	default:
 		return nil, fmt.Errorf("mdrun: unknown force method %d", int(r.cfg.Method))
 	}
@@ -426,6 +495,39 @@ func (r *Runner) sharedBuild(nl *md.NeighborList[float64]) func() error {
 	return func() error {
 		if nl.Stale(sys.P, sys.Pos) {
 			return be.BuildPairlist(r.runCtx, nl, sys.P, sys.Pos)
+		}
+		return nil
+	}
+}
+
+// newMixedPairlist builds the float32 mirror and neighbor list the
+// mixed-precision pairlist methods share. NewMirror32 validates the
+// narrowed parameters, so a configuration whose box/cutoff pair does
+// not survive rounding to float32 fails here instead of mid-run.
+func (r *Runner) newMixedPairlist() (*md.Mirror32, *md.NeighborList[float32], error) {
+	mx, err := md.NewMirror32(r.sys.P)
+	if err != nil {
+		return nil, nil, err
+	}
+	nl, err := md.NewNeighborList[float32](vec.Narrow[float32](r.cfg.PairlistSkin))
+	if err != nil {
+		return nil, nil, err
+	}
+	return mx, nl, nil
+}
+
+// sharedBuildF32 is sharedBuild for the mixed-precision list: stale
+// rebuilds route through the lent engine's BuildPairlistF32 (bitwise
+// sharding-independent, like the float64 build). Callers must Refresh
+// the mirror before invoking the returned hook.
+func (r *Runner) sharedBuildF32(nl *md.NeighborList[float32], mx *md.Mirror32) func() error {
+	be := r.cfg.BuildEngine
+	if be == nil {
+		return nil
+	}
+	return func() error {
+		if nl.Stale(mx.P, mx.Pos) {
+			return be.BuildPairlistF32(r.runCtx, nl, mx.P, mx.Pos)
 		}
 		return nil
 	}

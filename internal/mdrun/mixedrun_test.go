@@ -1,0 +1,196 @@
+// Mixed-precision runner pins: the F32 force methods must conserve
+// energy under the guard watchdog over 100+ steps, the parallel F32
+// trajectory must be byte-identical for every worker count, a shared
+// build engine must not perturb an F32 run, and params that do not
+// survive narrowing must fail at construction. Lives in an external
+// test package because it drives the guard supervisor, which imports
+// mdrun.
+package mdrun_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/lattice"
+	"repro/internal/md"
+	"repro/internal/mdrun"
+	"repro/internal/parallel"
+	"repro/internal/vec"
+)
+
+// mixedConfig is a 256-atom NVE box sized so the cell grid holds the
+// minimum 3 cells per edge at cutoff 2.0.
+func mixedConfig(method mdrun.ForceMethod, workers int) mdrun.Config {
+	return mdrun.Config{
+		Atoms:       256,
+		Density:     0.8442,
+		Temperature: 0.728,
+		Lattice:     lattice.FCC,
+		Seed:        77,
+		Cutoff:      2.0,
+		Dt:          0.004,
+		Shifted:     true,
+		Method:      method,
+		Workers:     workers,
+	}
+}
+
+func TestF32MethodStrings(t *testing.T) {
+	cases := map[mdrun.ForceMethod]string{
+		mdrun.PairlistF32:         "pairlist-f32",
+		mdrun.ParallelPairlistF32: "parpairlist-f32",
+		mdrun.CellGridF32:         "cellgrid-f32",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+// TestF32GuardedNVEDrift is the tentpole stability pin: every mixed-
+// precision method runs 120 guarded NVE steps with the watchdog's
+// energy-drift tripwire tightened to 1e-3, and must finish with zero
+// incidents. float32 pair geometry perturbs each force by ~1e-6
+// relative, a rounding so far below the integrator's own O(dt²) drift
+// that the f64 conservation budget holds unchanged.
+func TestF32GuardedNVEDrift(t *testing.T) {
+	const steps = 120
+	for _, tc := range []struct {
+		name    string
+		method  mdrun.ForceMethod
+		workers int
+	}{
+		{"pairlist-f32", mdrun.PairlistF32, 1},
+		{"cellgrid-f32", mdrun.CellGridF32, 1},
+		{"parpairlist-f32-w3", mdrun.ParallelPairlistF32, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sup, err := guard.New(guard.Config{
+				Run:            mixedConfig(tc.method, tc.workers),
+				MaxEnergyDrift: 1e-3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sup.Close()
+			sum, rep, err := sup.Run(steps)
+			if err != nil {
+				t.Fatalf("guarded run failed: %v (%v)", err, rep)
+			}
+			if rep.Counts.Total() != 0 {
+				t.Fatalf("guarded run logged incidents: %v", rep)
+			}
+			if sum.Steps != steps {
+				t.Fatalf("ran %d steps, want %d", sum.Steps, steps)
+			}
+			drift := math.Abs(sum.FinalEnergy-sum.InitialEnergy) / math.Abs(sum.InitialEnergy)
+			t.Logf("relative energy drift over %d steps: %.3g", steps, drift)
+			if drift > 1e-3 {
+				t.Fatalf("NVE drift %v > 1e-3", drift)
+			}
+		})
+	}
+}
+
+// TestParallelPairlistF32WorkerInvariantTrajectory: the gather
+// kernel's bytes do not depend on the worker count, so entire
+// trajectories — positions, velocities, energies — must agree bit for
+// bit across pool sizes. This is the property the f64 parallel
+// methods do NOT have (their reduction order varies with the pool),
+// and the reason ParallelPairlistF32 skips the Workers=1 serial
+// rerouting.
+func TestParallelPairlistF32WorkerInvariantTrajectory(t *testing.T) {
+	const steps = 30
+	run := func(workers int) *md.System[float64] {
+		r, err := mdrun.New(mixedConfig(mdrun.ParallelPairlistF32, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		if _, err := r.Run(steps); err != nil {
+			t.Fatal(err)
+		}
+		return r.System()
+	}
+	ref := run(1)
+	for _, w := range []int{2, 4, 7} {
+		sys := run(w)
+		for i := range ref.Pos {
+			if sys.Pos[i] != ref.Pos[i] || sys.Vel[i] != ref.Vel[i] {
+				t.Fatalf("workers=%d: trajectory diverged at atom %d", w, i)
+			}
+		}
+		if math.Float64bits(sys.PE) != math.Float64bits(ref.PE) ||
+			math.Float64bits(sys.KE) != math.Float64bits(ref.KE) {
+			t.Fatalf("workers=%d: energies differ: PE %v vs %v, KE %v vs %v",
+				w, sys.PE, ref.PE, sys.KE, ref.KE)
+		}
+	}
+}
+
+// TestF32SharedBuildEngineBitwise: lending a build engine to an F32
+// run must not change a single byte of the trajectory — the sharded
+// float32 list build is byte-identical to the serial one.
+func TestF32SharedBuildEngineBitwise(t *testing.T) {
+	const steps = 30
+	run := func(be *parallel.Engine[float64]) *md.System[float64] {
+		cfg := mixedConfig(mdrun.PairlistF32, 1)
+		cfg.BuildEngine = be
+		r, err := mdrun.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		if _, err := r.Run(steps); err != nil {
+			t.Fatal(err)
+		}
+		return r.System()
+	}
+	ref := run(nil)
+	be := parallel.New[float64](4)
+	defer be.Close()
+	shared := run(be)
+	for i := range ref.Pos {
+		if shared.Pos[i] != ref.Pos[i] || shared.Vel[i] != ref.Vel[i] {
+			t.Fatalf("shared-engine build diverged at atom %d", i)
+		}
+	}
+	if shared.PE != ref.PE || shared.KE != ref.KE {
+		t.Fatal("shared-engine build changed energies")
+	}
+}
+
+// TestF32RejectsNarrowingInvalidParams: a system whose float64 params
+// are valid but do not survive narrowing (subnormal box: 2*Cutoff
+// rounds past Box at float32) must be refused when an F32 method is
+// configured, at construction rather than mid-run.
+func TestF32RejectsNarrowingInvalidParams(t *testing.T) {
+	makeSys := func() *md.System[float64] {
+		p := md.Params[float64]{
+			Cutoff: 0.6 * math.Pow(2, -149),
+			Box:    1.2 * math.Pow(2, -149),
+			Dt:     0.004,
+		}
+		return &md.System[float64]{
+			P:   p,
+			Pos: make([]vec.V3[float64], 8),
+			Vel: make([]vec.V3[float64], 8),
+			Acc: make([]vec.V3[float64], 8),
+		}
+	}
+	for _, method := range []mdrun.ForceMethod{
+		mdrun.PairlistF32, mdrun.ParallelPairlistF32, mdrun.CellGridF32,
+	} {
+		cfg := mdrun.Config{Method: method, Workers: 2}
+		_, err := mdrun.NewFromSystem(makeSys(), cfg)
+		if err == nil {
+			t.Fatalf("%v: accepted params that are invalid at float32", method)
+		}
+		if !strings.Contains(err.Error(), "narrow") {
+			t.Fatalf("%v: error %q does not mention narrowing", method, err)
+		}
+	}
+}

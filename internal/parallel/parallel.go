@@ -95,6 +95,12 @@ type Engine[T vec.Float] struct {
 	ctx context.Context
 
 	shards []shard[T]
+
+	// Mixed-precision scratch (the F32 kernels): the gather view of
+	// the float32 neighbor list and the per-atom float64 energy
+	// partials the fixed-shape reduction runs over.
+	full32 md.FullRows[float32]
+	pe64   []float64
 }
 
 // shard is one worker's private state.
@@ -499,6 +505,24 @@ const buildCtxStride = 256
 // internal mutex. This is the fleet scheduler's shared-build-pool
 // contract; each call still observes only its own context.
 func (e *Engine[T]) BuildPairlist(ctx context.Context, nl *md.NeighborList[T], p md.Params[T], pos []vec.V3[T]) error {
+	return buildPairlist(e, ctx, nl, p, pos)
+}
+
+// serialBuildAtoms is the atom count below which BuildPairlist runs
+// the build inline instead of sharding it: BENCH_PR5 measured the
+// sharded build at mid N losing to the serial cell-binned build
+// (parallel_n2048_w{2,4} ≈ 6.7–6.9 ms vs cell_n2048 ≈ 5.96 ms — task
+// hand-off and shard bookkeeping, since this host is effectively
+// single-core), and the crossover sits between 2048 and 8192. Output
+// is unaffected: rows are position-determined, so both paths emit
+// byte-identical lists (pinned by TestBuildPairlistWorkersBitwise).
+const serialBuildAtoms = 4096
+
+// buildPairlist is the shared build core behind BuildPairlist and
+// BuildPairlistF32: the engine's scheduling is independent of the
+// list's element width F, so one implementation serves both the
+// native-width and the mixed-precision builds.
+func buildPairlist[T, F vec.Float](e *Engine[T], ctx context.Context, nl *md.NeighborList[F], p md.Params[F], pos []vec.V3[F]) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -506,15 +530,30 @@ func (e *Engine[T]) BuildPairlist(ctx context.Context, nl *md.NeighborList[T], p
 	defer e.buildMu.Unlock()
 	grid := nl.BeginBuild(p, pos)
 	n := len(pos)
-	err := e.runNWith(ctx, e.workers, false, func(w int) {
-		lo, hi := e.shardRange(n, w)
-		for i := lo; i < hi; i++ {
-			if (i-lo)%buildCtxStride == 0 && ctx.Err() != nil {
-				return // abandon the shard; EndBuild below is skipped
+	var err error
+	if e.workers <= 1 || n < serialBuildAtoms {
+		// Inline build (see serialBuildAtoms). callWith keeps the
+		// panic-isolation and disarmed-fault contract of the sharded
+		// path; the row loop polls ctx at the same stride.
+		err = e.callWith(ctx, 0, false, func(int) {
+			for i := 0; i < n; i++ {
+				if i%buildCtxStride == 0 && ctx.Err() != nil {
+					return // abandon; EndBuild below is skipped
+				}
+				nl.BuildRow(p, pos, grid, i)
 			}
-			nl.BuildRow(p, pos, grid, i)
-		}
-	})
+		})
+	} else {
+		err = e.runNWith(ctx, e.workers, false, func(w int) {
+			lo, hi := e.shardRange(n, w)
+			for i := lo; i < hi; i++ {
+				if (i-lo)%buildCtxStride == 0 && ctx.Err() != nil {
+					return // abandon the shard; EndBuild below is skipped
+				}
+				nl.BuildRow(p, pos, grid, i)
+			}
+		})
+	}
 	if err == nil {
 		err = ctx.Err() // a late cancellation may have abandoned rows
 	}

@@ -1,0 +1,161 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// These tests pin the audited widen-compute-narrow helpers backing the
+// mixed-precision host fast path: Widen is exact, Narrow is correctly
+// rounded with a known worst-case ULP bound, non-finite values pass
+// through unchanged, and PairwiseSum's reduction shape depends only on
+// the slice length.
+
+// TestWidenIsExact: every float32 is exactly representable as a
+// float64, so Widen must be lossless and Narrow∘Widen the identity.
+func TestWidenIsExact(t *testing.T) {
+	vals := []float32{0, 1, -1, 0.5, 1.5, -3.25, 1e-10, 3.4028234e38,
+		math.MaxFloat32, math.SmallestNonzeroFloat32, 1.0 / 3.0}
+	for _, v := range vals {
+		w := Widen(v)
+		if Narrow[float32](w) != v {
+			t.Fatalf("Narrow(Widen(%g)) = %g, want identity", v, Narrow[float32](w))
+		}
+	}
+	f := func(x float32) bool { return Narrow[float32](Widen(x)) == x || x != x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNarrowRoundTripExact: float64 values that happen to be
+// float32-representable must narrow without any error at all.
+func TestNarrowRoundTripExact(t *testing.T) {
+	for _, x := range []float64{0, 1, -2, 0.25, 1.5, 4096, -0.0078125, 1e7} {
+		if got := Widen(Narrow[float32](x)); got != x {
+			t.Fatalf("Narrow(%v) round-tripped to %v, want exact", x, got)
+		}
+	}
+}
+
+// TestNarrowULPBound: narrowing is IEEE round-to-nearest, so for any
+// float64 in float32's normal range the relative error is at most half
+// a float32 ULP, 2^-24. This is the worst-case bound the mixed kernel's
+// error analysis in DESIGN.md leans on.
+func TestNarrowULPBound(t *testing.T) {
+	const halfULP = 1.0 / (1 << 24) // 2^-24
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) || raw == 0 {
+			return true
+		}
+		// Scale into float32's normal range.
+		exp := int(math.Mod(math.Abs(raw), 64)) - 32 // [-32, 31]: well inside float32's normal range
+		x := math.Copysign(1+math.Abs(math.Mod(raw, 1)), raw) * math.Pow(2, float64(exp))
+		rel := math.Abs(Widen(Narrow[float32](x))-x) / math.Abs(x)
+		return rel <= halfULP
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Directed worst case: exactly halfway between two float32
+	// neighbors still rounds within the bound.
+	x := 1 + 3.0/(1<<25) // 0.75 ULP above 1.0 at float32
+	if rel := math.Abs(Widen(Narrow[float32](x))-x) / x; rel > halfULP {
+		t.Fatalf("halfway case relative error %v > 2^-24", rel)
+	}
+}
+
+// TestNarrowNonFinite: NaN and infinities must propagate, and float64
+// magnitudes beyond float32's range must saturate to infinity rather
+// than silently wrap — a corrupted coordinate has to stay visibly
+// corrupt through the mirror so the guard's NaN check can catch it.
+func TestNarrowNonFinite(t *testing.T) {
+	if v := Narrow[float32](math.NaN()); v == v {
+		t.Fatal("NaN did not propagate through Narrow")
+	}
+	if v := Narrow[float32](math.Inf(1)); !math.IsInf(float64(v), 1) {
+		t.Fatalf("+Inf narrowed to %v", v)
+	}
+	if v := Narrow[float32](math.Inf(-1)); !math.IsInf(float64(v), -1) {
+		t.Fatalf("-Inf narrowed to %v", v)
+	}
+	if v := Narrow[float32](1e300); !math.IsInf(float64(v), 1) {
+		t.Fatalf("overflowing narrow gave %v, want +Inf", v)
+	}
+	if w := Widen(float32(math.NaN())); w == w {
+		t.Fatal("NaN did not propagate through Widen")
+	}
+}
+
+// TestAccumAddSubWidenExactly: the accumulate helpers must behave as
+// "widen exactly, then one float64 add/sub per component" — nothing
+// more. Pinned bitwise against the hand-written expansion.
+func TestAccumAddSubWidenExactly(t *testing.T) {
+	acc := V3[float64]{0.1, -2.5, 1e-9}
+	b := V3[float32]{1.0 / 3.0, -7.25, 3e-8}
+	add := AccumAdd(acc, b)
+	sub := AccumSub(acc, b)
+	wantAdd := V3[float64]{acc.X + float64(b.X), acc.Y + float64(b.Y), acc.Z + float64(b.Z)}
+	wantSub := V3[float64]{acc.X - float64(b.X), acc.Y - float64(b.Y), acc.Z - float64(b.Z)}
+	if add != wantAdd {
+		t.Fatalf("AccumAdd = %+v, want %+v", add, wantAdd)
+	}
+	if sub != wantSub {
+		t.Fatalf("AccumSub = %+v, want %+v", sub, wantSub)
+	}
+	// With dyadic values every add is exact, so add-then-sub of the
+	// same widened vector cancels bit-for-bit: both operations see the
+	// identical float64 image of their float32 argument.
+	dacc := V3[float64]{1, -2.5, 0.5}
+	db := V3[float32]{0.25, 0.5, -0.125}
+	if got := AccumSub(AccumAdd(dacc, db), db); got != dacc {
+		t.Fatalf("AccumSub(AccumAdd(acc,b),b) = %+v, want acc %+v", got, dacc)
+	}
+}
+
+// TestPairwiseSumExactOnIntegers: integer-valued inputs small enough to
+// be exact in float64 must sum exactly regardless of tree shape.
+func TestPairwiseSumExactOnIntegers(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 100, 1023, 4096} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i%17 - 8)
+		}
+		var want float64
+		for _, x := range xs {
+			want += x
+		}
+		if got := PairwiseSum(xs); got != want {
+			t.Fatalf("n=%d: PairwiseSum = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// TestPairwiseSumShapeFixedByLength: the reduction tree splits at the
+// midpoint, so the association — and therefore the exact bits — depend
+// only on the slice contents and length, never on capacity, aliasing,
+// or who calls it. Two equal-content slices must produce identical
+// bits, and the result must match a naive sum to float64 roundoff.
+func TestPairwiseSumShapeFixedByLength(t *testing.T) {
+	const n = 777
+	xs := make([]float64, n)
+	for i := range xs {
+		// Deterministic, sign-alternating, awkward mantissas.
+		xs[i] = math.Sin(float64(i)*0.7) * math.Exp(float64(i%13)-6)
+	}
+	ys := make([]float64, n, 4*n)
+	copy(ys, xs)
+	a, b := PairwiseSum(xs), PairwiseSum(ys)
+	if math.Float64bits(a) != math.Float64bits(b) {
+		t.Fatalf("same content, different bits: %x vs %x",
+			math.Float64bits(a), math.Float64bits(b))
+	}
+	var naive float64
+	for _, x := range xs {
+		naive += x
+	}
+	if math.Abs(a-naive) > 1e-9*(1+math.Abs(naive)) {
+		t.Fatalf("pairwise %v too far from naive %v", a, naive)
+	}
+}

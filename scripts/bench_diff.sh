@@ -1,0 +1,12 @@
+#!/bin/sh
+# bench_diff.sh — compare two BENCH_*.json trajectory files by bench
+# name, printing per-metric new/old ratios. Thin wrapper over the
+# cmd/benchdiff tool so the comparison logic stays in Go (and under
+# test).
+#
+# Usage: scripts/bench_diff.sh OLD.json NEW.json
+#   e.g. scripts/bench_diff.sh BENCH_PR5.json BENCH_PR6.json
+set -eu
+
+cd "$(dirname "$0")/.."
+exec go run ./cmd/benchdiff "$@"

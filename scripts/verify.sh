@@ -21,6 +21,9 @@ go test -race -short ./internal/md/... ./internal/parallel/... \
     ./internal/faults/... ./internal/guard/... ./internal/fleet/... \
     ./internal/mdrun/...
 
+echo "==> go test -bench=MixedPrecision -benchtime=1x (mixed-precision smoke)"
+go test -run='^$' -bench=MixedPrecision -benchtime=1x .
+
 echo "==> go run ./cmd/mdlint ./..."
 go run ./cmd/mdlint ./...
 
