@@ -1,11 +1,17 @@
 package repro
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -25,6 +31,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/seqalign"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/spu"
 	"repro/internal/vec"
@@ -883,6 +890,193 @@ func BenchmarkBatchThroughput(b *testing.B) {
 		sink.Record("BatchThroughput/overloaded", map[string]float64{
 			"ns_per_op": perOp, "replicas_per_sec": rps,
 			"shed_rate": shedRate, "replicas": n,
+		})
+	})
+}
+
+// BenchmarkServeThroughput measures the mdserve serving layer end to
+// end through its HTTP handler: jobs per second for a fully admitted
+// batch, and the flood-isolation arms the tenancy pin rests on — a
+// quiet tenant's admission latency (p50/p99 of POST /v1/jobs) measured
+// alone and again with a neighbor tenant flooding at 10x its quota,
+// plus the flooder's 429 rate. With BENCH_JSON=<path> every point
+// lands in the JSON-Lines bench trajectory (BENCH_PR7.json).
+func BenchmarkServeThroughput(b *testing.B) {
+	sink := report.NewBenchSink()
+	defer func() {
+		path := os.Getenv("BENCH_JSON")
+		if path == "" || sink.Len() == 0 {
+			return
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			b.Logf("BENCH_JSON: %v", err)
+			return
+		}
+		defer f.Close()
+		if err := sink.WriteJSON(f); err != nil {
+			b.Logf("BENCH_JSON: %v", err)
+		}
+	}()
+
+	newServer := func(b *testing.B, tp serve.TenantPolicy) (*serve.Server, http.Handler) {
+		srv, err := serve.NewServer(serve.Config{
+			DataDir: b.TempDir(),
+			Fleet: fleet.Config{
+				MaxInflight: runtime.NumCPU(), QueueDepth: 64,
+				WorkerBudget: runtime.NumCPU(),
+			},
+			Tenancy: tp,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return srv, srv.Handler()
+	}
+	drain := func(b *testing.B, srv *serve.Server) {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// A small standard job: big enough to exercise the full admit ->
+	// run -> checkpoint -> report path, small enough that throughput
+	// measures the serving layer rather than the MD kernel.
+	spec := []byte(`{"atoms": 108, "steps": 10, "thermostat": "rescale", "checkpoint_every": 50}`)
+	post := func(h http.Handler, tenant string) (int, string, time.Duration) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(spec))
+		req.Header.Set("X-Tenant", tenant)
+		w := httptest.NewRecorder()
+		start := time.Now()
+		h.ServeHTTP(w, req)
+		elapsed := time.Since(start)
+		var resp struct {
+			ID string `json:"id"`
+		}
+		_ = json.Unmarshal(w.Body.Bytes(), &resp)
+		return w.Code, resp.ID, elapsed
+	}
+	await := func(b *testing.B, h http.Handler, id string) {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+id+"/report", nil)
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code == http.StatusOK {
+				return
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("job %s never reached a terminal report", id)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Fully admitted batch: n jobs from one tenant with quota headroom,
+	// submitted and awaited through the handler.
+	b.Run("admitted", func(b *testing.B) {
+		const n = 8
+		srv, h := newServer(b, serve.TenantPolicy{Rate: 1e6, Burst: 1e6, MaxActive: n})
+		defer drain(b, srv)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ids := make([]string, 0, n)
+			for j := 0; j < n; j++ {
+				code, id, _ := post(h, "bench")
+				if code != http.StatusAccepted {
+					b.Fatalf("submit %d: HTTP %d", j, code)
+				}
+				ids = append(ids, id)
+			}
+			for _, id := range ids {
+				await(b, h, id)
+			}
+		}
+		b.StopTimer()
+		perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		jps := float64(n) / (perOp / 1e9)
+		b.ReportMetric(jps, "jobs_per_sec")
+		sink.Record("ServeThroughput/admitted", map[string]float64{
+			"ns_per_op": perOp, "jobs_per_sec": jps, "jobs": n,
+		})
+	})
+
+	// quantileMs picks the q-th latency from a sample, in milliseconds.
+	quantileMs := func(lats []time.Duration, q float64) float64 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		return float64(lats[int(q*float64(len(lats)-1))].Nanoseconds()) / 1e6
+	}
+
+	// floodArm measures the quiet tenant's admission latencies over a
+	// paced submission train, optionally with a flooding neighbor
+	// offering 10x the 200/s quota; it returns the quiet latencies and
+	// the flooder's rejection rate.
+	floodArm := func(b *testing.B, flood bool) ([]time.Duration, float64) {
+		srv, h := newServer(b, serve.TenantPolicy{Rate: 200, Burst: 20, MaxActive: 16})
+		defer drain(b, srv)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		var floodTotal, floodRejected int
+		if flood {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					code, _, _ := post(h, "flooder")
+					floodTotal++
+					if code == http.StatusTooManyRequests {
+						floodRejected++
+					}
+					time.Sleep(500 * time.Microsecond) // ~2000/s offered = 10x quota
+				}
+			}()
+		}
+		var lats []time.Duration
+		for j := 0; j < 40; j++ {
+			code, _, d := post(h, "quiet")
+			if code != http.StatusAccepted {
+				b.Fatalf("quiet submit %d: HTTP %d", j, code)
+			}
+			lats = append(lats, d)
+			time.Sleep(10 * time.Millisecond) // 100/s, half the quota rate
+		}
+		close(stop)
+		wg.Wait()
+		rejectRate := 0.0
+		if floodTotal > 0 {
+			rejectRate = float64(floodRejected) / float64(floodTotal)
+		}
+		return lats, rejectRate
+	}
+
+	// Flood isolation: the quiet tenant's p50/p99 admission latency must
+	// not move when the neighbor floods — the serve tests pin the hard
+	// guarantees (no quiet 429s); this records the latency evidence.
+	b.Run("flood_isolation", func(b *testing.B) {
+		var aloneP50, aloneP99, floodP50, floodP99, rejectRate float64
+		for i := 0; i < b.N; i++ {
+			alone, _ := floodArm(b, false)
+			flooded, rr := floodArm(b, true)
+			aloneP50, aloneP99 = quantileMs(alone, 0.5), quantileMs(alone, 0.99)
+			floodP50, floodP99 = quantileMs(flooded, 0.5), quantileMs(flooded, 0.99)
+			rejectRate = rr
+		}
+		b.ReportMetric(aloneP99, "quiet_alone_p99_ms")
+		b.ReportMetric(floodP99, "quiet_flooded_p99_ms")
+		b.ReportMetric(rejectRate, "flood_reject_rate")
+		sink.Record("ServeThroughput/flood_isolation", map[string]float64{
+			"quiet_alone_p50_ms":   aloneP50,
+			"quiet_alone_p99_ms":   aloneP99,
+			"quiet_flooded_p50_ms": floodP50,
+			"quiet_flooded_p99_ms": floodP99,
+			"flood_reject_rate":    rejectRate,
 		})
 	})
 }

@@ -33,11 +33,11 @@ func run(args []string, w io.Writer) error {
 	if len(args) != 2 {
 		return fmt.Errorf("usage: benchdiff OLD.json NEW.json")
 	}
-	oldRecs, err := readFile(args[0])
+	oldRecs, err := readFile("old", args[0])
 	if err != nil {
 		return err
 	}
-	newRecs, err := readFile(args[1])
+	newRecs, err := readFile("new", args[1])
 	if err != nil {
 		return err
 	}
@@ -105,15 +105,26 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
-func readFile(path string) ([]report.BenchRecord, error) {
+// readFile loads one side of the diff. The error paths are the ones a
+// cross-PR comparison actually hits — a BENCH_*.json that was never
+// generated, or one that exists but holds no parseable records (an
+// interrupted bench run, a truncated copy) — and each says which side
+// and which file, not just "no such file" or a silent empty diff.
+func readFile(side, path string) ([]report.BenchRecord, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%s file %s does not exist — generate it with BENCH_JSON=%s go test -bench ...", side, path, path)
+		}
+		return nil, fmt.Errorf("%s file: %w", side, err)
 	}
 	defer f.Close()
 	recs, err := report.ReadBenchRecords(f)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s file %s: %w", side, path, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%s file %s contains no parseable bench records — was the bench run interrupted?", side, path)
 	}
 	return recs, nil
 }

@@ -70,3 +70,61 @@ func TestDiffBadArgsAndMissingFile(t *testing.T) {
 		t.Fatal("missing files accepted")
 	}
 }
+
+// TestDiffMissingFileSaysWhichSide pins the operator-facing error
+// text: a missing input names the side and the path, and tells the
+// user how to generate it — not a bare ENOENT with no context.
+func TestDiffMissingFileSaysWhichSide(t *testing.T) {
+	dir := t.TempDir()
+	present := writeFile(t, dir, "present.json", `{"bench":"A","metrics":{"m":1}}`+"\n")
+	missing := filepath.Join(dir, "never-written.json")
+
+	err := run([]string{missing, present}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("missing old file accepted")
+	}
+	for _, want := range []string{"old file", missing, "BENCH_JSON"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("old-side error %q missing %q", err, want)
+		}
+	}
+
+	err = run([]string{present, missing}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("missing new file accepted")
+	}
+	if !strings.Contains(err.Error(), "new file") {
+		t.Errorf("new-side error %q does not name the side", err)
+	}
+}
+
+// TestDiffZeroRecordsIsAnError pins the empty-input contract: a file
+// that exists but yields no parseable records (empty, or truncated
+// before the first complete record) is an explicit error naming the
+// file — previously it produced a silent empty diff, indistinguishable
+// from "no shared benches".
+func TestDiffZeroRecordsIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	good := writeFile(t, dir, "good.json", `{"bench":"A","metrics":{"m":1}}`+"\n")
+	empty := writeFile(t, dir, "empty.json", "")
+
+	var out bytes.Buffer
+	err := run([]string{empty, good}, &out)
+	if err == nil {
+		t.Fatalf("empty old file accepted; output:\n%s", out.String())
+	}
+	for _, want := range []string{"old file", empty, "no parseable bench records"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("empty-file error %q missing %q", err, want)
+		}
+	}
+	if err := run([]string{good, empty}, &out); err == nil || !strings.Contains(err.Error(), "new file") {
+		t.Fatalf("empty new file: err = %v, want new-side zero-records error", err)
+	}
+
+	// Torn mid-record: the decode error itself surfaces, with the path.
+	torn := writeFile(t, dir, "torn.json", `{"bench":"A","met`)
+	if err := run([]string{torn, good}, &out); err == nil || !strings.Contains(err.Error(), "torn.json") {
+		t.Fatalf("torn file: err = %v, want decode error naming the file", err)
+	}
+}

@@ -1,0 +1,115 @@
+// Command mdserve is the simulation service: a durable, multi-tenant
+// HTTP/JSON job API over the fleet scheduler. Clients submit validated
+// run specs, stream observables as segments commit, and fetch the
+// final report; accepted jobs survive a process kill and resume from
+// their latest valid checkpoint on restart.
+//
+// Usage:
+//
+//	mdserve -data /var/lib/mdserve
+//	mdserve -addr 127.0.0.1:0 -data ./state   # ephemeral port, printed on stdout
+//
+//	curl -XPOST -H 'X-Tenant: alice' -H 'Idempotency-Key: run-1' \
+//	     -d '{"atoms":256,"steps":2000,"thermostat":"rescale"}' \
+//	     http://localhost:8080/v1/jobs
+//	curl http://localhost:8080/v1/jobs/job-000001/events   # SSE stream
+//	curl http://localhost:8080/v1/jobs/job-000001/report
+//
+// SIGTERM/SIGINT starts a graceful drain: submissions get 503,
+// in-flight jobs run to completion within -drain-timeout, and anything
+// still running past the deadline is cancelled at an MD-step boundary
+// and resumed by the next start.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		data         = flag.String("data", "", "data directory for the durable job store (required)")
+		inflight     = flag.Int("max-inflight", 0, "jobs running concurrently (0 = one per CPU)")
+		queue        = flag.Int("queue-depth", 0, "fleet admission queue bound beyond the inflight set (0 = max-inflight)")
+		repTO        = flag.Duration("replica-timeout", 0, "per-job wall-clock deadline, e.g. 10m (0 = none)")
+		tenantRate   = flag.Float64("tenant-rate", 5, "per-tenant sustained submissions per second")
+		tenantBurst  = flag.Float64("tenant-burst", 10, "per-tenant submission burst capacity")
+		tenantActive = flag.Int("tenant-active", 4, "per-tenant cap on admitted-but-unfinished jobs")
+		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM before in-flight jobs are checkpoint-cancelled")
+	)
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "mdserve: -data is required")
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "mdserve: ", log.LstdFlags)
+	srv, err := serve.NewServer(serve.Config{
+		DataDir: *data,
+		Fleet: fleet.Config{
+			MaxInflight:    *inflight,
+			QueueDepth:     *queue,
+			ReplicaTimeout: *repTO,
+		},
+		Tenancy: serve.TenantPolicy{
+			Rate:      *tenantRate,
+			Burst:     *tenantBurst,
+			MaxActive: *tenantActive,
+		},
+		Logf: logger.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdserve:", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdserve:", err)
+		os.Exit(1)
+	}
+	// The resolved address goes to stdout (and is flushed) before any
+	// job runs: test harnesses listening on :0 parse the port from this
+	// line.
+	fmt.Printf("mdserve: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "mdserve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the hard way
+
+	logger.Printf("drain: started (budget %s)", *drainTO)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		logger.Printf("drain: deadline expired; interrupted jobs will resume on restart: %v", err)
+	} else {
+		logger.Printf("drain: all jobs finished")
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+}

@@ -1,0 +1,277 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// server is one running mdserve process under test.
+type server struct {
+	cmd  *exec.Cmd
+	base string // http://127.0.0.1:port
+}
+
+// buildBinary compiles mdserve once per test run.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mdserve")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building mdserve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startServer launches mdserve on an ephemeral port over dataDir and
+// waits for its listen line.
+func startServer(t *testing.T, bin, dataDir string) *server {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-data", dataDir, "-max-inflight", "1", "-drain-timeout", "30s")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		_ = cmd.Process.Kill()
+		t.Fatalf("mdserve exited before announcing its address (scan err %v)", sc.Err())
+	}
+	line := sc.Text()
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		_ = cmd.Process.Kill()
+		t.Fatalf("unexpected first line %q", line)
+	}
+	// Keep draining stdout so the child never blocks on a full pipe.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return &server{cmd: cmd, base: "http://" + strings.TrimSpace(line[i+len(marker):])}
+}
+
+// kill SIGKILLs the server — the crash the durability layer exists
+// for: no drain, no flush, no goodbye.
+func (s *server) kill(t *testing.T) {
+	t.Helper()
+	if err := s.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.cmd.Wait() // reap; the error is the kill itself
+}
+
+type submitResp struct {
+	ID           string `json:"id"`
+	Status       string `json:"status"`
+	Deduplicated bool   `json:"deduplicated"`
+}
+
+// submit POSTs a spec JSON with an idempotency key.
+func (s *server) submit(t *testing.T, key, body string) (submitResp, int) {
+	t.Helper()
+	req, err := http.NewRequest("POST", s.base+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr submitResp
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil && resp.StatusCode < 300 {
+		t.Fatal(err)
+	}
+	return sr, resp.StatusCode
+}
+
+// status fetches the job's status document as a loose map.
+func (s *server) status(t *testing.T, id string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(s.base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// awaitDone polls the report endpoint until the job is terminal and
+// returns the final energy.
+func (s *server) awaitDone(t *testing.T, id string) (finalEnergy float64, resumed bool) {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(s.base + "/v1/jobs/" + id + "/report")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			var rec struct {
+				Status  string `json:"status"`
+				Error   string `json:"error"`
+				Resumed bool   `json:"resumed"`
+				Summary *struct {
+					FinalEnergy float64
+				} `json:"summary"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if rec.Status != "done" || rec.Summary == nil {
+				t.Fatalf("job %s terminal but not done: %+v", id, rec)
+			}
+			return rec.Summary.FinalEnergy, rec.Resumed
+		}
+		resp.Body.Close()
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return 0, false
+}
+
+// TestMDServeKillRestart is the end-to-end crash-recovery pin, against
+// the real binary and a real SIGKILL: a job is submitted, the process
+// is killed mid-run with no warning, a new process on the same data
+// directory resumes the job from its latest checkpoint and finishes
+// it; the resumed run's final energy matches an uninterrupted run of
+// the same spec on the same server to 1e-8, and resubmitting the
+// original idempotency key across the restart returns the original
+// job ID without a second run.
+func TestMDServeKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and multi-thousand-step runs")
+	}
+	bin := buildBinary(t)
+	dataDir := t.TempDir()
+	spec := `{"atoms": 108, "steps": 4000, "thermostat": "rescale", "checkpoint_every": 100}`
+
+	s1 := startServer(t, bin, dataDir)
+	sr, code := s1.submit(t, "crash-pin", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d (%+v)", code, sr)
+	}
+
+	// Let the run get past its first thousand steps (several on-disk
+	// checkpoints), then SIGKILL the process.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never reached step 1000")
+		}
+		st := s1.status(t, sr.ID)
+		if prog, ok := st["progress"].(map[string]any); ok {
+			if step, _ := prog["step"].(float64); step >= 1000 {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	s1.kill(t)
+
+	// The killed process must not have committed a terminal record.
+	if _, err := os.Stat(filepath.Join(dataDir, "jobs", sr.ID, "sreport.json")); !os.IsNotExist(err) {
+		t.Fatalf("terminal record present after SIGKILL (err=%v)", err)
+	}
+
+	s2 := startServer(t, bin, dataDir)
+	defer s2.kill(t)
+
+	// Idempotent resubmit across the restart: original ID, no new run.
+	again, code := s2.submit(t, "crash-pin", spec)
+	if code != http.StatusOK || !again.Deduplicated || again.ID != sr.ID {
+		t.Fatalf("resubmit across restart = %d %+v, want dedup of %s", code, again, sr.ID)
+	}
+
+	resumedE, resumed := s2.awaitDone(t, sr.ID)
+	if !resumed {
+		t.Fatal("report not marked resumed")
+	}
+
+	// Uninterrupted oracle: the same spec under a different key on the
+	// same server. Resume is from a bit-exact checkpoint through the
+	// same deterministic kernel, so the energies agree far inside 1e-8.
+	orc, code := s2.submit(t, "oracle", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("oracle submit = %d", code)
+	}
+	if orc.ID == sr.ID {
+		t.Fatal("oracle deduplicated onto the crashed job")
+	}
+	oracleE, _ := s2.awaitDone(t, orc.ID)
+	if diff := math.Abs(resumedE - oracleE); !(diff <= 1e-8*math.Max(1, math.Abs(oracleE))) {
+		t.Fatalf("resumed final energy %v vs uninterrupted %v (diff %g > 1e-8)", resumedE, oracleE, diff)
+	}
+
+	// Exactly two job directories: the resumed job and the oracle — the
+	// crash and restart minted nothing extra.
+	entries, err := os.ReadDir(filepath.Join(dataDir, "jobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("job dirs after crash+restart: %v, want exactly 2", names)
+	}
+}
+
+// TestMDServeGracefulDrain pins the SIGTERM path: a serving process
+// with a finished job exits cleanly on SIGTERM, and its drain writes
+// nothing new for completed work.
+func TestMDServeGracefulDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildBinary(t)
+	dataDir := t.TempDir()
+	s := startServer(t, bin, dataDir)
+	sr, code := s.submit(t, "", `{"atoms": 108, "steps": 50, "thermostat": "rescale"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	if _, resumed := s.awaitDone(t, sr.ID); resumed {
+		t.Fatal("fresh run marked resumed")
+	}
+	if err := s.cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("mdserve exit after SIGINT: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		_ = s.cmd.Process.Kill()
+		t.Fatal("mdserve did not exit after SIGINT")
+	}
+	// The terminal record persists for the next process.
+	if _, err := os.Stat(filepath.Join(dataDir, "jobs", sr.ID, "sreport.json")); err != nil {
+		t.Fatalf("terminal record missing after graceful drain: %v", err)
+	}
+}

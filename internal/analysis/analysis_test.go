@@ -24,7 +24,9 @@ func TestFixtures(t *testing.T) {
 		{"rawrand", "./testdata/src/rawrand"},
 		{"precision", "./testdata/src/precision/vec"},
 		{"ctxloop", "./testdata/src/ctxloop/mdrun"},
+		{"ctxloop", "./testdata/src/ctxloop/serve"},
 		{"closeerr", "./testdata/src/closeerr/guard"},
+		{"closeerr", "./testdata/src/closeerr/serve"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {

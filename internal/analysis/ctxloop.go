@@ -5,9 +5,10 @@ import (
 	"go/token"
 )
 
-// CtxLoop flags long-running loops in the run and scheduling layers —
-// mdrun, parallel, guard, fleet — that drive step, worker, or backoff
-// functions without ever observing a context. The repository's
+// CtxLoop flags long-running loops in the run, scheduling, and serving
+// layers — mdrun, parallel, guard, fleet, serve, cmd/mdserve — that
+// drive step, worker, or backoff functions without ever observing a
+// context. The repository's
 // cancellation contract (PR 3) is that a cancelled run stops within one
 // MD step: deadlines propagate from the fleet scheduler through
 // guard.RunContext and mdrun.RunContext into the parallel worker pool.
@@ -21,7 +22,7 @@ import (
 var CtxLoop = &Analyzer{
 	Name:  "ctxloop",
 	Doc:   "stepping loop without a cancellation check in run/scheduler packages",
-	Scope: []string{"mdrun", "parallel", "guard", "fleet"},
+	Scope: []string{"mdrun", "parallel", "guard", "fleet", "serve", "cmd/mdserve"},
 	Run:   runCtxLoop,
 }
 

@@ -1,0 +1,59 @@
+// Package serve is a fixture for the closeerr analyzer's serving-layer
+// scope. Its import path ends in /serve, so the widened scope applies:
+// the durable job store's whole restart contract is built from exactly
+// these return values — a swallowed Sync before the rename is a spec
+// that may vanish in a crash while the client holds its job ID.
+package serve
+
+import "os"
+
+// persistBad drops the Write, Sync, and Close errors on the admission
+// record path: flagged three times.
+func persistBad(path string, spec []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Write(spec) // want closeerr
+	f.Sync()      // want closeerr
+	f.Close()     // want closeerr
+	return nil
+}
+
+// persistGood handles every error on the way to the rename: not
+// flagged.
+func persistGood(path string, spec []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(spec); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// dirSyncBestEffort discards visibly with _ = — the directory-fsync
+// case where some filesystems refuse and best-effort is the documented
+// policy: not flagged.
+func dirSyncBestEffort(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// persistSuppressed carries the annotation, so the finding must not
+// surface.
+func persistSuppressed(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Close() //mdlint:ignore closeerr fixture: proves suppression silences the finding in the serve scope
+}

@@ -1,0 +1,63 @@
+// Package serve is a fixture for the ctxloop analyzer's serving-layer
+// scope. Its import path ends in /serve, so the widened scope applies:
+// admission retry loops and stream-wait loops that drive Submit or
+// Sleep without observing a context turn a client disconnect or a
+// drain into a goroutine that never exits.
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+type scheduler struct{}
+
+func (s *scheduler) Submit(ctx context.Context, id int) error { return nil }
+func (s *scheduler) trySubmit(id int) error                   { return nil }
+
+// resubmitBlind retries admission with sleeps but never observes a
+// context: flagged — a drain cannot stop this loop.
+func resubmitBlind(s *scheduler, id int) {
+	for { // want ctxloop
+		if s.trySubmit(id) == nil {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// resubmitBounded selects its backoff against ctx.Done: compliant.
+func resubmitBounded(ctx context.Context, s *scheduler, id int) {
+	for {
+		if s.trySubmit(id) == nil {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// resubmitDelegated hands the context to Submit, delegating the check
+// downward: compliant.
+func resubmitDelegated(ctx context.Context, s *scheduler, id int) {
+	for i := 0; i < 3; i++ {
+		if s.Submit(ctx, id) == nil {
+			return
+		}
+	}
+}
+
+// streamSuppressed carries the annotation on the line above the for
+// keyword, so the finding must not surface.
+func streamSuppressed(s *scheduler, id int) {
+	//mdlint:ignore ctxloop fixture: proves suppression silences the finding in the serve scope
+	for {
+		if s.trySubmit(id) == nil {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

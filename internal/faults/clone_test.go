@@ -77,6 +77,71 @@ func TestRegistryConcurrentThresholdTrigger(t *testing.T) {
 	}
 }
 
+// TestCloneDuringConcurrentFire pins Clone's safety against a live
+// registry: the fleet clones a base registry per replica while other
+// replicas are already firing. A Clone taken mid-storm must (a) not
+// race the firing goroutines, (b) start with virgin counters and an
+// empty event log regardless of when it was taken, and (c) replay the
+// armed schedule from its own call 1 — and the base registry's
+// counters must account for every concurrent Fire exactly.
+func TestCloneDuringConcurrentFire(t *testing.T) {
+	const (
+		firers = 4
+		calls  = 500
+		clones = 200
+	)
+	base := NewRegistry(99).Arm(Fault{
+		Site: SiteForces, Kind: NaN, Trigger: Trigger{AtCall: 3},
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(firers + 1)
+	for g := 0; g < firers; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				base.Fire(SiteForces)
+			}
+		}()
+	}
+	cloned := make(chan *Registry, clones)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < clones; i++ {
+			cloned <- base.Clone()
+		}
+		close(cloned)
+	}()
+	wg.Wait()
+
+	for c := range cloned {
+		if got := c.Calls(SiteForces); got != 0 {
+			t.Fatalf("mid-storm clone born with %d calls, want 0", got)
+		}
+		if got := len(c.Events()); got != 0 {
+			t.Fatalf("mid-storm clone born with %d events, want 0", got)
+		}
+	}
+	// The base accounted for every concurrent Fire; the AtCall: 3 fault
+	// fired exactly once, on whichever goroutine made the third call.
+	if got := base.Calls(SiteForces); got != firers*calls {
+		t.Fatalf("base lost calls under concurrent Clone: %d, want %d", got, firers*calls)
+	}
+	if got := base.Fired(SiteForces); got != 1 {
+		t.Fatalf("base fired %d times, want exactly 1 (AtCall trigger)", got)
+	}
+	// A mid-storm clone still replays the schedule from its own call 1.
+	c := base.Clone()
+	for i := 1; i <= 2; i++ {
+		if f := c.Fire(SiteForces); f != nil {
+			t.Fatalf("post-storm clone fired early at call %d", i)
+		}
+	}
+	if f := c.Fire(SiteForces); f == nil || f.Kind != NaN {
+		t.Fatal("post-storm clone did not replay the schedule at call 3")
+	}
+}
+
 // TestWorkerFaultCtxDelayInterruptible pins that a Delay fault selects
 // on the context instead of sleeping through it.
 func TestWorkerFaultCtxDelayInterruptible(t *testing.T) {

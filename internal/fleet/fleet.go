@@ -155,6 +155,17 @@ type Replica struct {
 
 	// Steps is how many MD steps to advance.
 	Steps int
+
+	// InitialSystem, when non-nil, is the state the replica starts
+	// from instead of a freshly generated lattice — the resume entry
+	// point: the serving layer restores an interrupted job's latest
+	// valid checkpoint and submits the remaining steps. Each attempt
+	// adopts a fresh Clone, so a fleet-level resubmission restarts from
+	// the same restored state rather than from wherever the failed
+	// attempt left the adopted copy. The Guard.Run lattice-shape fields
+	// (Atoms, Density, Lattice, Seed) are ignored on this path, exactly
+	// as mdrun.NewFromSystem documents.
+	InitialSystem *md.System[float64]
 }
 
 // State classifies a replica's outcome.
@@ -254,6 +265,13 @@ type Scheduler struct {
 	closed bool
 	rng    *xrand.Source
 
+	// drained is closed by the (single) shutdown waiter once every
+	// worker has exited and the shared build engine is released; Close
+	// and Drain both wait on it, so a timed-out Drain followed by a
+	// late Close never double-tears-down.
+	drained   chan struct{}
+	drainOnce sync.Once
+
 	// buildEngine is the scheduler-wide neighbor-list build pool: every
 	// replica whose Run.BuildEngine is unset borrows it, so concurrent
 	// pairlist replicas share WorkerBudget build workers instead of each
@@ -272,6 +290,7 @@ func New(cfg Config) *Scheduler {
 		queue:       make(chan *job, cfg.QueueDepth),
 		rng:         xrand.New(cfg.JitterSeed),
 		buildEngine: parallel.New[float64](cfg.WorkerBudget),
+		drained:     make(chan struct{}),
 	}
 	s.wg.Add(cfg.MaxInflight)
 	for i := 0; i < cfg.MaxInflight; i++ {
@@ -288,23 +307,58 @@ func New(cfg Config) *Scheduler {
 // Config returns the scheduler's effective (defaulted) configuration.
 func (s *Scheduler) Config() Config { return s.cfg }
 
+// shutdown stops admission (idempotently) and starts the single
+// drain waiter that closes the shared build engine and signals
+// `drained` once every worker goroutine has exited. Both Close and
+// Drain funnel through here, so the engine is torn down exactly once,
+// by the waiter — previously a Drain-style caller that gave up waiting
+// had no way to release the engine without racing a concurrent Close,
+// which leaked the engine's worker goroutines.
+func (s *Scheduler) shutdown() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.drainOnce.Do(func() {
+		go func() {
+			s.wg.Wait()
+			// All replicas have finished; no build can be in flight.
+			s.buildEngine.Close()
+			close(s.drained)
+		}()
+	})
+}
+
 // Close stops admission and waits for in-flight and queued replicas to
 // finish. Idempotent; concurrent Submits shed with ErrClosed.
 func (s *Scheduler) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		s.wg.Wait()
-		return
+	s.shutdown()
+	<-s.drained
+}
+
+// Drain is graceful shutdown with a deadline: it stops admission
+// (concurrent Submits shed with ErrClosed), lets queued and in-flight
+// replicas run to their terminal states, and returns nil once the
+// scheduler has fully quiesced — every worker goroutine exited, the
+// shared build engine released. If ctx expires first, Drain returns
+// ctx.Err() while the teardown continues in the background: the caller
+// typically escalates by cancelling the contexts it submitted replicas
+// under (a cancelled replica stops within one MD step and its latest
+// checkpoint survives), after which the background teardown completes
+// and a later Drain or Close observes the quiesced state immediately.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	s.closed = true
-	close(s.queue)
-	s.mu.Unlock()
-	s.wg.Wait()
-	// All replicas have finished; no build can be in flight. Engine
-	// Close is itself idempotent, so the early-return path above (a
-	// second concurrent Close) is safe without reaching here.
-	s.buildEngine.Close()
+	s.shutdown()
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("fleet: drain: %w", ctx.Err())
+	}
 }
 
 // Submit offers a replica to the admission queue without blocking: it
@@ -426,7 +480,14 @@ func (s *Scheduler) attempt(j *job) (sum *mdrun.Summary, rep *guard.RunReport, f
 		// explicitly configured engine is respected.
 		gcfg.Run.BuildEngine = s.buildEngine
 	}
-	sup, err := guard.New(gcfg)
+	var sup *guard.Supervisor
+	if j.rep.InitialSystem != nil {
+		// Resume path: adopt a clone so this attempt cannot disturb the
+		// restored state a resubmission would need to start over from.
+		sup, err = guard.NewFromSystem(j.rep.InitialSystem.Clone(), gcfg)
+	} else {
+		sup, err = guard.New(gcfg)
+	}
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("%w: replica %d: %v", errConfig, j.rep.ID, err)
 	}

@@ -81,6 +81,25 @@ type Config struct {
 	// Sleep is the backoff clock, replaceable for tests. Default
 	// time.Sleep.
 	Sleep func(time.Duration)
+
+	// OnSegment, when non-nil, is called after every committed
+	// (health-checked, non-rolled-back) segment with the observables at
+	// that point — the per-job progress seam the serving layer streams
+	// from. The callback runs on the supervising goroutine between
+	// segments, so it must be fast and must not call back into the
+	// Supervisor; it is never invoked for segments that are rolled
+	// back, so consumers only ever see states that survived the
+	// watchdog.
+	OnSegment func(Progress)
+}
+
+// Progress is one committed-segment observation handed to
+// Config.OnSegment: where the run is and what the state looks like.
+type Progress struct {
+	Step        int     // completed integration steps (absolute)
+	Energy      float64 // total energy at the segment boundary
+	Temperature float64 // instantaneous temperature
+	PE          float64 // potential energy
 }
 
 // withDefaults fills zero values.
@@ -130,6 +149,29 @@ func New(cfg Config) (*Supervisor, error) {
 	if err != nil {
 		return nil, err
 	}
+	return supervise(cfg, r)
+}
+
+// NewFromSystem builds a supervisor that continues from an existing
+// system state — the resume entry point the serving layer uses to pick
+// an interrupted job back up from its latest valid checkpoint. The
+// system is adopted (mdrun.NewFromSystem semantics: accelerations are
+// kept, so a same-method resume continues the trajectory bit-exactly);
+// the drift watchdog's E0 reference is the resume point's energy, and
+// checkpoint files keep their absolute step numbering, so a resumed
+// run's checkpoints slot into the same directory.
+func NewFromSystem(sys *md.System[float64], cfg Config) (*Supervisor, error) {
+	cfg = cfg.withDefaults()
+	r, err := mdrun.NewFromSystem(sys, cfg.Run)
+	if err != nil {
+		return nil, err
+	}
+	return supervise(cfg, r)
+}
+
+// supervise wraps a built runner in a Supervisor (shared tail of New
+// and NewFromSystem).
+func supervise(cfg Config, r *mdrun.Runner) (*Supervisor, error) {
 	s := &Supervisor{
 		cfg:    cfg,
 		base:   cfg.Run,
@@ -235,6 +277,14 @@ func (s *Supervisor) RunContext(ctx context.Context, steps int) (*mdrun.Summary,
 		if cur-lastCkpt >= s.cfg.CheckpointEvery || cur >= target {
 			s.checkpoint()
 			lastCkpt = cur
+		}
+		if s.cfg.OnSegment != nil {
+			s.cfg.OnSegment(Progress{
+				Step:        cur,
+				Energy:      sys.TotalEnergy(),
+				Temperature: sys.Temperature(),
+				PE:          sys.PE,
+			})
 		}
 	}
 

@@ -117,6 +117,22 @@ func (st *store) prune() {
 	}
 }
 
+// LatestCheckpoint returns the newest CRC-valid checkpoint in dir, or
+// nil when the directory holds none (including when it does not
+// exist). Corrupt or truncated files are reported through onCorrupt
+// (which may be nil) and skipped — the same never-trust-a-bad-file
+// discipline the in-run recovery path uses. This is the discovery seam
+// the serving layer resumes interrupted jobs through: it composes a
+// per-job checkpoint directory and asks for the latest trustworthy
+// state without constructing a Supervisor first.
+func LatestCheckpoint(dir string, onCorrupt func(name string, err error)) *md.System[float64] {
+	if onCorrupt == nil {
+		onCorrupt = func(string, error) {}
+	}
+	st := &store{dir: dir, keep: 1}
+	return st.recoverLatest(onCorrupt)
+}
+
 // recoverLatest loads the newest checkpoint that passes the md
 // reader's CRC and structural validation, newest first; files that
 // fail are reported through onCorrupt and skipped — a corrupt

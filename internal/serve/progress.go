@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/guard"
+)
+
+// Event is one committed-segment observation as streamed to clients.
+type Event struct {
+	Step        int     `json:"step"`
+	Energy      float64 `json:"energy"`
+	Temperature float64 `json:"temperature"`
+	PE          float64 `json:"pe"`
+}
+
+// progressLog is a job's append-only observable stream plus a
+// broadcast: writers append committed-segment events (from the guard
+// OnSegment seam) and readers replay the backlog then wait for more.
+// The broadcast uses a generation channel — each append closes the
+// current generation and installs a fresh one — so a reader can select
+// its wakeup against the request context, which is what lets the SSE
+// handler observe client disconnects without polling.
+type progressLog struct {
+	mu     sync.Mutex
+	events []Event
+	gen    chan struct{} // closed on every append and on close
+	closed bool
+}
+
+func newProgressLog() *progressLog {
+	return &progressLog{gen: make(chan struct{})}
+}
+
+// append records one event and wakes every waiting reader.
+func (p *progressLog) append(e Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.events = append(p.events, e)
+	close(p.gen)
+	p.gen = make(chan struct{})
+}
+
+// close marks the stream complete (the job reached a terminal state)
+// and wakes readers one last time.
+func (p *progressLog) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.gen)
+}
+
+// next returns the events at index >= from, whether the stream is
+// complete, and the channel that will signal the next change. The
+// caller consumes the slice before calling next again; the log only
+// ever appends, so the returned subslice is stable.
+func (p *progressLog) next(from int) (events []Event, done bool, wake <-chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if from < len(p.events) {
+		events = p.events[from:]
+	}
+	return events, p.closed, p.gen
+}
+
+// latest returns the most recent event, if any — the status endpoint's
+// progress snapshot.
+func (p *progressLog) latest() (Event, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.events) == 0 {
+		return Event{}, false
+	}
+	return p.events[len(p.events)-1], true
+}
+
+// onSegment adapts the log to the guard.Config.OnSegment seam.
+func (p *progressLog) onSegment(g guard.Progress) {
+	p.append(Event{Step: g.Step, Energy: g.Energy, Temperature: g.Temperature, PE: g.PE})
+}

@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/guard"
+	"repro/internal/md"
+	"repro/internal/mdrun"
+)
+
+// Store is the durable half of the server: one directory per job under
+// <root>/jobs, holding
+//
+//	spec.json    the admission record (tenant, idempotency key,
+//	             normalized spec) — written before the job is offered
+//	             to the fleet, so an accepted job survives the process
+//	sreport.json the terminal record (status, summary, incidents) —
+//	             written exactly once, at completion
+//	ckpt/        the job's guard checkpoint directory
+//
+// Both JSON files use the same atomic protocol as the guard checkpoint
+// store — temp file in the target directory, fsync, rename, directory
+// fsync — so a reader (including a restarted server) only ever sees
+// complete files. A job directory with a valid spec and no terminal
+// record is, by definition, incomplete: that is the whole recovery
+// contract, and it makes "crashed before the report rename" and
+// "crashed mid-run" the same case.
+type Store struct {
+	root string
+}
+
+// JobRecord is the admission record persisted as spec.json.
+type JobRecord struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	// Key is the idempotency key, empty if the client sent none. The
+	// (tenant, key) index is rebuilt from these records at startup.
+	Key  string `json:"key,omitempty"`
+	Spec Spec   `json:"spec"`
+}
+
+// TerminalRecord is the completion record persisted as sreport.json.
+type TerminalRecord struct {
+	ID     string `json:"id"`
+	Status string `json:"status"` // StatusDone or StatusFailed
+	Error  string `json:"error,omitempty"`
+
+	Summary *mdrun.Summary `json:"summary,omitempty"`
+	// Incidents is the flattened guard/fleet incident tally ("nan: 1,
+	// rollback: 1"); empty for a clean run.
+	Incidents string `json:"incidents,omitempty"`
+	// Attempts counts fleet-level guard runs (>1 means resubmission).
+	Attempts int `json:"attempts,omitempty"`
+	// Resumed marks a job that finished after at least one
+	// checkpoint-resume across a server restart.
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// NewStore opens (creating if needed) the store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("serve: store needs a data directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: store root: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// jobDir returns the directory for a job ID.
+func (st *Store) jobDir(id string) string { return filepath.Join(st.root, "jobs", id) }
+
+// CheckpointDir returns the guard checkpoint directory for a job ID —
+// the per-job composition the resume path hands to
+// guard.LatestCheckpoint.
+func (st *Store) CheckpointDir(id string) string { return filepath.Join(st.jobDir(id), "ckpt") }
+
+// PutSpec persists the admission record for a new job. The job
+// directory is created here; failure leaves no partial spec behind.
+func (st *Store) PutSpec(rec JobRecord) error {
+	dir := st.jobDir(rec.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serve: job dir: %w", err)
+	}
+	return st.writeJSON(dir, "spec.json", rec)
+}
+
+// PutTerminal persists the completion record, flipping the job to
+// complete atomically (the rename is the commit point).
+func (st *Store) PutTerminal(rec TerminalRecord) error {
+	return st.writeJSON(st.jobDir(rec.ID), "sreport.json", rec)
+}
+
+// Remove deletes a job directory entirely — the rollback for a job
+// that was persisted but then shed by the fleet admission queue (the
+// client saw 429; a restart must not resurrect it).
+func (st *Store) Remove(id string) error {
+	return os.RemoveAll(st.jobDir(id))
+}
+
+// GetTerminal loads the completion record, or nil for an incomplete
+// job.
+func (st *Store) GetTerminal(id string) (*TerminalRecord, error) {
+	var rec TerminalRecord
+	ok, err := st.readJSON(st.jobDir(id), "sreport.json", &rec)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// ScannedJob is one job found on disk at startup. Terminal is nil for
+// an incomplete job, in which case System is the state to resume from
+// (nil means start over from step 0 — the job died before its first
+// checkpoint survived).
+type ScannedJob struct {
+	Record   JobRecord
+	Terminal *TerminalRecord
+	System   *md.System[float64]
+	// CorruptCheckpoints counts checkpoint files that failed CRC or
+	// structural validation during discovery and were skipped.
+	CorruptCheckpoints int
+}
+
+// Scan walks the jobs directory and returns every persisted job —
+// complete and incomplete, the latter with its latest trustworthy
+// checkpoint loaded — plus the highest numeric job sequence seen:
+// everything a restarted server needs to rebuild its in-memory view
+// (status map, idempotency index, ID sequencing, resume set).
+// Directories with a missing or unreadable spec.json are skipped (a
+// crash between mkdir and the spec rename leaves exactly that shape,
+// and nothing was promised to any client for it).
+func (st *Store) Scan() (jobs []ScannedJob, maxSeq int, err error) {
+	entries, err := os.ReadDir(filepath.Join(st.root, "jobs"))
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: scanning jobs: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if seq, ok := jobSeq(name); ok && seq > maxSeq {
+			maxSeq = seq
+		}
+		var rec JobRecord
+		ok, rerr := st.readJSON(st.jobDir(name), "spec.json", &rec)
+		if rerr != nil || !ok || rec.ID != name {
+			continue // orphan or corrupt admission record: never promised
+		}
+		sj := ScannedJob{Record: rec}
+		var term TerminalRecord
+		tok, terr := st.readJSON(st.jobDir(name), "sreport.json", &term)
+		if terr == nil && tok {
+			sj.Terminal = &term
+		} else {
+			sj.System = guard.LatestCheckpoint(st.CheckpointDir(name), func(string, error) {
+				sj.CorruptCheckpoints++
+			})
+		}
+		jobs = append(jobs, sj)
+	}
+	return jobs, maxSeq, nil
+}
+
+// jobSeq extracts the numeric suffix of a "job-%06d" name.
+func jobSeq(name string) (int, bool) {
+	s, ok := strings.CutPrefix(name, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// JobID formats a sequence number as a job ID.
+func JobID(seq int) string { return fmt.Sprintf("job-%06d", seq) }
+
+// writeJSON atomically publishes v as <dir>/<name>: temp file, fsync,
+// rename, directory fsync — the guard store's discipline, so a crash
+// at any byte leaves either the old file or the new one, never a
+// torn read for the recovery scan.
+func (st *Store) writeJSON(dir, name string, v any) error {
+	f, err := os.CreateTemp(dir, ".tmp-"+name+"-*")
+	if err != nil {
+		return fmt.Errorf("serve: temp file: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close() //mdlint:ignore closeerr the write already failed; its error is the one worth reporting
+		os.Remove(tmp)
+		return fmt.Errorf("serve: writing %s: %w", name, err)
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(v); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: writing %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: publishing %s: %w", name, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync() // best-effort: some filesystems refuse directory fsync
+		_ = d.Close() // read-only directory handle; nothing buffered to lose
+	}
+	return nil
+}
+
+// readJSON loads <dir>/<name> into v; (false, nil) when the file does
+// not exist, an error when it exists but cannot be parsed.
+func (st *Store) readJSON(dir, name string, v any) (bool, error) {
+	b, err := os.ReadFile(filepath.Join(dir, name))
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("serve: reading %s: %w", name, err)
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return false, fmt.Errorf("serve: parsing %s: %w", name, err)
+	}
+	return true, nil
+}

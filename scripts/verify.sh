@@ -16,13 +16,16 @@ go vet ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race (tier-1.5: md, parallel, faults, guard, fleet, mdrun)"
+echo "==> go test -race (tier-1.5: md, parallel, faults, guard, fleet, mdrun, serve)"
 go test -race -short ./internal/md/... ./internal/parallel/... \
     ./internal/faults/... ./internal/guard/... ./internal/fleet/... \
-    ./internal/mdrun/...
+    ./internal/mdrun/... ./internal/serve/...
 
 echo "==> go test -bench=MixedPrecision -benchtime=1x (mixed-precision smoke)"
 go test -run='^$' -bench=MixedPrecision -benchtime=1x .
+
+echo "==> mdserve crash-recovery smoke (submit, kill -9, restart, resume, compare)"
+go test -count=1 -run 'TestMDServeKillRestart' ./cmd/mdserve/
 
 echo "==> go run ./cmd/mdlint ./..."
 go run ./cmd/mdlint ./...
