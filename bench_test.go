@@ -21,6 +21,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/faults"
 	"repro/internal/fleet"
+	"repro/internal/fsys"
 	"repro/internal/gpu"
 	"repro/internal/guard"
 	"repro/internal/lattice"
@@ -1396,4 +1397,108 @@ func BenchmarkAblationBranchHints(b *testing.B) {
 			b.ReportMetric(sec, "model_sec")
 		})
 	}
+}
+
+// BenchmarkChaosOverhead prices the chaos PR's filesystem seam on the
+// serving hot path: the same admit -> run -> checkpoint -> report
+// pipeline with the store going through plain os calls (FS unset)
+// versus the fault-injection seam armed with an empty registry (every
+// operation pays the indirection plus a per-site counter, no fault
+// ever fires). The acceptance bound is <5% wall overhead — production
+// binaries keep the seam disarmed, so this measures what shipping the
+// testability hook costs when it is merely present. Set
+// BENCH_JSON=<path> to append the machine-readable record.
+func BenchmarkChaosOverhead(b *testing.B) {
+	sink := report.NewBenchSink()
+	defer func() {
+		path := os.Getenv("BENCH_JSON")
+		if path == "" || sink.Len() == 0 {
+			return
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			b.Logf("BENCH_JSON: %v", err)
+			return
+		}
+		defer f.Close()
+		if err := sink.WriteJSON(f); err != nil {
+			b.Logf("BENCH_JSON: %v", err)
+		}
+	}()
+
+	// Dense checkpoints so the measured pipeline is store-heavy: per
+	// job one spec write, six checkpoint commits, one terminal record.
+	spec := []byte(`{"atoms": 108, "steps": 12, "thermostat": "rescale", "checkpoint_every": 2, "keep_checkpoints": 3}`)
+	const jobsPerRound = 4
+	round := func(b *testing.B, fs fsys.FS) time.Duration {
+		srv, err := serve.NewServer(serve.Config{
+			DataDir: b.TempDir(),
+			Fleet: fleet.Config{
+				MaxInflight: 1, QueueDepth: jobsPerRound, WorkerBudget: 1, JitterSeed: 1,
+			},
+			Tenancy: serve.TenantPolicy{Rate: 1e6, Burst: 1e6, MaxActive: jobsPerRound},
+			FS:      fs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := srv.Handler()
+		start := time.Now()
+		for j := 0; j < jobsPerRound; j++ {
+			req := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(spec))
+			req.Header.Set("X-Tenant", "bench")
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusAccepted {
+				b.Fatalf("submit %d: HTTP %d", j, w.Code)
+			}
+			var resp struct {
+				ID string `json:"id"`
+			}
+			_ = json.Unmarshal(w.Body.Bytes(), &resp)
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				rreq := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+resp.ID+"/report", nil)
+				rw := httptest.NewRecorder()
+				h.ServeHTTP(rw, rreq)
+				if rw.Code == http.StatusOK {
+					break
+				}
+				if time.Now().After(deadline) {
+					b.Fatalf("job %s never reached a terminal report", resp.ID)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		elapsed := time.Since(start)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			b.Fatal(err)
+		}
+		return elapsed
+	}
+
+	// One untimed round per arm first: page cache, code paths, and the
+	// tmpfs allocator warm up outside the measurement.
+	_ = round(b, nil)
+	_ = round(b, fsys.Faulty(fsys.OS, faults.NewRegistry(1)))
+
+	var direct, seam time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Interleave the arms so machine noise hits both equally.
+		direct += round(b, nil)
+		seam += round(b, fsys.Faulty(fsys.OS, faults.NewRegistry(1)))
+	}
+	b.StopTimer()
+	dSec := direct.Seconds() / float64(b.N)
+	sSec := seam.Seconds() / float64(b.N)
+	overheadPct := (sSec/dSec - 1) * 100
+	b.ReportMetric(dSec, "direct_sec")
+	b.ReportMetric(sSec, "seam_sec")
+	b.ReportMetric(overheadPct, "overhead_pct")
+	sink.Record("ChaosOverhead/seam-vs-direct", map[string]float64{
+		"direct_sec": dSec, "seam_sec": sSec, "overhead_pct": overheadPct,
+	})
 }

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"default", "smoke", "fs", "crash", "flood"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("campaign %q missing from -list output:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-campaign", "nope", "-n", "1"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown campaign: exit %d, want 2", code)
+	}
+	if code := run([]string{"-replay", "{not json"}, &out, &errb); code != 2 {
+		t.Fatalf("bad replay JSON: exit %d, want 2", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestReplayOneSchedule(t *testing.T) {
+	var out, errb strings.Builder
+	line := `{"name":"cli","seed":3,"jobs":1,"steps":20,"faults":[{"site":"fs-sync","kind":"error","at_call":2}]}`
+	code := run([]string{"-replay", line, "-scratch", t.TempDir()}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "ok cli") {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+}
+
+func TestSmokeCampaignCLI(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-campaign", "smoke", "-seed", "42", "-scratch", t.TempDir()}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "12 passed") {
+		t.Fatalf("unexpected summary: %s", out.String())
+	}
+}

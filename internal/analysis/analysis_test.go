@@ -25,8 +25,10 @@ func TestFixtures(t *testing.T) {
 		{"precision", "./testdata/src/precision/vec"},
 		{"ctxloop", "./testdata/src/ctxloop/mdrun"},
 		{"ctxloop", "./testdata/src/ctxloop/serve"},
+		{"ctxloop", "./testdata/src/ctxloop/chaos"},
 		{"closeerr", "./testdata/src/closeerr/guard"},
 		{"closeerr", "./testdata/src/closeerr/serve"},
+		{"closeerr", "./testdata/src/closeerr/chaos"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {

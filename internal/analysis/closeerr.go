@@ -7,7 +7,8 @@ import (
 
 // CloseErr flags dropped error results from Close/Sync/Flush/Write-
 // family calls on the checkpoint and report I/O paths (guard, report,
-// cmd/mdsim, and the serving layer's durable job store). The checkpoint protocol's whole guarantee — a reader only
+// cmd/mdsim, the serving layer's durable job store, and the chaos
+// harness that audits them). The checkpoint protocol's whole guarantee — a reader only
 // ever sees complete, CRC-valid files — is built from exactly these
 // return values: a swallowed Close after buffered writes is a
 // checkpoint that may not exist, reported as one that does.
@@ -19,7 +20,7 @@ import (
 var CloseErr = &Analyzer{
 	Name:  "closeerr",
 	Doc:   "dropped Close/Sync/Flush/Write error on checkpoint or report I/O paths",
-	Scope: []string{"guard", "report", "cmd/mdsim", "cmd/mdlint", "serve", "cmd/mdserve"},
+	Scope: []string{"guard", "report", "cmd/mdsim", "cmd/mdlint", "serve", "cmd/mdserve", "chaos", "cmd/mdchaos"},
 	Run:   runCloseErr,
 }
 

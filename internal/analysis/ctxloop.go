@@ -5,10 +5,10 @@ import (
 	"go/token"
 )
 
-// CtxLoop flags long-running loops in the run, scheduling, and serving
-// layers — mdrun, parallel, guard, fleet, serve, cmd/mdserve — that
-// drive step, worker, or backoff functions without ever observing a
-// context. The repository's
+// CtxLoop flags long-running loops in the run, scheduling, serving,
+// and chaos layers — mdrun, parallel, guard, fleet, serve,
+// cmd/mdserve, chaos, cmd/mdchaos — that drive step, worker, or
+// backoff functions without ever observing a context. The repository's
 // cancellation contract (PR 3) is that a cancelled run stops within one
 // MD step: deadlines propagate from the fleet scheduler through
 // guard.RunContext and mdrun.RunContext into the parallel worker pool.
@@ -22,7 +22,7 @@ import (
 var CtxLoop = &Analyzer{
 	Name:  "ctxloop",
 	Doc:   "stepping loop without a cancellation check in run/scheduler packages",
-	Scope: []string{"mdrun", "parallel", "guard", "fleet", "serve", "cmd/mdserve"},
+	Scope: []string{"mdrun", "parallel", "guard", "fleet", "serve", "cmd/mdserve", "chaos", "cmd/mdchaos"},
 	Run:   runCtxLoop,
 }
 

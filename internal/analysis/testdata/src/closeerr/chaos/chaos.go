@@ -1,0 +1,33 @@
+// Package chaos is a fixture for the closeerr analyzer's chaos-harness
+// scope. Its import path ends in /chaos, so the widened scope applies:
+// the harness writes campaign reports and minimal reproducers — a
+// swallowed Close on a repro file is a "saved" reproducer that may not
+// exist, which is the one artifact a failing campaign cannot lose.
+package chaos
+
+import "os"
+
+// saveReproBad drops the Write and Close errors on the reproducer
+// path: flagged twice.
+func saveReproBad(path string, line []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Write(line) // want closeerr
+	f.Close()     // want closeerr
+	return nil
+}
+
+// saveReproGood checks every return value: not flagged.
+func saveReproGood(path string, line []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(line); err != nil {
+		_ = f.Close() // explicit discard on the error path: visible decision
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,51 @@
+// Package chaos is a fixture for the ctxloop analyzer's chaos-harness
+// scope. Its import path ends in /chaos, so the widened scope applies:
+// a campaign loop that polls job status or awaits terminal states
+// without observing a context cannot be interrupted — exactly the
+// stuck-forever failure mode the harness exists to detect in others.
+package chaos
+
+import (
+	"context"
+	"time"
+)
+
+type server struct{}
+
+func (s *server) Submit(id int) error { return nil }
+func (s *server) status(id int) string {
+	return "running"
+}
+
+// awaitBlind polls a job to terminal with sleeps but no context: a
+// schedule that wedges the server wedges the campaign too. Flagged.
+func awaitBlind(s *server, id int) string {
+	for { // want ctxloop
+		if st := s.status(id); st != "running" {
+			return st
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// awaitBounded selects its poll interval against ctx.Done: compliant.
+func awaitBounded(ctx context.Context, s *server, id int) string {
+	for {
+		if st := s.status(id); st != "running" {
+			return st
+		}
+		select {
+		case <-ctx.Done():
+			return ""
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// floodSuppressed drives Submit in a tight burst loop with no context,
+// but carries an explicit suppression with a reason: not flagged.
+func floodSuppressed(s *server) {
+	for i := 0; i < 16; i++ { //mdlint:ignore ctxloop bounded burst, no sleeps or waits inside
+		_ = s.Submit(i)
+	}
+}

@@ -1,0 +1,232 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/faults"
+	"repro/internal/fsys"
+	"repro/internal/xrand"
+)
+
+// Campaign is a named, fully sampled set of schedules. Sampling
+// happens once, at generation, from the campaign seed — each schedule
+// then carries everything its replay needs, so a failing schedule
+// reproduces without the campaign around it.
+type Campaign struct {
+	Name      string
+	Schedules []Schedule
+}
+
+// Campaigns lists the named generators Generate accepts.
+func Campaigns() []string { return []string{"default", "fs", "crash", "flood", "smoke"} }
+
+// Generate samples n schedules for the named campaign from seed.
+// n <= 0 picks the campaign's standard size (200 for default — the
+// acceptance floor — and 12 for smoke, the verify-gate budget).
+func Generate(name string, seed uint64, n int) (Campaign, error) {
+	if n <= 0 {
+		switch name {
+		case "smoke":
+			n = 12
+		default:
+			n = 200
+		}
+	}
+	rng := xrand.New(seed)
+	c := Campaign{Name: name}
+	for i := 0; i < n; i++ {
+		var s Schedule
+		switch name {
+		case "default":
+			s = sampleMixed(rng, 30+rng.Intn(31))
+		case "smoke":
+			s = sampleMixed(rng, 30)
+		case "fs":
+			s = sampleFS(rng)
+		case "crash":
+			s = sampleCrash(rng)
+		case "flood":
+			s = sampleFlood(rng)
+		default:
+			return Campaign{}, fmt.Errorf("chaos: unknown campaign %q (want %v)", name, Campaigns())
+		}
+		s.Name = fmt.Sprintf("%s-%03d", name, i)
+		c.Schedules = append(c.Schedules, s)
+	}
+	return c, nil
+}
+
+// fsFaultCatalog is what a sampled filesystem fault may do, per site:
+// the kinds that are physically meaningful there.
+var fsFaultCatalog = []struct {
+	site  faults.Site
+	kinds []faults.Kind
+}{
+	{fsys.SiteMkdir, []faults.Kind{faults.Error}},
+	{fsys.SiteCreate, []faults.Kind{faults.Error, faults.ENOSPC}},
+	{fsys.SiteWrite, []faults.Kind{faults.Error, faults.ShortWrite, faults.ENOSPC}},
+	{fsys.SiteSync, []faults.Kind{faults.Error, faults.ENOSPC}},
+	{fsys.SiteRename, []faults.Kind{faults.Error, faults.TornRename, faults.ENOSPC}},
+	{fsys.SiteRemove, []faults.Kind{faults.Error}},
+	{fsys.SiteReadDir, []faults.Kind{faults.Error}},
+	{fsys.SiteOpen, []faults.Kind{faults.Error}},
+	{fsys.SiteRead, []faults.Kind{faults.Error}},
+}
+
+// sampleFSFault draws one filesystem fault: mostly one-shot AtCall
+// triggers landing in the busy early window, sometimes a persistent
+// FromCall fault (the disk that stays broken).
+func sampleFSFault(rng *xrand.Source) FaultSpec {
+	e := fsFaultCatalog[rng.Intn(len(fsFaultCatalog))]
+	k := e.kinds[rng.Intn(len(e.kinds))]
+	f := FaultSpec{Site: string(e.site), Kind: k.String()}
+	if rng.Float64() < 0.8 {
+		f.AtCall = 1 + rng.Intn(40)
+	} else {
+		f.FromCall = 1 + rng.Intn(10)
+	}
+	return f
+}
+
+// sampleComputeFault draws one force-corruption fault: a NaN or Inf
+// poisoned into a force evaluation, which the guard watchdog must
+// catch and roll back.
+func sampleComputeFault(rng *xrand.Source, steps int) FaultSpec {
+	kind := faults.NaN
+	if rng.Float64() < 0.5 {
+		kind = faults.Inf
+	}
+	return FaultSpec{
+		Site:   string(faults.SiteForces),
+		Kind:   kind.String(),
+		AtCall: 1 + rng.Intn(steps),
+	}
+}
+
+// sampleMixed is the default campaign's generator: 1–3 fs faults,
+// an occasional compute fault, an occasional crash, a small flood.
+func sampleMixed(rng *xrand.Source, steps int) Schedule {
+	s := Schedule{
+		Seed:  rng.Uint64(),
+		Jobs:  1 + rng.Intn(2),
+		Steps: steps,
+		Crash: rng.Float64() < 0.35,
+		Flood: rng.Intn(3),
+	}
+	for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+		s.Faults = append(s.Faults, sampleFSFault(rng))
+	}
+	if rng.Float64() < 0.3 {
+		s.Faults = append(s.Faults, sampleComputeFault(rng, steps))
+	}
+	return s.normalized()
+}
+
+// sampleFS stresses the filesystem seam alone: more faults, no crash,
+// no flood — pure storage adversity, where I6 (never fail a job) and
+// I2 (oracle energy) must hold unconditionally.
+func sampleFS(rng *xrand.Source) Schedule {
+	s := Schedule{Seed: rng.Uint64(), Jobs: 1 + rng.Intn(2), Steps: 30 + rng.Intn(31)}
+	for i, n := 0, 2+rng.Intn(3); i < n; i++ {
+		s.Faults = append(s.Faults, sampleFSFault(rng))
+	}
+	return s.normalized()
+}
+
+// sampleCrash always crashes mid-run, usually with storage trouble
+// around the crash point — the resume path under fire.
+func sampleCrash(rng *xrand.Source) Schedule {
+	s := Schedule{Seed: rng.Uint64(), Jobs: 1, Steps: 40 + rng.Intn(21), Crash: true}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		s.Faults = append(s.Faults, sampleFSFault(rng))
+	}
+	return s.normalized()
+}
+
+// sampleFlood pressures admission: bursts of a second tenant, few or
+// no faults — quota accounting and queue shedding must stay exact.
+func sampleFlood(rng *xrand.Source) Schedule {
+	s := Schedule{Seed: rng.Uint64(), Jobs: 1 + rng.Intn(2), Steps: 30, Flood: 2 + rng.Intn(4)}
+	if rng.Float64() < 0.3 {
+		s.Faults = append(s.Faults, sampleFSFault(rng))
+	}
+	return s.normalized()
+}
+
+// Failure is one invariant-violating schedule, shrunk.
+type Failure struct {
+	Result  *Result  // the original failing replay
+	Minimal Schedule // the shrunk reproducer
+	Repro   string   // one-line mdchaos command replaying Minimal
+}
+
+// Report summarizes a campaign run.
+type Report struct {
+	Campaign  string
+	Ran       int
+	Passed    int
+	Refused   int // total refused submissions across schedules (legal)
+	Failures  []Failure
+	ShrinkRan int // replays spent shrinking failures
+}
+
+// RunCampaign replays every schedule sequentially (determinism over
+// wall-clock: the fleet below is single-core anyway) under scratch,
+// shrinking every failure to its minimal reproducer. The returned
+// error is infrastructural; invariant breaches are in the Report.
+func RunCampaign(ctx context.Context, c Campaign, scratch string, logf func(string, ...any)) (*Report, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &Report{Campaign: c.Name}
+	replays := 0
+	freshDir := func() (string, error) {
+		replays++
+		dir := filepath.Join(scratch, fmt.Sprintf("r%04d", replays))
+		return dir, os.MkdirAll(dir, 0o755)
+	}
+	for _, sched := range c.Schedules {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		dir, err := freshDir()
+		if err != nil {
+			return rep, err
+		}
+		res, err := Replay(ctx, dir, sched)
+		if err != nil {
+			return rep, fmt.Errorf("chaos: schedule %s: %w", sched.Name, err)
+		}
+		rep.Ran++
+		rep.Refused += res.Refused
+		if !res.Failed() {
+			rep.Passed++
+			_ = os.RemoveAll(dir) // clean run: reclaim scratch as we go
+			continue
+		}
+		logf("chaos: schedule %s FAILED: %v", sched.Name, res.Violations)
+		min := Shrink(sched, func(cand Schedule) bool {
+			if ctx.Err() != nil {
+				return false // stop shrinking, keep what we have
+			}
+			d, derr := freshDir()
+			if derr != nil {
+				return false
+			}
+			defer os.RemoveAll(d)
+			rep.ShrinkRan++
+			r, rerr := Replay(ctx, d, cand)
+			return rerr == nil && r.Failed()
+		})
+		rep.Failures = append(rep.Failures, Failure{
+			Result:  res,
+			Minimal: min,
+			Repro:   min.ReproCommand(),
+		})
+		logf("chaos: minimal reproducer: %s", min.ReproCommand())
+	}
+	return rep, nil
+}

@@ -1,0 +1,168 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/fsys"
+)
+
+// Schedule is one chaos scenario: a deterministic composition of
+// filesystem faults, compute faults, tenant flood, and a simulated
+// process crash, replayed against an in-process mdserve. A Schedule
+// serializes to one line of JSON — that line IS the reproducer a
+// failing campaign prints.
+type Schedule struct {
+	// Name labels the schedule in campaign output ("default-017").
+	Name string `json:"name,omitempty"`
+	// Seed seeds the fault registry's probabilistic-trigger stream and
+	// nothing else; all sampled schedule content is fixed at
+	// generation time so the schedule alone replays.
+	Seed uint64 `json:"seed"`
+	// Jobs is how many jobs the scenario submits sequentially (each
+	// awaited to a terminal state before the next, which is what makes
+	// fault call-numbers line up across replays). Min 1.
+	Jobs int `json:"jobs"`
+	// Steps is the trajectory length per job.
+	Steps int `json:"steps"`
+	// Faults is the armed fault list, filesystem and compute alike.
+	Faults []FaultSpec `json:"faults,omitempty"`
+	// Crash interrupts the last job mid-run with a forced drain (the
+	// in-process crash model: replicas cancelled within one MD step, no
+	// terminal records) and restarts the server on the same data dir.
+	Crash bool `json:"crash,omitempty"`
+	// Heal disarms the filesystem faults at the crash boundary — the
+	// disk comes back. Forced on when Crash is set and a persistent
+	// (FromCall) filesystem fault is armed, because a disk that never
+	// returns makes restart refusal the correct behavior, not a bug.
+	Heal bool `json:"heal,omitempty"`
+	// Flood fires this many extra burst admissions from a second
+	// tenant before the main jobs — pressure on quotas and the queue.
+	Flood int `json:"flood,omitempty"`
+}
+
+// FaultSpec is one armed fault in schedule vocabulary: site and kind
+// by name, trigger by call number or probability, delays in
+// milliseconds so the JSON stays arithmetic-free.
+type FaultSpec struct {
+	Site     string  `json:"site"`
+	Kind     string  `json:"kind"`
+	AtCall   int     `json:"at_call,omitempty"`
+	FromCall int     `json:"from_call,omitempty"`
+	Prob     float64 `json:"prob,omitempty"`
+	DelayMS  int     `json:"delay_ms,omitempty"`
+}
+
+// fault compiles the spec into the faults package's vocabulary.
+func (fs FaultSpec) fault() (faults.Fault, error) {
+	k, err := faults.ParseKind(fs.Kind)
+	if err != nil {
+		return faults.Fault{}, err
+	}
+	return faults.Fault{
+		Site: faults.Site(fs.Site),
+		Kind: k,
+		Trigger: faults.Trigger{
+			AtCall:   fs.AtCall,
+			FromCall: fs.FromCall,
+			Prob:     fs.Prob,
+		},
+		Delay: time.Duration(fs.DelayMS) * time.Millisecond,
+	}, nil
+}
+
+// IsFS reports whether the fault targets the filesystem seam.
+func (fs FaultSpec) IsFS() bool {
+	for _, s := range fsys.Sites() {
+		if faults.Site(fs.Site) == s {
+			return true
+		}
+	}
+	return false
+}
+
+// normalized fills defaults and applies the forced-heal rule.
+func (s Schedule) normalized() Schedule {
+	if s.Jobs < 1 {
+		s.Jobs = 1
+	}
+	if s.Steps < 1 {
+		s.Steps = 40
+	}
+	if s.Crash && !s.Heal {
+		for _, f := range s.Faults {
+			if f.IsFS() && f.FromCall > 0 {
+				s.Heal = true
+				break
+			}
+		}
+	}
+	return s
+}
+
+// HasComputeFaults reports whether any armed fault targets the run
+// stack rather than the filesystem. Compute faults may legitimately
+// change a job's trajectory (escalation ladder) or fail it (budget
+// exhaustion), so the oracle-energy and never-failed invariants only
+// apply without them.
+func (s Schedule) HasComputeFaults() bool {
+	for _, f := range s.Faults {
+		if !f.IsFS() {
+			return true
+		}
+	}
+	return false
+}
+
+// registries compiles the schedule into two views of one armed fault
+// set: the filesystem faults and the compute faults, each in its own
+// Registry (they fire from different goroutines at unrelated call
+// sites; separate counters keep both streams deterministic).
+func (s Schedule) registries() (fs, compute *faults.Registry, err error) {
+	fs = faults.NewRegistry(s.Seed)
+	compute = faults.NewRegistry(s.Seed)
+	for _, spec := range s.Faults {
+		f, ferr := spec.fault()
+		if ferr != nil {
+			return nil, nil, fmt.Errorf("chaos: schedule %s: %w", s.Name, ferr)
+		}
+		if spec.IsFS() {
+			fs.Arm(f)
+		} else {
+			compute.Arm(f)
+		}
+	}
+	return fs, compute, nil
+}
+
+// JSON renders the schedule as its one-line reproducer form.
+func (s Schedule) JSON() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Schedule is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("chaos: marshaling schedule: %v", err))
+	}
+	return string(b)
+}
+
+// ParseSchedule reads a one-line JSON schedule (the repro form).
+func ParseSchedule(line string) (Schedule, error) {
+	var s Schedule
+	if err := json.Unmarshal([]byte(line), &s); err != nil {
+		return Schedule{}, fmt.Errorf("chaos: parsing schedule: %w", err)
+	}
+	for _, f := range s.Faults {
+		if _, err := f.fault(); err != nil {
+			return Schedule{}, err
+		}
+	}
+	return s, nil
+}
+
+// ReproCommand is the one-liner a failing campaign prints: feed it
+// back to mdchaos to replay exactly this schedule.
+func (s Schedule) ReproCommand() string {
+	return fmt.Sprintf("mdchaos -replay '%s'", s.JSON())
+}

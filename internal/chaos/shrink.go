@@ -1,0 +1,75 @@
+package chaos
+
+// Shrink reduces a failing schedule to a minimal reproducer: a fixed
+// sequence of reduction passes (drop each fault, zero the flood, drop
+// the crash, drop extra jobs, halve the trajectory), each kept only if
+// the reduced schedule still fails, repeated to a fixpoint. Because
+// the pass order is fixed and the predicate is deterministic, the same
+// failing schedule always shrinks to the same minimal schedule — the
+// property that makes a campaign's repro line trustworthy.
+//
+// fails must return true when the candidate schedule still reproduces
+// the failure; it is called O(faults + log steps) times per round.
+func Shrink(sched Schedule, fails func(Schedule) bool) Schedule {
+	cur := sched.normalized()
+	for changed := true; changed; {
+		changed = false
+
+		// Pass 1: drop armed faults one at a time, first to last.
+		for i := 0; i < len(cur.Faults); {
+			cand := cur
+			cand.Faults = append(append([]FaultSpec(nil), cur.Faults[:i]...), cur.Faults[i+1:]...)
+			if fails(cand.normalized()) {
+				cur = cand.normalized()
+				changed = true
+			} else {
+				i++
+			}
+		}
+
+		// Pass 2: no flood.
+		if cur.Flood > 0 {
+			cand := cur
+			cand.Flood = 0
+			if fails(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+
+		// Pass 3: no crash (heal is meaningless without one).
+		if cur.Crash {
+			cand := cur
+			cand.Crash, cand.Heal = false, false
+			if fails(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+
+		// Pass 4: a single job.
+		if cur.Jobs > 1 {
+			cand := cur
+			cand.Jobs = 1
+			if fails(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+
+		// Pass 5: halve the trajectory, but keep at least two
+		// checkpoint intervals so crash points still exist.
+		if cur.Steps > 20 {
+			cand := cur
+			cand.Steps = cur.Steps / 2
+			if cand.Steps < 20 {
+				cand.Steps = 20
+			}
+			if fails(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+	}
+	return cur
+}

@@ -22,7 +22,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/vec"
@@ -72,6 +74,16 @@ const (
 	Panic
 	// Delay sleeps Fault.Delay at the site (straggler injection).
 	Delay
+	// ENOSPC makes the site fail with an error wrapping syscall.ENOSPC
+	// after accepting half the buffer — the disk-full shape, which is
+	// loud (unlike ShortWrite) but leaves a torn temp file behind.
+	ENOSPC
+	// TornRename models power loss mid-publish at a rename site: the
+	// destination receives only the first half of the source, the
+	// source is gone, and the call fails. The caller sees the failure
+	// (nothing is acknowledged on it), but the directory now holds a
+	// torn file that every later reader must reject, not trust.
+	TornRename
 )
 
 // String implements fmt.Stringer.
@@ -89,9 +101,24 @@ func (k Kind) String() string {
 		return "panic"
 	case Delay:
 		return "delay"
+	case ENOSPC:
+		return "enospc"
+	case TornRename:
+		return "tornrename"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
+}
+
+// ParseKind maps the String() names back to Kinds — the vocabulary of
+// mdsim -inject and of chaos schedule files.
+func ParseKind(s string) (Kind, error) {
+	for k := NaN; k <= TornRename; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown kind %q", s)
 }
 
 // ErrInjected is the sentinel error injected faults surface.
@@ -204,6 +231,46 @@ func (r *Registry) Clone() *Registry {
 		}
 	}
 	return c
+}
+
+// RegistrySnapshot is a point-in-time export of a Registry: the exact
+// armed schedule (what a replay needs), how far each site's call
+// counter has advanced, and what actually fired. A chaos campaign
+// prints this for a failing run so the reproducer is the armed
+// schedule itself, not a guess at it.
+type RegistrySnapshot struct {
+	Seed   uint64
+	Armed  []Fault // sites in sorted order, arming order within a site
+	Calls  map[Site]int
+	Events []Event
+}
+
+// Snapshot exports the registry's state. The armed faults are listed
+// site-sorted (arming order preserved within a site), so two
+// registries armed with the same schedule snapshot identically
+// regardless of map iteration order.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sites := make([]Site, 0, len(r.armed))
+	for s := range r.armed {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	snap := RegistrySnapshot{
+		Seed:   r.seed,
+		Calls:  make(map[Site]int, len(r.calls)),
+		Events: append([]Event(nil), r.events...),
+	}
+	for _, s := range sites {
+		for _, f := range r.armed[s] {
+			snap.Armed = append(snap.Armed, *f)
+		}
+	}
+	for s, n := range r.calls {
+		snap.Calls[s] = n
+	}
+	return snap
 }
 
 // Fire implements Injector.
@@ -333,6 +400,9 @@ func (fw *faultWriter) Write(p []byte) (int, error) {
 	switch f.Kind {
 	case Error:
 		return 0, fmt.Errorf("write %s: %w", fw.site, ErrInjected)
+	case ENOSPC:
+		n, _ := fw.w.Write(p[:len(p)/2])
+		return n, fmt.Errorf("write %s: %w", fw.site, syscall.ENOSPC)
 	case ShortWrite:
 		n, err := fw.w.Write(p[:len(p)/2])
 		return n, err

@@ -1,0 +1,106 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for k := NaN; k <= TornRename; k++ {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("ParseKind(bogus) must fail")
+	}
+}
+
+func TestSnapshotExportsScheduleAndState(t *testing.T) {
+	r := NewRegistry(99)
+	// Arm in an order that differs from sorted-site order so the
+	// site-sorting contract is actually exercised.
+	r.Arm(Fault{Site: "z-site", Kind: Error, Trigger: Trigger{AtCall: 1}})
+	r.Arm(Fault{Site: "a-site", Kind: Panic, Trigger: Trigger{AtCall: 5}})
+	r.Arm(Fault{Site: "a-site", Kind: Error, Trigger: Trigger{AtCall: 2}})
+
+	if f := r.Fire("a-site"); f != nil {
+		t.Fatalf("a-site call 1 fired %+v, want nil", f)
+	}
+	if f := r.Fire("a-site"); f == nil || f.Kind != Error {
+		t.Fatalf("a-site call 2 = %+v, want Error", f)
+	}
+	if f := r.Fire("z-site"); f == nil || f.Kind != Error {
+		t.Fatalf("z-site call 1 = %+v, want Error", f)
+	}
+
+	snap := r.Snapshot()
+	if snap.Seed != 99 {
+		t.Fatalf("Seed = %d, want 99", snap.Seed)
+	}
+	wantArmed := []Fault{
+		{Site: "a-site", Kind: Panic, Trigger: Trigger{AtCall: 5}},
+		{Site: "a-site", Kind: Error, Trigger: Trigger{AtCall: 2}},
+		{Site: "z-site", Kind: Error, Trigger: Trigger{AtCall: 1}},
+	}
+	if !reflect.DeepEqual(snap.Armed, wantArmed) {
+		t.Fatalf("Armed = %+v, want %+v", snap.Armed, wantArmed)
+	}
+	if snap.Calls["a-site"] != 2 || snap.Calls["z-site"] != 1 {
+		t.Fatalf("Calls = %v", snap.Calls)
+	}
+	wantEvents := []Event{
+		{Site: "a-site", Kind: Error, Call: 2},
+		{Site: "z-site", Kind: Error, Call: 1},
+	}
+	if !reflect.DeepEqual(snap.Events, wantEvents) {
+		t.Fatalf("Events = %+v, want %+v", snap.Events, wantEvents)
+	}
+
+	// No call-numbering drift: every fired event's Call is within the
+	// snapshot's per-site counter, and the armed triggers that fired
+	// agree with the event log.
+	for _, e := range snap.Events {
+		if e.Call < 1 || e.Call > snap.Calls[e.Site] {
+			t.Fatalf("event %+v outside counter %d", e, snap.Calls[e.Site])
+		}
+	}
+}
+
+func TestSnapshotDeterministicAcrossArmingMapOrder(t *testing.T) {
+	// Two registries armed with the same schedule must snapshot the
+	// same Armed list regardless of internal map iteration order.
+	sched := []Fault{
+		{Site: "m", Kind: Error, Trigger: Trigger{AtCall: 1}},
+		{Site: "b", Kind: Delay, Trigger: Trigger{FromCall: 2}},
+		{Site: "t", Kind: NaN, Trigger: Trigger{Prob: 0.1}},
+	}
+	a := NewRegistry(1)
+	b := NewRegistry(1)
+	for _, f := range sched {
+		a.Arm(f)
+	}
+	for i := len(sched) - 1; i >= 0; i-- {
+		// Reverse arming order across different sites still sorts the
+		// same; only within-site order is arming order.
+		b.Arm(sched[i])
+	}
+	if !reflect.DeepEqual(a.Snapshot().Armed, b.Snapshot().Armed) {
+		t.Fatalf("Armed differs:\n%+v\n%+v", a.Snapshot().Armed, b.Snapshot().Armed)
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	r := NewRegistry(5)
+	r.Arm(Fault{Site: "s", Kind: Error, Trigger: Trigger{AtCall: 1}})
+	snap := r.Snapshot()
+	snap.Armed[0].Kind = Panic
+	snap.Calls["s"] = 77
+	if f := r.Fire("s"); f == nil || f.Kind != Error {
+		t.Fatalf("mutating a snapshot leaked into the registry: %+v", f)
+	}
+	if r.Calls("s") != 1 {
+		t.Fatalf("Calls = %d, want 1", r.Calls("s"))
+	}
+}

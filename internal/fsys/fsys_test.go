@@ -1,0 +1,236 @@
+package fsys
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// writeFile is the tmp+rename protocol in miniature, run through an FS.
+func writeFile(fs FS, path string, data []byte) error {
+	f, err := fs.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	n, err := f.Write(data)
+	if err == nil && n != len(data) {
+		err = errors.New("short write")
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = fs.Remove(tmp)
+		return err
+	}
+	return fs.Rename(tmp, path)
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.json")
+	if err := writeFile(OS, path, []byte("hello")); err != nil {
+		t.Fatalf("writeFile: %v", err)
+	}
+	b, err := OS.ReadFile(path)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	ents, err := OS.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	sub := filepath.Join(dir, "x", "y")
+	if err := OS.MkdirAll(sub, 0o755); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	if err := OS.RemoveAll(filepath.Join(dir, "x")); err != nil {
+		t.Fatalf("RemoveAll: %v", err)
+	}
+}
+
+func TestOrOS(t *testing.T) {
+	if OrOS(nil) != OS {
+		t.Fatal("OrOS(nil) != OS")
+	}
+	reg := faults.NewRegistry(1)
+	f := Faulty(nil, reg)
+	if OrOS(f) != f {
+		t.Fatal("OrOS(non-nil) must be identity")
+	}
+}
+
+func TestFaultyNilInjectorIsInner(t *testing.T) {
+	if got := Faulty(OS, nil); got != OS {
+		t.Fatalf("Faulty(OS, nil) = %v, want OS itself", got)
+	}
+}
+
+func TestFaultyErrorAtCall(t *testing.T) {
+	dir := t.TempDir()
+	reg := faults.NewRegistry(7)
+	reg.Arm(faults.Fault{Site: SiteSync, Kind: faults.Error, Trigger: faults.Trigger{AtCall: 2}})
+	fs := Faulty(OS, reg)
+
+	if err := writeFile(fs, filepath.Join(dir, "one"), []byte("first")); err != nil {
+		t.Fatalf("call 1 should pass: %v", err)
+	}
+	err := writeFile(fs, filepath.Join(dir, "two"), []byte("second"))
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("call 2 sync: err = %v, want ErrInjected", err)
+	}
+	// The protocol cleaned up: no temp file and no published "two".
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 || ents[0].Name() != "one" {
+		t.Fatalf("dir after failed write = %v, want just one", ents)
+	}
+}
+
+func TestFaultyENOSPCWrite(t *testing.T) {
+	dir := t.TempDir()
+	reg := faults.NewRegistry(7)
+	reg.Arm(faults.Fault{Site: SiteWrite, Kind: faults.ENOSPC, Trigger: faults.Trigger{AtCall: 1}})
+	fs := Faulty(OS, reg)
+
+	f, err := fs.CreateTemp(dir, "t-*")
+	if err != nil {
+		t.Fatalf("CreateTemp: %v", err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Write err = %v, want ENOSPC", err)
+	}
+	if n != 5 {
+		t.Fatalf("Write n = %d, want 5 (half landed)", n)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	b, _ := os.ReadFile(f.Name())
+	if string(b) != "01234" {
+		t.Fatalf("torn temp = %q, want first half", b)
+	}
+}
+
+func TestFaultyShortWriteIsSilent(t *testing.T) {
+	dir := t.TempDir()
+	reg := faults.NewRegistry(7)
+	reg.Arm(faults.Fault{Site: SiteWrite, Kind: faults.ShortWrite, Trigger: faults.Trigger{AtCall: 1}})
+	fs := Faulty(OS, reg)
+
+	f, err := fs.CreateTemp(dir, "t-*")
+	if err != nil {
+		t.Fatalf("CreateTemp: %v", err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if err != nil {
+		t.Fatalf("ShortWrite must lie with a nil error, got %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("n = %d, want 5", n)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestFaultyTornRename(t *testing.T) {
+	dir := t.TempDir()
+	reg := faults.NewRegistry(7)
+	reg.Arm(faults.Fault{Site: SiteRename, Kind: faults.TornRename, Trigger: faults.Trigger{AtCall: 1}})
+	fs := Faulty(OS, reg)
+
+	src := filepath.Join(dir, "src")
+	dst := filepath.Join(dir, "dst")
+	if err := os.WriteFile(src, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := fs.Rename(src, dst)
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("torn rename must fail loudly, err = %v", err)
+	}
+	if _, serr := os.Stat(src); !os.IsNotExist(serr) {
+		t.Fatalf("source must be gone after torn rename, stat err = %v", serr)
+	}
+	b, rerr := os.ReadFile(dst)
+	if rerr != nil {
+		t.Fatalf("destination must exist (torn): %v", rerr)
+	}
+	if string(b) != "01234" {
+		t.Fatalf("destination = %q, want first half of source", b)
+	}
+}
+
+func TestFaultyMkdirOpenReadDirReadFileRemove(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := faults.NewRegistry(7)
+	for _, site := range []faults.Site{SiteMkdir, SiteOpen, SiteReadDir, SiteRead, SiteRemove} {
+		reg.Arm(faults.Fault{Site: site, Kind: faults.Error, Trigger: faults.Trigger{AtCall: 1}})
+	}
+	fs := Faulty(OS, reg)
+
+	if err := fs.MkdirAll(filepath.Join(dir, "sub"), 0o755); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("MkdirAll err = %v", err)
+	}
+	if _, err := fs.Open(path); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Open err = %v", err)
+	}
+	if _, err := fs.ReadDir(dir); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("ReadDir err = %v", err)
+	}
+	if _, err := fs.ReadFile(path); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("ReadFile err = %v", err)
+	}
+	if err := fs.Remove(path); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Remove err = %v", err)
+	}
+	// All faults were AtCall:1 and have fired; the second round passes.
+	if err := fs.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatalf("MkdirAll second call: %v", err)
+	}
+	if _, err := fs.ReadFile(path); err != nil {
+		t.Fatalf("ReadFile second call: %v", err)
+	}
+}
+
+func TestFaultyDeterministicReplay(t *testing.T) {
+	// Same schedule + Clone'd registries → byte-identical event logs
+	// across two independent replays of the same operation sequence.
+	master := faults.NewRegistry(42)
+	master.Arm(faults.Fault{Site: SiteWrite, Kind: faults.Error, Trigger: faults.Trigger{Prob: 0.5}})
+	master.Arm(faults.Fault{Site: SiteSync, Kind: faults.Error, Trigger: faults.Trigger{AtCall: 3}})
+
+	run := func(reg *faults.Registry) []faults.Event {
+		dir := t.TempDir()
+		fs := Faulty(OS, reg)
+		for i := 0; i < 8; i++ {
+			_ = writeFile(fs, filepath.Join(dir, "f"), []byte("payload"))
+		}
+		return reg.Events()
+	}
+	a := run(master.Clone())
+	b := run(master.Clone())
+	if len(a) == 0 {
+		t.Fatal("expected some fired events with Prob 0.5 over 8 writes")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

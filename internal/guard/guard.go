@@ -29,6 +29,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/fsys"
 	"repro/internal/md"
 	"repro/internal/mdrun"
 	"repro/internal/sim"
@@ -81,6 +82,11 @@ type Config struct {
 	// Sleep is the backoff clock, replaceable for tests. Default
 	// time.Sleep.
 	Sleep func(time.Duration)
+
+	// FS, when non-nil, replaces the real filesystem under the
+	// checkpoint store — the fault-injection seam chaos campaigns use.
+	// Nil means fsys.OS.
+	FS fsys.FS
 
 	// OnSegment, when non-nil, is called after every committed
 	// (health-checked, non-rolled-back) segment with the observables at
@@ -182,12 +188,15 @@ func supervise(cfg Config, r *mdrun.Runner) (*Supervisor, error) {
 		report: &RunReport{FinalMethod: cfg.Run.Method, FinalDt: cfg.Run.Dt},
 	}
 	if cfg.CheckpointDir != "" {
-		st, err := newStore(cfg.CheckpointDir, cfg.KeepCheckpoints, cfg.Run.Faults)
+		st, err := newStore(cfg.CheckpointDir, cfg.KeepCheckpoints, cfg.Run.Faults, cfg.FS)
 		if err != nil {
-			r.Close()
-			return nil, err
+			// Storage trouble degrades durability, it must not stop the
+			// physics: run on the in-memory snapshot alone, like any
+			// later checkpoint write failure, and record the incident.
+			s.report.log(r.System().Steps, 0, sim.IncidentCheckpointWriteFail, err.Error())
+		} else {
+			s.store = st
 		}
-		s.store = st
 	}
 	return s, nil
 }

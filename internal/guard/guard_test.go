@@ -253,7 +253,7 @@ func TestCorruptCheckpointSkipped(t *testing.T) {
 // truncating the newest demotes recovery to the next older file.
 func TestStoreRecoveryOrder(t *testing.T) {
 	dir := t.TempDir()
-	st, err := newStore(dir, 10, nil)
+	st, err := newStore(dir, 10, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +303,7 @@ func TestStoreRecoveryOrder(t *testing.T) {
 // remain on disk.
 func TestStorePrunesRetention(t *testing.T) {
 	dir := t.TempDir()
-	st, err := newStore(dir, 2, nil)
+	st, err := newStore(dir, 2, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

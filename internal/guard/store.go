@@ -2,13 +2,13 @@ package guard
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/faults"
+	"repro/internal/fsys"
 	"repro/internal/md"
 )
 
@@ -16,11 +16,14 @@ import (
 // file in the target directory, fsync, rename into place, fsync the
 // directory. A reader therefore only ever sees complete files — and
 // the md format's CRC trailer rejects anything a lying disk mangles
-// after that.
+// after that. All filesystem access goes through the fsys seam, so a
+// chaos campaign can stand a failing disk under the protocol and check
+// the promise instead of assuming it.
 type store struct {
 	dir  string
 	keep int
 	inj  faults.Injector // checkpoint writes pass through SiteCheckpoint
+	fs   fsys.FS
 }
 
 const (
@@ -28,14 +31,15 @@ const (
 	ckptSuffix = ".mdcp"
 )
 
-func newStore(dir string, keep int, inj faults.Injector) (*store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func newStore(dir string, keep int, inj faults.Injector, fs fsys.FS) (*store, error) {
+	fs = fsys.OrOS(fs)
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("guard: checkpoint dir: %w", err)
 	}
 	if keep < 1 {
 		keep = 1
 	}
-	return &store{dir: dir, keep: keep, inj: inj}, nil
+	return &store{dir: dir, keep: keep, inj: inj, fs: fs}, nil
 }
 
 // path returns the final name for a checkpoint at the given step.
@@ -48,14 +52,14 @@ func (st *store) path(step int) string {
 // file is removed and the previously persisted checkpoints are
 // untouched.
 func (st *store) save(sys *md.System[float64]) error {
-	f, err := os.CreateTemp(st.dir, ".tmp-"+ckptPrefix+"*")
+	f, err := st.fs.CreateTemp(st.dir, ".tmp-"+ckptPrefix+"*")
 	if err != nil {
 		return fmt.Errorf("guard: checkpoint temp file: %w", err)
 	}
 	tmp := f.Name()
 	fail := func(err error) error {
 		f.Close() //mdlint:ignore closeerr the write already failed; its error is the one worth reporting
-		os.Remove(tmp)
+		_ = st.fs.Remove(tmp)
 		return fmt.Errorf("guard: writing checkpoint: %w", err)
 	}
 	if err := md.WriteCheckpoint(faults.NewWriter(f, st.inj, faults.SiteCheckpoint), sys); err != nil {
@@ -65,11 +69,11 @@ func (st *store) save(sys *md.System[float64]) error {
 		return fail(err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = st.fs.Remove(tmp)
 		return fmt.Errorf("guard: writing checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, st.path(sys.Steps)); err != nil {
-		os.Remove(tmp)
+	if err := st.fs.Rename(tmp, st.path(sys.Steps)); err != nil {
+		_ = st.fs.Remove(tmp)
 		return fmt.Errorf("guard: publishing checkpoint: %w", err)
 	}
 	st.syncDir()
@@ -80,7 +84,7 @@ func (st *store) save(sys *md.System[float64]) error {
 // syncDir fsyncs the checkpoint directory so the rename itself is
 // durable. Best-effort: some filesystems refuse directory fsync.
 func (st *store) syncDir() {
-	if d, err := os.Open(st.dir); err == nil {
+	if d, err := st.fs.Open(st.dir); err == nil {
 		_ = d.Sync()
 		_ = d.Close() // read-only directory handle; nothing buffered to lose
 	}
@@ -89,7 +93,7 @@ func (st *store) syncDir() {
 // list returns the steps of all well-named checkpoint files, newest
 // first.
 func (st *store) list() []int {
-	entries, err := os.ReadDir(st.dir)
+	entries, err := st.fs.ReadDir(st.dir)
 	if err != nil {
 		return nil
 	}
@@ -113,7 +117,7 @@ func (st *store) list() []int {
 func (st *store) prune() {
 	steps := st.list()
 	for _, s := range steps[min(st.keep, len(steps)):] {
-		_ = os.Remove(st.path(s))
+		_ = st.fs.Remove(st.path(s))
 	}
 }
 
@@ -126,10 +130,17 @@ func (st *store) prune() {
 // per-job checkpoint directory and asks for the latest trustworthy
 // state without constructing a Supervisor first.
 func LatestCheckpoint(dir string, onCorrupt func(name string, err error)) *md.System[float64] {
+	return LatestCheckpointFS(nil, dir, onCorrupt)
+}
+
+// LatestCheckpointFS is LatestCheckpoint through an explicit
+// filesystem seam (nil means the real one) — the variant a chaos
+// campaign uses so that recovery, too, runs over the failing disk.
+func LatestCheckpointFS(fs fsys.FS, dir string, onCorrupt func(name string, err error)) *md.System[float64] {
 	if onCorrupt == nil {
 		onCorrupt = func(string, error) {}
 	}
-	st := &store{dir: dir, keep: 1}
+	st := &store{dir: dir, keep: 1, fs: fsys.OrOS(fs)}
 	return st.recoverLatest(onCorrupt)
 }
 
@@ -141,7 +152,7 @@ func LatestCheckpoint(dir string, onCorrupt func(name string, err error)) *md.Sy
 func (st *store) recoverLatest(onCorrupt func(name string, err error)) *md.System[float64] {
 	for _, step := range st.list() {
 		p := st.path(step)
-		f, err := os.Open(p)
+		f, err := st.fs.Open(p)
 		if err != nil {
 			onCorrupt(filepath.Base(p), err)
 			continue

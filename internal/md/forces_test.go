@@ -291,3 +291,27 @@ func nonNaN(x float64) float64 {
 	}
 	return x
 }
+
+// TestWrapIsTotal pins the fold against pathological coordinates: a
+// fault-corrupted force can push a position to ±Inf (or astronomically
+// far) mid-step, before any watchdog runs. Wrap must terminate on every
+// input — non-finite coordinates come back NaN for the health check to
+// catch, huge finite drift still folds into [0, box).
+func TestWrapIsTotal(t *testing.T) {
+	const box = 3.0
+	for _, x := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		w := Wrap(vec.V3[float64]{X: x, Y: 1, Z: 1}, box)
+		if !math.IsNaN(w.X) {
+			t.Fatalf("Wrap(%v) = %v, want NaN passthrough", x, w.X)
+		}
+		if w.Y != 1 || w.Z != 1 {
+			t.Fatalf("finite components disturbed: %+v", w)
+		}
+	}
+	for _, x := range []float64{1e300, -1e300, 12345678.9, -12345678.9} {
+		w := Wrap(vec.V3[float64]{X: x, Y: 1, Z: 1}, box)
+		if !(w.X >= 0 && w.X < box) {
+			t.Fatalf("Wrap(%v) = %v, outside [0, %v)", x, w.X, box)
+		}
+	}
+}

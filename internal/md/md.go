@@ -24,6 +24,7 @@ package md
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/lattice"
 	"repro/internal/vec"
@@ -171,13 +172,19 @@ func wrap1[T vec.Float](x, box T) T {
 	} else if x >= box {
 		x -= box
 	}
-	// Guard against accumulated drift larger than one box (never hit in
-	// practice, but keeps the invariant unconditional).
-	for x < 0 {
-		x += box
+	if x >= 0 && x < box {
+		return x
 	}
-	for x >= box {
-		x -= box
+	// Drift beyond one box length (never hit in healthy runs). Fold by
+	// modulo rather than repeated subtraction: the fold must be total,
+	// because a corrupted coordinate reaches here mid-step, before any
+	// health check can see it — ±Inf would spin a subtraction loop
+	// forever, and a merely huge value would take ~|x|/box iterations.
+	// Mod maps non-finite x to NaN, which propagates out for the
+	// supervisor's watchdog to catch and roll back.
+	x = T(math.Mod(float64(x), float64(box)))
+	if x < 0 {
+		x += box
 	}
 	return x
 }

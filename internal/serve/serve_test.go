@@ -118,7 +118,7 @@ func awaitReport(t *testing.T, hs *httptest.Server, id string) TerminalRecord {
 // the same stack the server uses — and returns the final energy.
 func oracleEnergy(t *testing.T, sp Spec, steps int) float64 {
 	t.Helper()
-	gcfg, err := sp.withDefaults().guardConfig(filepath.Join(t.TempDir(), "ckpt"))
+	gcfg, err := sp.Normalized().GuardConfig(filepath.Join(t.TempDir(), "ckpt"))
 	if err != nil {
 		t.Fatal(err)
 	}

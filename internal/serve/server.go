@@ -10,7 +10,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/fleet"
+	"repro/internal/fsys"
 	"repro/internal/md"
 )
 
@@ -31,6 +33,27 @@ type Config struct {
 	Tenancy TenantPolicy
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+
+	// FS, when non-nil, replaces the real filesystem under the store
+	// and every job's checkpoint directory — the chaos campaigns' disk.
+	FS fsys.FS
+	// Faults, when non-nil, is armed on every job's run config (force
+	// corruption, worker panics) — the chaos campaigns' compute faults.
+	Faults faults.Injector
+
+	// DegradeAfter is how many consecutive admission-time storage
+	// failures flip the server into degraded read-only mode (new
+	// admissions refused with 503, existing jobs keep running and
+	// streaming). Default 3; negative disables degraded mode.
+	DegradeAfter int
+	// ProbeEvery rate-limits the store write probes that let a degraded
+	// server recover: at most one probe per interval, tried on the next
+	// submission. Default 1s; negative probes on every submission (the
+	// deterministic setting chaos campaigns use).
+	ProbeEvery time.Duration
+	// Now is the clock for probe pacing, replaceable for tests.
+	// Default time.Now.
+	Now func() time.Time
 }
 
 // jobState is the in-memory view of one job.
@@ -64,6 +87,15 @@ type Server struct {
 	draining bool
 	shed     int64 // admissions rejected by fleet overload
 
+	// Degraded-mode state machine: admitFails counts consecutive
+	// admission-time storage failures; reaching cfg.DegradeAfter flips
+	// degraded, and a successful store probe (or admission write)
+	// clears it. storageErrors is the lifetime tally for /v1/stats.
+	degraded      bool
+	admitFails    int
+	storageErrors int64
+	lastProbe     time.Time
+
 	jobsWG sync.WaitGroup // one per admitted job: its result waiter
 }
 
@@ -74,7 +106,16 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	st, err := NewStore(cfg.DataDir)
+	if cfg.DegradeAfter == 0 {
+		cfg.DegradeAfter = 3
+	}
+	if cfg.ProbeEvery == 0 {
+		cfg.ProbeEvery = time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	st, err := NewStoreFS(cfg.DataDir, cfg.FS)
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +160,18 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg.Logf("serve: resuming job %s for tenant %q from step %d (%d remaining)",
 			sj.Record.ID, sj.Record.Tenant, fromStep, sj.Record.Spec.Steps-fromStep)
 		s.jobsWG.Add(1)
-		go s.admitRecovered(js, rep)
+		// Submit synchronously: the fleet is fresh and its queue empty,
+		// so recovered jobs are back in line before the constructor
+		// returns — an immediate Drain then still runs them to their
+		// terminal states instead of racing the re-admission. Only a
+		// recovery load exceeding the whole queue falls back to the
+		// background retry loop (and stays resumable if it loses a race
+		// with shutdown).
+		if tk, err := s.sched.Submit(s.runCtx, rep); err == nil {
+			go s.await(js, tk)
+		} else {
+			go s.admitRecovered(js, rep)
+		}
 	}
 	return s, nil
 }
@@ -156,6 +208,10 @@ func (s *Server) submit(tenant, key string, sp Spec) (submitResponse, int, strin
 			return submitResponse{ID: id, Status: s.jobs[id].status, Deduplicated: true}, http.StatusOK, "", 0
 		}
 	}
+	if s.degraded && !s.tryRecoverLocked() {
+		return submitResponse{}, http.StatusServiceUnavailable,
+			"serve: degraded: storage unavailable, not accepting jobs", s.storageRetrySeconds()
+	}
 	if err := s.tenants.admit(tenant); err != nil {
 		var qe *quotaError
 		if errors.As(err, &qe) {
@@ -168,9 +224,15 @@ func (s *Server) submit(tenant, key string, sp Spec) (submitResponse, int, strin
 	id := JobID(seq)
 	rec := JobRecord{ID: id, Tenant: tenant, Key: key, Spec: sp}
 	if err := s.store.PutSpec(rec); err != nil {
+		// PutSpec cleans up after itself, so nothing half-persisted
+		// survives for the recovery scan to resurrect. A storage failure
+		// is the disk's problem, not the client's: 503 + Retry-After,
+		// and enough of them in a row flips the server degraded.
 		s.tenants.release(tenant)
-		return submitResponse{}, http.StatusInternalServerError, err.Error(), 0
+		s.noteStorageFailureLocked(err)
+		return submitResponse{}, http.StatusServiceUnavailable, err.Error(), s.storageRetrySeconds()
 	}
+	s.admitFails = 0
 	js := &jobState{rec: rec, status: StatusRunning, progress: newProgressLog()}
 	rep, _ := s.replica(js, nil)
 	tk, err := s.sched.Submit(s.runCtx, rep)
@@ -198,6 +260,55 @@ func (s *Server) submit(tenant, key string, sp Spec) (submitResponse, int, strin
 	return submitResponse{ID: id, Status: StatusRunning}, http.StatusAccepted, "", 0
 }
 
+// noteStorageFailureLocked (mu held) records one admission-time
+// storage failure and flips the server into degraded read-only mode
+// when cfg.DegradeAfter consecutive failures accumulate. In-flight
+// jobs are untouched: the fleet keeps running them, progress keeps
+// streaming, and their waiters still try to persist terminal records
+// (logging, never crashing, on failure).
+func (s *Server) noteStorageFailureLocked(err error) {
+	s.storageErrors++
+	s.admitFails++
+	if s.cfg.DegradeAfter > 0 && s.admitFails >= s.cfg.DegradeAfter && !s.degraded {
+		s.degraded = true
+		s.lastProbe = s.cfg.Now()
+		s.cfg.Logf("serve: degraded read-only mode after %d consecutive storage failures: %v", s.admitFails, err)
+	}
+}
+
+// tryRecoverLocked (mu held) probes the store — at most once per
+// cfg.ProbeEvery — and clears degraded mode when a full atomic write
+// round-trips. Recovery is automatic: the next submission after the
+// disk heals both clears the mode and is admitted normally.
+func (s *Server) tryRecoverLocked() bool {
+	now := s.cfg.Now()
+	if s.cfg.ProbeEvery > 0 {
+		if now.Sub(s.lastProbe) < s.cfg.ProbeEvery {
+			return false
+		}
+		s.lastProbe = now
+	}
+	if err := s.store.Probe(); err != nil {
+		s.storageErrors++
+		return false
+	}
+	s.degraded = false
+	s.admitFails = 0
+	s.cfg.Logf("serve: storage probe succeeded; leaving degraded mode")
+	return true
+}
+
+// storageRetrySeconds is the Retry-After hint for storage-failure
+// 503s: the probe interval, because that is the soonest a retry could
+// find the server recovered.
+func (s *Server) storageRetrySeconds() int {
+	d := s.cfg.ProbeEvery
+	if d <= 0 {
+		d = time.Second
+	}
+	return retryAfterSeconds(d)
+}
+
 // overloadRetry derives the Retry-After hint for fleet-overload
 // rejections from the fleet's own backoff policy: the base backoff is
 // what the fleet itself waits before retrying a replica, so it is the
@@ -216,13 +327,15 @@ func (s *Server) overloadRetry() time.Duration {
 // is the absolute step the replica starts at. The spec was validated
 // at admission, so the config build cannot fail.
 func (s *Server) replica(js *jobState, sys *md.System[float64]) (fleet.Replica, int) {
-	gcfg, err := js.rec.Spec.guardConfig(s.store.CheckpointDir(js.rec.ID))
+	gcfg, err := js.rec.Spec.GuardConfig(s.store.CheckpointDir(js.rec.ID))
 	if err != nil {
 		// Validate() accepted this spec; reaching here is a programming
 		// error, and panicking surfaces it in tests immediately.
 		panic(fmt.Sprintf("serve: job %s: validated spec rejected: %v", js.rec.ID, err))
 	}
 	gcfg.OnSegment = js.progress.onSegment
+	gcfg.FS = s.cfg.FS // job checkpoints live on the same (possibly chaotic) disk
+	gcfg.Run.Faults = s.cfg.Faults
 	rep := fleet.Replica{ID: jobSeqOf(js.rec.ID), Guard: gcfg, Steps: js.rec.Spec.Steps}
 	from := 0
 	if sys != nil {
@@ -235,6 +348,10 @@ func (s *Server) replica(js *jobState, sys *md.System[float64]) (fleet.Replica, 
 	}
 	return rep, from
 }
+
+// CheckpointDirOf exposes a job's checkpoint directory — the seam the
+// chaos campaign watches to decide when a crash lands mid-trajectory.
+func (s *Server) CheckpointDirOf(id string) string { return s.store.CheckpointDir(id) }
 
 // jobSeqOf is jobSeq for IDs the server itself minted.
 func jobSeqOf(id string) int {
@@ -534,11 +651,20 @@ type statsResponse struct {
 	Tenants  []TenantStat   `json:"tenants"`
 	Shed     int64          `json:"shed"`
 	Draining bool           `json:"draining"`
+	// Degraded reports storage-failure read-only mode: existing jobs
+	// keep running and streaming, new admissions get 503.
+	Degraded bool `json:"degraded"`
+	// StorageErrors counts admission-time storage failures and failed
+	// recovery probes over the server's lifetime.
+	StorageErrors int64 `json:"storage_errors,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	st := statsResponse{Jobs: make(map[string]int), Shed: s.shed, Draining: s.draining}
+	st := statsResponse{
+		Jobs: make(map[string]int), Shed: s.shed, Draining: s.draining,
+		Degraded: s.degraded, StorageErrors: s.storageErrors,
+	}
 	for _, js := range s.jobs {
 		st.Jobs[js.status]++
 	}
@@ -549,10 +675,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	draining := s.draining
+	draining, degraded := s.draining, s.degraded
 	s.mu.Unlock()
 	if draining {
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "draining"})
+		return
+	}
+	if degraded {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.storageRetrySeconds()))
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "degraded: storage unavailable"})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

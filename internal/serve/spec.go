@@ -83,6 +83,11 @@ type Spec struct {
 	// CheckpointEvery is the durability cadence in steps (default 50):
 	// how much work a crash can lose.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+
+	// KeepCheckpoints bounds the job's on-disk checkpoint retention
+	// (guard's retain-last-M, default 3, max 64): long jobs must not
+	// grow their ckpt/ directory without bound.
+	KeepCheckpoints int `json:"keep_checkpoints,omitempty"`
 }
 
 // withDefaults returns the spec with every zero field made explicit.
@@ -119,8 +124,17 @@ func (sp Spec) withDefaults() Spec {
 	if sp.CheckpointEvery == 0 {
 		sp.CheckpointEvery = 50
 	}
+	if sp.KeepCheckpoints == 0 {
+		sp.KeepCheckpoints = 3
+	}
 	return sp
 }
+
+// Normalized returns the spec with every zero field made explicit —
+// the exact record the server persists and replays. Exported so the
+// chaos campaign can build its uninterrupted oracle from the same
+// normalized spec an admitted job runs under.
+func (sp Spec) Normalized() Spec { return sp.withDefaults() }
 
 // Validate rejects specs that are malformed or exceed the per-job
 // resource caps. It is called on the normalized spec.
@@ -143,6 +157,9 @@ func (sp Spec) Validate() error {
 	}
 	if sp.CheckpointEvery < 1 {
 		return fmt.Errorf("serve: checkpoint_every %d must be >= 1", sp.CheckpointEvery)
+	}
+	if sp.KeepCheckpoints < 1 || sp.KeepCheckpoints > 64 {
+		return fmt.Errorf("serve: keep_checkpoints %d out of range [1, 64]", sp.KeepCheckpoints)
 	}
 	switch sp.Thermostat {
 	case "", "rescale", "berendsen":
@@ -192,9 +209,11 @@ func (sp Spec) forceMethod() (mdrun.ForceMethod, error) {
 	}
 }
 
-// guardConfig assembles the supervised-run configuration for this spec
-// with checkpoints rooted at ckptDir. The caller wires OnSegment.
-func (sp Spec) guardConfig(ckptDir string) (guard.Config, error) {
+// GuardConfig assembles the supervised-run configuration for this spec
+// with checkpoints rooted at ckptDir — exported so the chaos campaign
+// can run the oracle under exactly the admitted configuration. The
+// caller wires OnSegment (and FS, for fault-injected runs).
+func (sp Spec) GuardConfig(ckptDir string) (guard.Config, error) {
 	method, err := sp.forceMethod()
 	if err != nil {
 		return guard.Config{}, err
@@ -217,5 +236,6 @@ func (sp Spec) guardConfig(ckptDir string) (guard.Config, error) {
 		Run:             cfg,
 		CheckpointDir:   ckptDir,
 		CheckpointEvery: sp.CheckpointEvery,
+		KeepCheckpoints: sp.KeepCheckpoints,
 	}, nil
 }

@@ -2,13 +2,16 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/fsys"
 	"repro/internal/guard"
 	"repro/internal/md"
 	"repro/internal/mdrun"
@@ -30,9 +33,11 @@ import (
 // complete files. A job directory with a valid spec and no terminal
 // record is, by definition, incomplete: that is the whole recovery
 // contract, and it makes "crashed before the report rename" and
-// "crashed mid-run" the same case.
+// "crashed mid-run" the same case. All filesystem access goes through
+// the fsys seam so chaos campaigns can fail any operation on schedule.
 type Store struct {
 	root string
+	fs   fsys.FS
 }
 
 // JobRecord is the admission record persisted as spec.json.
@@ -63,14 +68,20 @@ type TerminalRecord struct {
 }
 
 // NewStore opens (creating if needed) the store rooted at dir.
-func NewStore(dir string) (*Store, error) {
+func NewStore(dir string) (*Store, error) { return NewStoreFS(dir, nil) }
+
+// NewStoreFS is NewStore over an explicit filesystem seam (nil means
+// the real one) — the constructor chaos campaigns use to stand a
+// failing disk under the whole serving stack.
+func NewStoreFS(dir string, fs fsys.FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("serve: store needs a data directory")
 	}
-	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+	fs = fsys.OrOS(fs)
+	if err := fs.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
 		return nil, fmt.Errorf("serve: store root: %w", err)
 	}
-	return &Store{root: dir}, nil
+	return &Store{root: dir, fs: fs}, nil
 }
 
 // jobDir returns the directory for a job ID.
@@ -81,14 +92,24 @@ func (st *Store) jobDir(id string) string { return filepath.Join(st.root, "jobs"
 // guard.LatestCheckpoint.
 func (st *Store) CheckpointDir(id string) string { return filepath.Join(st.jobDir(id), "ckpt") }
 
+// FS exposes the store's filesystem seam so the rest of the serving
+// stack (guard checkpoint store, resume scan) runs over the same disk.
+func (st *Store) FS() fsys.FS { return st.fs }
+
 // PutSpec persists the admission record for a new job. The job
-// directory is created here; failure leaves no partial spec behind.
+// directory is created here; failure removes it again, so a failed
+// admission leaves no half-persisted job for the recovery scan to
+// resurrect.
 func (st *Store) PutSpec(rec JobRecord) error {
 	dir := st.jobDir(rec.ID)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := st.fs.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("serve: job dir: %w", err)
 	}
-	return st.writeJSON(dir, "spec.json", rec)
+	if err := st.writeJSON(dir, "spec.json", rec); err != nil {
+		_ = st.fs.RemoveAll(dir)
+		return err
+	}
+	return nil
 }
 
 // PutTerminal persists the completion record, flipping the job to
@@ -101,7 +122,7 @@ func (st *Store) PutTerminal(rec TerminalRecord) error {
 // that was persisted but then shed by the fleet admission queue (the
 // client saw 429; a restart must not resurrect it).
 func (st *Store) Remove(id string) error {
-	return os.RemoveAll(st.jobDir(id))
+	return st.fs.RemoveAll(st.jobDir(id))
 }
 
 // GetTerminal loads the completion record, or nil for an incomplete
@@ -113,6 +134,35 @@ func (st *Store) GetTerminal(id string) (*TerminalRecord, error) {
 		return nil, err
 	}
 	return &rec, nil
+}
+
+// Probe checks that the store can still complete a full atomic write:
+// temp file, write, fsync, remove. The degraded-mode recovery loop
+// calls this before accepting admissions again — a disk that fails
+// admissions must demonstrably hold a byte before the server trusts
+// it with a job.
+func (st *Store) Probe() error {
+	f, err := st.fs.CreateTemp(filepath.Join(st.root, "jobs"), ".probe-*")
+	if err != nil {
+		return fmt.Errorf("serve: probe: %w", err)
+	}
+	tmp := f.Name()
+	p := []byte("probe")
+	n, werr := f.Write(p)
+	if werr == nil && n != len(p) {
+		werr = io.ErrShortWrite
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	_ = st.fs.Remove(tmp)
+	if werr != nil {
+		return fmt.Errorf("serve: probe: %w", werr)
+	}
+	return nil
 }
 
 // ScannedJob is one job found on disk at startup. Terminal is nil for
@@ -128,16 +178,26 @@ type ScannedJob struct {
 	CorruptCheckpoints int
 }
 
+// errParse marks a record that was read fully but failed to parse —
+// a torn or corrupt file, as opposed to a disk that refused the read.
+// The recovery scan skips the former (nothing trustworthy was ever
+// promised under that name) and propagates the latter (an acknowledged
+// job may be hiding behind a transient I/O error; silently dropping it
+// would break the no-acked-job-lost invariant).
+var errParse = errors.New("serve: unparseable record")
+
 // Scan walks the jobs directory and returns every persisted job —
 // complete and incomplete, the latter with its latest trustworthy
 // checkpoint loaded — plus the highest numeric job sequence seen:
 // everything a restarted server needs to rebuild its in-memory view
 // (status map, idempotency index, ID sequencing, resume set).
-// Directories with a missing or unreadable spec.json are skipped (a
-// crash between mkdir and the spec rename leaves exactly that shape,
-// and nothing was promised to any client for it).
+// Directories with a missing or corrupt spec.json are skipped (a crash
+// between mkdir and the spec rename leaves exactly that shape, and
+// nothing was promised to any client for it); a spec.json the disk
+// refuses to read is an error — startup fails loudly rather than
+// silently forgetting a job that was acknowledged.
 func (st *Store) Scan() (jobs []ScannedJob, maxSeq int, err error) {
-	entries, err := os.ReadDir(filepath.Join(st.root, "jobs"))
+	entries, err := st.fs.ReadDir(filepath.Join(st.root, "jobs"))
 	if err != nil {
 		return nil, 0, fmt.Errorf("serve: scanning jobs: %w", err)
 	}
@@ -154,16 +214,22 @@ func (st *Store) Scan() (jobs []ScannedJob, maxSeq int, err error) {
 		}
 		var rec JobRecord
 		ok, rerr := st.readJSON(st.jobDir(name), "spec.json", &rec)
+		if rerr != nil && !errors.Is(rerr, errParse) {
+			return nil, 0, fmt.Errorf("serve: scanning job %s: %w", name, rerr)
+		}
 		if rerr != nil || !ok || rec.ID != name {
 			continue // orphan or corrupt admission record: never promised
 		}
 		sj := ScannedJob{Record: rec}
 		var term TerminalRecord
 		tok, terr := st.readJSON(st.jobDir(name), "sreport.json", &term)
+		if terr != nil && !errors.Is(terr, errParse) {
+			return nil, 0, fmt.Errorf("serve: scanning job %s: %w", name, terr)
+		}
 		if terr == nil && tok {
 			sj.Terminal = &term
 		} else {
-			sj.System = guard.LatestCheckpoint(st.CheckpointDir(name), func(string, error) {
+			sj.System = guard.LatestCheckpointFS(st.fs, st.CheckpointDir(name), func(string, error) {
 				sj.CorruptCheckpoints++
 			})
 		}
@@ -191,34 +257,45 @@ func JobID(seq int) string { return fmt.Sprintf("job-%06d", seq) }
 // writeJSON atomically publishes v as <dir>/<name>: temp file, fsync,
 // rename, directory fsync — the guard store's discipline, so a crash
 // at any byte leaves either the old file or the new one, never a
-// torn read for the recovery scan.
+// torn read for the recovery scan. The byte count of the write is
+// checked explicitly: a writer that lies with a short count and a nil
+// error (the classic NFS/quota shape) is caught here, before the
+// rename can publish a torn record.
 func (st *Store) writeJSON(dir, name string, v any) error {
-	f, err := os.CreateTemp(dir, ".tmp-"+name+"-*")
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("serve: encoding %s: %w", name, err)
+	}
+	b = append(b, '\n')
+	f, err := st.fs.CreateTemp(dir, ".tmp-"+name+"-*")
 	if err != nil {
 		return fmt.Errorf("serve: temp file: %w", err)
 	}
 	tmp := f.Name()
 	fail := func(err error) error {
 		f.Close() //mdlint:ignore closeerr the write already failed; its error is the one worth reporting
-		os.Remove(tmp)
+		_ = st.fs.Remove(tmp)
 		return fmt.Errorf("serve: writing %s: %w", name, err)
 	}
-	enc := json.NewEncoder(f)
-	if err := enc.Encode(v); err != nil {
+	n, err := f.Write(b)
+	if err == nil && n != len(b) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
 		return fail(err)
 	}
 	if err := f.Sync(); err != nil {
 		return fail(err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = st.fs.Remove(tmp)
 		return fmt.Errorf("serve: writing %s: %w", name, err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
-		os.Remove(tmp)
+	if err := st.fs.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		_ = st.fs.Remove(tmp)
 		return fmt.Errorf("serve: publishing %s: %w", name, err)
 	}
-	if d, err := os.Open(dir); err == nil {
+	if d, err := st.fs.Open(dir); err == nil {
 		_ = d.Sync() // best-effort: some filesystems refuse directory fsync
 		_ = d.Close() // read-only directory handle; nothing buffered to lose
 	}
@@ -226,17 +303,18 @@ func (st *Store) writeJSON(dir, name string, v any) error {
 }
 
 // readJSON loads <dir>/<name> into v; (false, nil) when the file does
-// not exist, an error when it exists but cannot be parsed.
+// not exist, an errParse-wrapping error when it exists but does not
+// parse, and a plain error when the disk refused the read.
 func (st *Store) readJSON(dir, name string, v any) (bool, error) {
-	b, err := os.ReadFile(filepath.Join(dir, name))
-	if os.IsNotExist(err) {
-		return false, nil
-	}
+	b, err := st.fs.ReadFile(filepath.Join(dir, name))
 	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return false, nil
+		}
 		return false, fmt.Errorf("serve: reading %s: %w", name, err)
 	}
 	if err := json.Unmarshal(b, v); err != nil {
-		return false, fmt.Errorf("serve: parsing %s: %w", name, err)
+		return false, fmt.Errorf("serve: parsing %s: %w (%w)", name, err, errParse)
 	}
 	return true, nil
 }

@@ -16,16 +16,20 @@ go vet ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race (tier-1.5: md, parallel, faults, guard, fleet, mdrun, serve)"
+echo "==> go test -race (tier-1.5: md, parallel, faults, fsys, guard, fleet, mdrun, serve, chaos)"
 go test -race -short ./internal/md/... ./internal/parallel/... \
-    ./internal/faults/... ./internal/guard/... ./internal/fleet/... \
-    ./internal/mdrun/... ./internal/serve/...
+    ./internal/faults/... ./internal/fsys/... ./internal/guard/... \
+    ./internal/fleet/... ./internal/mdrun/... ./internal/serve/... \
+    ./internal/chaos/...
 
 echo "==> go test -bench=MixedPrecision -benchtime=1x (mixed-precision smoke)"
 go test -run='^$' -bench=MixedPrecision -benchtime=1x .
 
 echo "==> mdserve crash-recovery smoke (submit, kill -9, restart, resume, compare)"
 go test -count=1 -run 'TestMDServeKillRestart' ./cmd/mdserve/
+
+echo "==> mdchaos fixed-seed smoke campaign (12 schedules, all invariants)"
+go test -count=1 -run 'TestChaosSmoke' ./internal/chaos/
 
 echo "==> go run ./cmd/mdlint ./..."
 go run ./cmd/mdlint ./...
