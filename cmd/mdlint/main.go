@@ -1,17 +1,27 @@
 // Command mdlint runs the project's static-analysis suite
 // (internal/analysis) over the module: determinism, precision,
-// randomness, cancellation, and I/O-error invariants that the paper's
-// cross-architecture validation story depends on.
+// randomness, cancellation, lock-discipline, and I/O-error invariants
+// that the paper's cross-architecture validation story depends on.
 //
 // Usage:
 //
 //	mdlint ./...                      # lint the whole module
 //	mdlint -rules floatdet,closeerr ./internal/...
 //	mdlint -json ./...                # machine-readable findings
-//	mdlint -bench-json BENCH_PR4.json ./...   # record lint wall time
+//	mdlint -summary ./...             # machine-readable run summary
+//	mdlint -certify ./... > CERT.json # determinism certificate on stdout
+//	mdlint -certify -roots repro/internal/md:System.Step ./...
+//	mdlint -bench-json BENCH_PR9.json ./...   # record lint wall time
 //
-// Exit status: 0 when clean, 1 when any diagnostic is reported, 2 when
-// the module fails to load (build error, unknown rule, bad flags) —
+// -certify forces the full rule set (a certificate produced by a rule
+// subset would be vacuously green), writes the machine-readable
+// determinism certificate to stdout, and moves diagnostics to stderr so
+// the certificate bytes can be redirected or diffed directly against
+// the committed golden (DETERMINISM_CERT.json).
+//
+// Exit status: 0 when clean, 1 when any diagnostic is reported (or,
+// under -certify, when any kernel root fails to certify), 2 when the
+// module fails to load (build error, unknown rule, bad flags) —
 // suitable as a CI gate next to go vet.
 //
 // Suppress a finding with an in-source annotation carrying a reason:
@@ -26,6 +36,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/analysis"
@@ -41,7 +53,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		asJSON    = fs.Bool("json", false, "emit diagnostics as a JSON array")
+		summary   = fs.Bool("summary", false, "emit a JSON run summary (per-rule counts) instead of diagnostics")
 		rules     = fs.String("rules", "", "comma-separated rule subset (default: all)")
+		certify   = fs.Bool("certify", false, "emit the determinism certificate to stdout (forces all rules; diagnostics go to stderr)")
+		roots     = fs.String("roots", "", "comma-separated kernel-root override (importpath:Func[,importpath:Recv.Func...])")
 		benchJSON = fs.String("bench-json", "", "write a BENCH_JSON wall-time record to this file")
 		dir       = fs.String("C", ".", "run as if launched from this directory")
 		list      = fs.Bool("list", false, "list the registered rules and exit")
@@ -60,10 +75,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if *certify && *rules != "" {
+		fmt.Fprintln(stderr, "mdlint: -certify runs every rule; -rules would produce a partial certificate")
+		return 2
+	}
 	selected, err := analysis.Select(*rules)
 	if err != nil {
 		fmt.Fprintln(stderr, "mdlint:", err)
 		return 2
+	}
+	var opts analysis.Options
+	if *roots != "" {
+		rs, err := analysis.ParseRoots(*roots)
+		if err != nil {
+			fmt.Fprintln(stderr, "mdlint:", err)
+			return 2
+		}
+		opts.Roots = rs
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -71,7 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	start := time.Now()
-	diags, stats, err := analysis.Run(*dir, patterns, selected)
+	diags, stats, cert, err := analysis.Certify(*dir, patterns, selected, &opts)
 	wall := time.Since(start)
 	if err != nil {
 		fmt.Fprintln(stderr, "mdlint:", err)
@@ -79,13 +107,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *benchJSON != "" {
-		if err := writeBenchRecord(*benchJSON, wall, stats); err != nil {
+		if err := writeBenchRecord(*benchJSON, wall, stats, cert); err != nil {
 			fmt.Fprintln(stderr, "mdlint:", err)
 			return 2
 		}
 	}
 
-	if *asJSON {
+	switch {
+	case *certify:
+		// Certificate to stdout, diagnostics to stderr: the stdout bytes
+		// are exactly the golden file.
+		for _, d := range diags {
+			fmt.Fprintln(stderr, d)
+		}
+		if err := cert.WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "mdlint:", err)
+			return 2
+		}
+		if len(diags) > 0 || !cert.Certified() {
+			return 1
+		}
+		return 0
+	case *summary:
+		if err := writeSummary(stdout, stats, wall); err != nil {
+			fmt.Fprintln(stderr, "mdlint:", err)
+			return 2
+		}
+	case *asJSON:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -95,7 +143,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "mdlint:", err)
 			return 2
 		}
-	} else {
+	default:
 		cwd, _ := os.Getwd()
 		for _, d := range diags {
 			if cwd != "" {
@@ -105,8 +153,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintln(stdout, d)
 		}
-		fmt.Fprintf(stderr, "mdlint: %d packages, %d files, %d findings in %v\n",
-			stats.Packages, stats.Files, stats.Diagnostics, wall.Round(time.Millisecond))
+		fmt.Fprintf(stderr, "mdlint: %d packages, %d files, %d findings%s in %v\n",
+			stats.Packages, stats.Files, stats.Diagnostics, perRuleSummary(stats), wall.Round(time.Millisecond))
 	}
 	if len(diags) > 0 {
 		return 1
@@ -114,17 +162,75 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// perRuleSummary renders " (floatdet 2, hotalloc 5)" for the text
+// footer, sorted by rule name; empty when the run is clean.
+func perRuleSummary(stats analysis.Stats) string {
+	if len(stats.PerRule) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(stats.PerRule))
+	for name := range stats.PerRule {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s %d", name, stats.PerRule[name]))
+	}
+	return " (" + strings.Join(parts, ", ") + ")"
+}
+
+// runSummary is the -summary JSON shape.
+type runSummary struct {
+	Packages    int            `json:"packages"`
+	Files       int            `json:"files"`
+	Diagnostics int            `json:"diagnostics"`
+	PerRule     map[string]int `json:"per_rule"`
+	WallSeconds float64        `json:"wall_seconds"`
+}
+
+func writeSummary(w io.Writer, stats analysis.Stats, wall time.Duration) error {
+	s := runSummary{
+		Packages:    stats.Packages,
+		Files:       stats.Files,
+		Diagnostics: stats.Diagnostics,
+		PerRule:     stats.PerRule,
+		WallSeconds: wall.Seconds(),
+	}
+	if s.PerRule == nil {
+		s.PerRule = map[string]int{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
 // writeBenchRecord appends the lint cost to the BENCH_JSON trajectory
 // via the same sink the kernel benchmarks use, so lint wall time is
-// tracked across PRs alongside speedups.
-func writeBenchRecord(path string, wall time.Duration, stats analysis.Stats) error {
+// tracked across PRs alongside speedups — now with the certificate's
+// coverage stats riding along.
+func writeBenchRecord(path string, wall time.Duration, stats analysis.Stats, cert *analysis.Certificate) error {
 	sink := report.NewBenchSink()
-	sink.Record("MDLint/module", map[string]float64{
+	values := map[string]float64{
 		"wall_seconds": wall.Seconds(),
 		"packages":     float64(stats.Packages),
 		"files":        float64(stats.Files),
 		"findings":     float64(stats.Diagnostics),
-	})
+	}
+	if cert != nil {
+		certified := 0
+		for _, r := range cert.Roots {
+			if r.Verdict == "certified" {
+				certified++
+			}
+		}
+		values["cert_roots"] = float64(len(cert.Roots))
+		values["cert_roots_certified"] = float64(certified)
+		values["cert_reachable"] = float64(len(cert.Reachable))
+		values["cert_allowlisted_edges"] = float64(len(cert.Allowed))
+		values["cert_hotalloc_sites"] = float64(cert.Hotalloc.Count)
+	}
+	sink.Record("MDLint/module", values)
 	f, err := os.Create(path)
 	if err != nil {
 		return err

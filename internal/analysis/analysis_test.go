@@ -3,11 +3,20 @@ package analysis
 import (
 	"bufio"
 	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
+)
+
+// Fixture package import paths for the module-pass (root-driven) cases.
+const (
+	puredetFixture  = "repro/internal/analysis/testdata/src/puredet/kernel"
+	hotallocFixture = "repro/internal/analysis/testdata/src/hotalloc/kernel"
 )
 
 // TestFixtures runs each analyzer over its fixture package and checks
@@ -19,24 +28,37 @@ func TestFixtures(t *testing.T) {
 	cases := []struct {
 		rule    string
 		pattern string
+		roots   []RootSpec // module-pass cases register fixture roots
 	}{
-		{"floatdet", "./testdata/src/floatdet"},
-		{"rawrand", "./testdata/src/rawrand"},
-		{"precision", "./testdata/src/precision/vec"},
-		{"ctxloop", "./testdata/src/ctxloop/mdrun"},
-		{"ctxloop", "./testdata/src/ctxloop/serve"},
-		{"ctxloop", "./testdata/src/ctxloop/chaos"},
-		{"closeerr", "./testdata/src/closeerr/guard"},
-		{"closeerr", "./testdata/src/closeerr/serve"},
-		{"closeerr", "./testdata/src/closeerr/chaos"},
+		{"floatdet", "./testdata/src/floatdet", nil},
+		{"rawrand", "./testdata/src/rawrand", nil},
+		{"precision", "./testdata/src/precision/vec", nil},
+		{"ctxloop", "./testdata/src/ctxloop/mdrun", nil},
+		{"ctxloop", "./testdata/src/ctxloop/serve", nil},
+		{"ctxloop", "./testdata/src/ctxloop/chaos", nil},
+		{"closeerr", "./testdata/src/closeerr/guard", nil},
+		{"closeerr", "./testdata/src/closeerr/serve", nil},
+		{"closeerr", "./testdata/src/closeerr/chaos", nil},
+		{"lockdisc", "./testdata/src/lockdisc/guard", nil},
+		{"rawrand,floatdet", "./testdata/src/suppressedge", nil},
+		{"puredet", "./testdata/src/puredet/kernel", []RootSpec{
+			puredetFixture + ":CleanStep", puredetFixture + ":DirtyStep",
+		}},
+		{"hotalloc", "./testdata/src/hotalloc/kernel", []RootSpec{
+			hotallocFixture + ":Forces",
+		}},
 	}
 	for _, tc := range cases {
-		t.Run(tc.rule, func(t *testing.T) {
+		t.Run(strings.ReplaceAll(tc.rule, ",", "+"), func(t *testing.T) {
 			azs, err := Select(tc.rule)
 			if err != nil {
 				t.Fatal(err)
 			}
-			diags, stats, err := Run(".", []string{tc.pattern}, azs)
+			var opts *Options
+			if tc.roots != nil {
+				opts = &Options{Roots: tc.roots}
+			}
+			diags, stats, err := RunOpts(".", []string{tc.pattern}, azs, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -106,7 +128,14 @@ func wantMarkers(t *testing.T, dir string) map[string]int {
 // annotations surface under the pseudo-rule "ignore" — and that a
 // well-formed one does not.
 func TestSuppressionValidation(t *testing.T) {
-	diags, _, err := Run(".", []string{"./testdata/src/badignore"}, Analyzers())
+	// Per-package rules only: with the default KernelRoots unresolvable
+	// in a fixture package, puredet would (correctly) report registry
+	// rot, which is not what this test is about.
+	azs, err := Select("floatdet,precision,rawrand,ctxloop,closeerr,lockdisc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, _, err := Run(".", []string{"./testdata/src/badignore"}, azs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,12 +177,12 @@ func TestSelect(t *testing.T) {
 func TestAppliesTo(t *testing.T) {
 	a := &Analyzer{Scope: []string{"vec", "cmd/mdsim"}}
 	for path, want := range map[string]bool{
-		"repro/internal/vec":       true,
-		"vec":                      true,
-		"repro/cmd/mdsim":          true,
-		"repro/internal/vecmath":   false,
-		"repro/internal/gpu":       false,
-		"repro/internal/approvec":  false,
+		"repro/internal/vec":      true,
+		"vec":                     true,
+		"repro/cmd/mdsim":         true,
+		"repro/internal/vecmath":  false,
+		"repro/internal/gpu":      false,
+		"repro/internal/approvec": false,
 	} {
 		if got := a.AppliesTo(path); got != want {
 			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
@@ -170,5 +199,261 @@ func TestAppliesTo(t *testing.T) {
 func TestLoadErrors(t *testing.T) {
 	if _, _, err := Run(".", []string{"./does/not/exist"}, Analyzers()); err == nil {
 		t.Fatal("Run on a nonexistent pattern succeeded, want error")
+	}
+}
+
+// TestGraphReachable checks the call-graph construction against the
+// puredet fixture: edges through helpers, closure attribution, and the
+// root cones the certificate reports.
+func TestGraphReachable(t *testing.T) {
+	ld, err := Load(".", "./testdata/src/puredet/kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := buildGraph(ld)
+
+	clean := puredetFixture + ":CleanStep"
+	dirty := puredetFixture + ":DirtyStep"
+	pair := puredetFixture + ":pair"
+	stamp := puredetFixture + ":stamp"
+	for _, key := range []string{clean, dirty, pair, stamp} {
+		if g.Nodes[key] == nil {
+			t.Fatalf("graph has no node for %s; nodes: %v", key, len(g.Nodes))
+		}
+	}
+
+	cone := g.Reachable([]string{clean})
+	if cone[pair] == nil || cone[clean] == nil {
+		t.Errorf("CleanStep cone misses pair/itself: %d nodes", len(cone))
+	}
+	if cone[stamp] != nil {
+		t.Errorf("CleanStep cone must not contain stamp")
+	}
+	dirtyCone := g.Reachable([]string{dirty})
+	if dirtyCone[stamp] == nil || dirtyCone[pair] == nil {
+		t.Errorf("DirtyStep cone misses stamp/pair: %d nodes", len(dirtyCone))
+	}
+
+	dn := g.Nodes[dirty]
+	if len(dn.Dynamic) == 0 {
+		t.Error("DirtyStep's fn() call must be recorded as a dynamic site")
+	}
+	if len(dn.Spawns) != 1 {
+		t.Errorf("DirtyStep has %d recorded spawns, want 1", len(dn.Spawns))
+	}
+}
+
+// TestCertifyFixture checks root verdicts, violation capture, and the
+// hotalloc ledger semantics (a suppressed site stays in the ledger).
+func TestCertifyFixture(t *testing.T) {
+	opts := &Options{Roots: []RootSpec{
+		puredetFixture + ":CleanStep", puredetFixture + ":DirtyStep",
+	}}
+	_, _, cert, err := Certify(".", []string{"./testdata/src/puredet/kernel"}, Analyzers(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := make(map[string]string)
+	for _, r := range cert.Roots {
+		verdicts[r.Root] = r.Verdict
+	}
+	if v := verdicts[puredetFixture+":CleanStep"]; v != "certified" {
+		t.Errorf("CleanStep verdict = %q, want certified", v)
+	}
+	if v := verdicts[puredetFixture+":DirtyStep"]; v != "uncertified" {
+		t.Errorf("DirtyStep verdict = %q, want uncertified", v)
+	}
+	if cert.Certified() {
+		t.Error("certificate with an uncertified root must not report Certified")
+	}
+	// The suppressed time.Now in stamp must still appear as a violation.
+	var stampViolation bool
+	for _, r := range cert.Roots {
+		for _, v := range r.Violations {
+			if strings.Contains(v, ":stamp:") || strings.Contains(v, "stamp: calls time.Now") {
+				stampViolation = true
+			}
+		}
+	}
+	if !stampViolation {
+		t.Error("suppressed wall-clock read in stamp missing from certificate violations")
+	}
+
+	// An unresolved root is a verdict, not a silent drop.
+	opts.Roots = append(opts.Roots, RootSpec(puredetFixture+":NoSuchKernel"))
+	diags, _, cert2, err := Certify(".", []string{"./testdata/src/puredet/kernel"}, Analyzers(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range cert2.Roots {
+		if r.Root == puredetFixture+":NoSuchKernel" && r.Verdict == "unresolved" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing root must get an unresolved verdict")
+	}
+	var rotDiag bool
+	for _, d := range diags {
+		if d.Rule == "puredet" && strings.Contains(d.Message, "NoSuchKernel") {
+			rotDiag = true
+		}
+	}
+	if !rotDiag {
+		t.Error("registry rot must surface as a puredet diagnostic")
+	}
+}
+
+// TestCertifyHotallocLedger checks that the annotated fixture site is
+// absent from diagnostics but present in the ledger.
+func TestCertifyHotallocLedger(t *testing.T) {
+	opts := &Options{Roots: []RootSpec{hotallocFixture + ":Forces"}}
+	diags, _, cert, err := Certify(".", []string{"./testdata/src/hotalloc/kernel"}, Analyzers(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var suppressed, positive bool
+	for _, s := range cert.Hotalloc.Sites {
+		switch s.Func {
+		case hotallocFixture + ":grow":
+			suppressed = true
+		case hotallocFixture + ":scratch":
+			positive = true
+		case hotallocFixture + ":Cold":
+			t.Error("Cold is outside the hot cone and must not be ledgered")
+		}
+	}
+	if !suppressed || !positive {
+		t.Errorf("ledger = %+v, want both scratch (reported) and grow (suppressed) sites", cert.Hotalloc.Sites)
+	}
+	for _, d := range diags {
+		if d.Rule == "hotalloc" && strings.Contains(d.Message, ":grow") {
+			t.Errorf("suppressed site still reported: %s", d)
+		}
+	}
+}
+
+// TestCertificateDeterminism runs the same certification twice and
+// demands byte-identical certificates.
+func TestCertificateDeterminism(t *testing.T) {
+	opts := &Options{Roots: []RootSpec{hotallocFixture + ":Forces"}}
+	render := func() string {
+		t.Helper()
+		_, _, cert, err := Certify(".", []string{"./testdata/src/hotalloc/kernel"}, Analyzers(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := cert.WriteJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("certificate is not byte-deterministic:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}
+
+// TestAllowlistRecording checks that an allowlist entry both silences
+// the dynamic-site violation and lands in the certificate.
+func TestAllowlistRecording(t *testing.T) {
+	opts := &Options{
+		Roots: []RootSpec{puredetFixture + ":DirtyStep"},
+		Allow: []AllowRule{{
+			Caller: puredetFixture + ":DirtyStep", Callee: "fn",
+			Reason: "fixture: reviewed dynamic kernel argument",
+		}},
+	}
+	diags, _, cert, err := Certify(".", []string{"./testdata/src/puredet/kernel"}, Analyzers(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Rule == "puredet" && strings.Contains(d.Message, "unresolved dynamic call fn") {
+			t.Errorf("allowlisted dynamic site still reported: %s", d)
+		}
+	}
+	found := false
+	for _, e := range cert.Allowed {
+		if e.Callee == "fn" && e.Caller == puredetFixture+":DirtyStep" &&
+			e.Reason == "fixture: reviewed dynamic kernel argument" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("used allowlist entry missing from certificate: %+v", cert.Allowed)
+	}
+}
+
+// TestParseRoots checks the -roots override syntax.
+func TestParseRoots(t *testing.T) {
+	rs, err := ParseRoots("a/b:F, c/d:T.M ,")
+	if err != nil || len(rs) != 2 || rs[0] != "a/b:F" || rs[1] != "c/d:T.M" {
+		t.Fatalf("ParseRoots = %v, %v", rs, err)
+	}
+	if _, err := ParseRoots("no-colon-here"); err == nil {
+		t.Fatal("ParseRoots without a colon succeeded, want error")
+	}
+	if _, err := ParseRoots(" ,  , "); err == nil {
+		t.Fatal("ParseRoots with only separators succeeded, want error")
+	}
+}
+
+// TestSuppressEdgeCases pins the parser corners the fixture files
+// cannot express literally: trailing whitespace after the reason,
+// multi-rule lists, the exact one-line-below coverage window, and
+// space-after-comma rule lists (which are malformed, not silently
+// partial). Blank lines keep the coverage windows from overlapping.
+func TestSuppressEdgeCases(t *testing.T) {
+	src := "package p\n" + // line 1
+		"var a = 1 //mdlint:ignore floatdet reason with trailing spaces   \n" + // line 2
+		"\n" + // line 3
+		"var b = 2 //mdlint:ignore floatdet,closeerr one comment, two rules\n" + // line 4
+		"\n" + // line 5
+		"var c = 3 //mdlint:ignore floatdet, closeerr space after comma is malformed\n" // line 6
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "edge.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Path: "p", Files: []*ast.File{f}}
+	valid := map[string]bool{"floatdet": true, "closeerr": true}
+	set, diags := suppressions(fset, pkg, valid)
+
+	if !set.covers("floatdet", "edge.go", 2) {
+		t.Error("trailing whitespace after the reason must not break the suppression")
+	}
+	if set.covers("closeerr", "edge.go", 2) {
+		t.Error("single-rule suppression must not cover other rules")
+	}
+	// Window: the comment line and exactly one line below, never above.
+	if !set.covers("floatdet", "edge.go", 3) {
+		t.Error("suppression must cover the line below the comment")
+	}
+	if set.covers("floatdet", "edge.go", 1) {
+		t.Error("suppression must not extend upward")
+	}
+	if !set.covers("floatdet", "edge.go", 4) || !set.covers("closeerr", "edge.go", 4) {
+		t.Error("one comment naming two rules must cover both")
+	}
+	// Line 6: "floatdet" parses; " closeerr" (leading space from the
+	// space-after-comma spelling) is an unknown rule and must be
+	// reported, not silently accepted.
+	if !set.covers("floatdet", "edge.go", 6) {
+		t.Error("first rule of a malformed list still parses")
+	}
+	if set.covers("closeerr", "edge.go", 6) {
+		t.Error("space-after-comma rule must not be silently accepted")
+	}
+	foundMalformed := false
+	for _, d := range diags {
+		if d.Rule == "ignore" && strings.Contains(d.Message, "unknown rule") {
+			foundMalformed = true
+		}
+	}
+	if !foundMalformed {
+		t.Errorf("malformed rule list produced no ignore diagnostic: %v", diags)
 	}
 }

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Certificate is the machine-readable determinism certificate
+// `mdlint -certify` emits and scripts/verify.sh diffs against the
+// committed golden (DETERMINISM_CERT.json). It is deterministic by
+// construction — every list is sorted, every path repo-relative, and
+// nothing in it depends on wall time, map order, or the machine it was
+// produced on — so two runs over the same tree are byte-identical.
+type Certificate struct {
+	Schema    string         `json:"schema"`
+	Module    string         `json:"module"`
+	Roots     []RootResult   `json:"roots"`
+	Reachable []string       `json:"reachable"`
+	Allowed   []AllowedEdge  `json:"allowlisted_edges"`
+	Hotalloc  HotallocLedger `json:"hotalloc"`
+}
+
+// certSchema names the certificate format; bump on any shape change so
+// golden drift is a format decision, not an accident.
+const certSchema = "mdlint-determinism-cert/v1"
+
+// RootResult is one kernel root's verdict.
+//
+//   - "certified": every function in the root's reachable cone is free
+//     of nondeterminism sources, and every dynamic call site in the
+//     cone is on the declared allowlist.
+//   - "uncertified": at least one violation, listed sorted.
+//   - "unresolved": the registered root was not found in the loaded
+//     packages — a renamed kernel or a rotted registry, which the
+//     golden test refuses.
+type RootResult struct {
+	Root       string   `json:"root"`
+	Verdict    string   `json:"verdict"`
+	Reachable  int      `json:"reachable"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// AllowedEdge records one allowlist entry a certification actually
+// used: the unresolvable call site it covers and the reviewed reason.
+type AllowedEdge struct {
+	Caller string `json:"caller"`
+	Callee string `json:"callee"`
+	Reason string `json:"reason"`
+}
+
+// HotallocLedger is the per-step allocation ledger: every heap-escape
+// site the compiler's escape analysis reports inside the certified hot
+// set. Annotated sites stay in the ledger — the annotation makes the
+// lint pass, not the allocation disappear — so the committed count is
+// the "before" number the SoA/arena refactor must drive to zero.
+type HotallocLedger struct {
+	Count int         `json:"count"`
+	Sites []AllocSite `json:"sites"`
+}
+
+// AllocSite is one heap allocation on a certified hot path.
+type AllocSite struct {
+	Func string `json:"func"` // FuncKey of the enclosing hot function
+	File string `json:"file"` // repo-relative, forward slashes
+	Line int    `json:"line"`
+	What string `json:"what"` // the compiler's escape message
+}
+
+// normalize sorts every list so marshaling is deterministic.
+func (c *Certificate) normalize() {
+	sort.Slice(c.Roots, func(i, j int) bool { return c.Roots[i].Root < c.Roots[j].Root })
+	for i := range c.Roots {
+		sort.Strings(c.Roots[i].Violations)
+	}
+	sort.Strings(c.Reachable)
+	sort.Slice(c.Allowed, func(i, j int) bool {
+		a, b := c.Allowed[i], c.Allowed[j]
+		if a.Caller != b.Caller {
+			return a.Caller < b.Caller
+		}
+		return a.Callee < b.Callee
+	})
+	c.Allowed = dedupeAllowed(c.Allowed)
+	sort.Slice(c.Hotalloc.Sites, func(i, j int) bool {
+		a, b := c.Hotalloc.Sites[i], c.Hotalloc.Sites[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.What < b.What
+	})
+	c.Hotalloc.Count = len(c.Hotalloc.Sites)
+}
+
+func dedupeAllowed(in []AllowedEdge) []AllowedEdge {
+	out := in[:0]
+	for i, e := range in {
+		if i == 0 || e != in[i-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the normalized certificate as indented JSON with a
+// trailing newline, the exact bytes the golden file commits.
+func (c *Certificate) WriteJSON(w io.Writer) error {
+	c.normalize()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// Certified reports whether every root resolved and certified.
+func (c *Certificate) Certified() bool {
+	for _, r := range c.Roots {
+		if r.Verdict != "certified" {
+			return false
+		}
+	}
+	return len(c.Roots) > 0
+}

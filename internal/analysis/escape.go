@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// This file extracts the compiler's escape-analysis verdicts for the
+// hotalloc rule. Instead of scraping `go build -gcflags=-m` — whose
+// output vanishes on every warm cache hit — it invokes the compiler
+// directly (`go tool compile -m`) against the same export-data
+// artifacts the loader already collected from `go list -deps -export`,
+// so the diagnostics are reproduced on every run, cache state
+// notwithstanding.
+
+// escapeSite is one heap allocation the compiler reports.
+type escapeSite struct {
+	File string // absolute path, matching the loader's file set
+	Line int
+	Col  int
+	What string // the compiler's message, e.g. "make([]int32, n) escapes to heap"
+}
+
+// escapeLine matches `file.go:12:34: message`.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+// escapeSites recompiles one loaded package with -m and returns its
+// heap-escape sites ("escapes to heap", "moved to heap"); inline
+// decisions and non-escapes are discarded. The object file goes to a
+// temp dir; only the diagnostics are kept.
+func escapeSites(ld *Loaded, pkg *Package) ([]escapeSite, error) {
+	tmp, err := os.MkdirTemp("", "mdlint-escape-*")
+	if err != nil {
+		return nil, fmt.Errorf("analysis: escape temp dir: %w", err)
+	}
+	defer os.RemoveAll(tmp)
+
+	var cfg bytes.Buffer
+	paths := make([]string, 0, len(ld.Exports))
+	for ip := range ld.Exports {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	for _, ip := range paths {
+		fmt.Fprintf(&cfg, "packagefile %s=%s\n", ip, ld.Exports[ip])
+	}
+	cfgPath := filepath.Join(tmp, "importcfg")
+	if err := os.WriteFile(cfgPath, cfg.Bytes(), 0o644); err != nil {
+		return nil, fmt.Errorf("analysis: escape importcfg: %w", err)
+	}
+
+	files := pkgFileNames(ld.Fset, pkg)
+	if len(files) == 0 {
+		return nil, nil
+	}
+	args := append([]string{
+		"tool", "compile", "-m", "-p", pkg.Path,
+		"-importcfg", cfgPath, "-o", filepath.Join(tmp, "out.o"),
+	}, files...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = ld.Dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	runErr := cmd.Run()
+
+	var sites []escapeSite
+	for _, line := range strings.Split(stdout.String()+stderr.String(), "\n") {
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		what := m[4]
+		if !strings.Contains(what, "escapes to heap") && !strings.HasPrefix(what, "moved to heap") {
+			continue
+		}
+		var ln, col int
+		fmt.Sscanf(m[2], "%d", &ln)
+		fmt.Sscanf(m[3], "%d", &col)
+		sites = append(sites, escapeSite{File: m[1], Line: ln, Col: col, What: what})
+	}
+	// One generic function compiles once per shape; identical verdicts
+	// from different instantiations are one site, not many.
+	seen := make(map[escapeSite]bool, len(sites))
+	uniq := sites[:0]
+	for _, s := range sites {
+		if !seen[s] {
+			seen[s] = true
+			uniq = append(uniq, s)
+		}
+	}
+	sites = uniq
+	if runErr != nil && len(sites) == 0 {
+		// A compile that produced no diagnostics and failed is a real
+		// failure (bad importcfg, version skew) — surface it.
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = runErr.Error()
+		}
+		return nil, fmt.Errorf("analysis: go tool compile -m %s: %s", pkg.Path, msg)
+	}
+	return sites, nil
+}
+
+// pkgFileNames recovers a package's production file paths from the
+// shared file set, in parse order.
+func pkgFileNames(fset *token.FileSet, pkg *Package) []string {
+	names := make([]string, 0, len(pkg.Files))
+	for _, f := range pkg.Files {
+		names = append(names, fset.Position(f.FileStart).Filename)
+	}
+	return names
+}

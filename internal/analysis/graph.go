@@ -1,0 +1,296 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the module-wide call graph the whole-program passes
+// (puredet, hotalloc) certify against. Nodes are the function
+// declarations of every loaded package; edges are resolved through the
+// type-checked ASTs — and, for cross-package callees, through the same
+// gc export-data importer the loader type-checks against, so a
+// reference to md.ComputeForces from internal/parallel lands on the
+// node built from internal/md's own source.
+//
+// The graph is deliberately conservative in the direction certification
+// needs:
+//
+//   - A *reference* to a function (passing md.ComputeForces as a value,
+//     taking a method value) is an edge, not just a direct call: a
+//     kernel that hands a function onward may cause it to run on the
+//     hot path, so it must be as clean as a direct callee.
+//   - Function literals are attributed to the declaration that creates
+//     them: the closure Step passes to StepWith runs inside the step,
+//     so its calls are Step's calls.
+//   - Call sites the graph cannot resolve statically — calls through
+//     func-typed values, fields, or interface methods — are recorded as
+//     dynamic sites. They do not silently truncate the reachable set:
+//     puredet refuses to certify a root whose cone contains a dynamic
+//     site that is not on the declared allowlist.
+
+// FuncKey is the stable, order-free identity of a function:
+// "importpath:Func" for package functions, "importpath:Recv.Func" for
+// methods (receiver named type, pointer and instantiation stripped).
+// Root specs, allowlist entries, and certificate entries all use it.
+func FuncKey(fn *types.Func) string {
+	fn = fn.Origin()
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return pkgPath + ":" + fn.Name()
+	}
+	t := sig.Recv().Type()
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		return pkgPath + ":" + named.Obj().Name() + "." + fn.Name()
+	}
+	return pkgPath + ":?." + fn.Name()
+}
+
+// ExtCall is a call (or reference) that leaves the loaded module: a
+// function whose body the graph has no syntax for. The puredet source
+// check matches these against the nondeterminism-source table.
+type ExtCall struct {
+	PkgPath string
+	Name    string
+	Pos     token.Pos
+}
+
+// DynSite is a call the graph cannot resolve statically: a func-typed
+// parameter or field being invoked, or an interface method call.
+type DynSite struct {
+	Desc string // "forces" / "context.Context.Err" / "repro/internal/faults.Injector.Fire"
+	Pos  token.Pos
+}
+
+// FuncNode is one declared function with its outgoing edges.
+type FuncNode struct {
+	Key      string
+	Pkg      *Package
+	Decl     *ast.FuncDecl
+	Calls    []string // FuncKeys of loaded callees/referents, sorted, deduped
+	External []ExtCall
+	Dynamic  []DynSite
+	Spawns   []token.Pos // `go` statements launched by this function
+
+	calls map[string]bool
+}
+
+// CallGraph is the module-wide graph over every loaded package.
+type CallGraph struct {
+	Fset  *token.FileSet
+	Nodes map[string]*FuncNode
+}
+
+// buildGraph constructs the call graph for the loaded packages.
+func buildGraph(ld *Loaded) *CallGraph {
+	g := &CallGraph{Fset: ld.Fset, Nodes: make(map[string]*FuncNode)}
+	loaded := make(map[string]bool, len(ld.Pkgs))
+	for _, pkg := range ld.Pkgs {
+		loaded[pkg.Path] = true
+	}
+
+	// Pass 1: a node per function declaration.
+	for _, pkg := range ld.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				key := FuncKey(fn)
+				g.Nodes[key] = &FuncNode{
+					Key: key, Pkg: pkg, Decl: fd,
+					calls: make(map[string]bool),
+				}
+			}
+		}
+	}
+
+	// Pass 2: edges, external calls, dynamic sites, goroutine spawns.
+	for _, pkg := range ld.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				node := g.Nodes[FuncKey(fn)]
+				walkFuncBody(pkg, fd, node, loaded)
+			}
+		}
+	}
+
+	for _, n := range g.Nodes {
+		n.Calls = make([]string, 0, len(n.calls))
+		for k := range n.calls {
+			n.Calls = append(n.Calls, k)
+		}
+		sort.Strings(n.Calls)
+	}
+	return g
+}
+
+// walkFuncBody attributes everything inside fd (function literals
+// included — a closure runs on whatever path its creator put it on) to
+// node.
+func walkFuncBody(pkg *Package, fd *ast.FuncDecl, node *FuncNode, loaded map[string]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.Ident:
+			// Every use of a function object is an edge (loaded) or an
+			// external record: references count the same as calls.
+			obj, ok := pkg.Info.Uses[v].(*types.Func)
+			if !ok || obj.Pkg() == nil || isInterfaceMethod(obj) {
+				return true
+			}
+			if loaded[obj.Pkg().Path()] {
+				node.calls[FuncKey(obj)] = true
+			} else {
+				node.External = append(node.External, ExtCall{
+					PkgPath: obj.Pkg().Path(), Name: extName(obj), Pos: v.Pos(),
+				})
+			}
+		case *ast.CallExpr:
+			if desc, ok := dynamicCallee(pkg, v); ok {
+				node.Dynamic = append(node.Dynamic, DynSite{Desc: desc, Pos: v.Pos()})
+			}
+		case *ast.GoStmt:
+			node.Spawns = append(node.Spawns, v.Pos())
+		}
+		return true
+	})
+}
+
+// extName renders an external function for the source table:
+// method name qualified by receiver ("Time.Sub") or the bare name.
+func extName(fn *types.Func) string {
+	key := FuncKey(fn)
+	if i := strings.LastIndex(key, ":"); i >= 0 {
+		return key[i+1:]
+	}
+	return fn.Name()
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface —
+// those resolve at run time and are handled as dynamic call sites, not
+// edges.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	return sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+}
+
+// dynamicCallee classifies one call expression: it returns a
+// description and true when the callee cannot be resolved to a declared
+// function or builtin — a func-typed value, a func-typed field, or an
+// interface method.
+func dynamicCallee(pkg *Package, call *ast.CallExpr) (string, bool) {
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return "", false // conversion, not a call
+	}
+	fun := ast.Unparen(call.Fun)
+	// Explicit generic instantiation f[T](...) wraps the callee.
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		if _, isFunc := pkg.Info.Uses[baseIdent(ix.X)].(*types.Func); isFunc {
+			fun = ast.Unparen(ix.X)
+		}
+	case *ast.IndexListExpr:
+		if _, isFunc := pkg.Info.Uses[baseIdent(ix.X)].(*types.Func); isFunc {
+			fun = ast.Unparen(ix.X)
+		}
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch pkg.Info.Uses[f].(type) {
+		case *types.Func, *types.Builtin, *types.TypeName, nil:
+			return "", false
+		}
+		return f.Name, true
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[f]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				m, _ := sel.Obj().(*types.Func)
+				if m != nil && isInterfaceMethod(m) {
+					return recvTypeString(sel.Recv()) + "." + m.Name(), true
+				}
+				return "", false
+			case types.FieldVal:
+				return recvTypeString(sel.Recv()) + "." + f.Sel.Name, true
+			}
+			return "", false
+		}
+		// Package-qualified: a func is static, a func-typed package var
+		// is dynamic.
+		switch pkg.Info.Uses[f.Sel].(type) {
+		case *types.Func, *types.TypeName, nil:
+			return "", false
+		}
+		return recvTypeString(nil) + f.Sel.Name, true
+	case *ast.FuncLit:
+		return "", false // inline literal: body already attributed here
+	}
+	return "indirect", true
+}
+
+// recvTypeString renders a receiver type with its full import path,
+// instantiation and pointer stripped, for allowlist matching.
+func recvTypeString(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return obj.Name()
+	}
+	return types.TypeString(t, nil)
+}
+
+// Reachable returns the set of FuncKeys reachable from the given roots
+// over static edges (references included), the roots themselves
+// included when present in the graph.
+func (g *CallGraph) Reachable(roots []string) map[string]*FuncNode {
+	out := make(map[string]*FuncNode)
+	var frontier []string
+	for _, r := range roots {
+		if n, ok := g.Nodes[r]; ok && out[r] == nil {
+			out[r] = n
+			frontier = append(frontier, r)
+		}
+	}
+	for len(frontier) > 0 {
+		key := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, callee := range g.Nodes[key].Calls {
+			if n, ok := g.Nodes[callee]; ok && out[callee] == nil {
+				out[callee] = n
+				frontier = append(frontier, callee)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+)
+
+// HotAlloc is the hot-path allocation auditor. It reruns the
+// compiler's escape analysis over every package that contributes a
+// function to the certified hot set (the union of the kernel roots'
+// reachable cones) and maps each reported heap escape onto the hot
+// function containing it. De Fabritiis's Cell port and van Meel's GPU
+// port both credit allocation-free inner loops for their throughput;
+// this rule turns that practice into a mechanical inventory:
+//
+//   - Every heap allocation on a per-step path is either annotated
+//     `//mdlint:ignore hotalloc <reason>` — an amortized rebuild
+//     buffer, a grow-once scratch slice — or it fails the lint.
+//   - Annotated or not, every site lands in the certificate's hotalloc
+//     ledger. The committed ledger is the "before" count the SoA/arena
+//     refactor (ROADMAP) must drive to zero: the annotation silences
+//     the gate, not the accounting.
+var HotAlloc = &Analyzer{
+	Name:      "hotalloc",
+	Doc:       "heap allocation (compiler escape analysis) inside the certified hot set",
+	RunModule: runHotAlloc,
+}
+
+// declRange is one hot declaration's line span within a file.
+type declRange struct {
+	start, end token.Pos
+	node       *FuncNode
+}
+
+func runHotAlloc(mp *ModulePass) {
+	// Which packages hold hot functions, and the hot declaration ranges
+	// per file.
+	ranges := make(map[string][]declRange) // file -> hot decls
+	hotPkgs := make(map[string]*Package)
+	for _, node := range mp.Hot {
+		pos := mp.Fset.Position(node.Decl.Pos())
+		ranges[pos.Filename] = append(ranges[pos.Filename], declRange{
+			start: node.Decl.Pos(), end: node.Decl.End(), node: node,
+		})
+		hotPkgs[node.Pkg.Path] = node.Pkg
+	}
+	pkgPaths := make([]string, 0, len(hotPkgs))
+	for p := range hotPkgs {
+		pkgPaths = append(pkgPaths, p)
+	}
+	sort.Strings(pkgPaths)
+
+	for _, pkgPath := range pkgPaths {
+		pkg := hotPkgs[pkgPath]
+		sites, err := escapeSites(mp.Loaded, pkg)
+		if err != nil {
+			mp.ReportAt("", 0, 0, "escape analysis failed for %s: %v", pkgPath, err)
+			continue
+		}
+		for _, site := range sites {
+			node := hotDeclAt(mp.Fset, ranges[site.File], site.Line)
+			if node == nil {
+				continue // allocation in a cold function of a hot package
+			}
+			mp.Cert.Hotalloc.Sites = append(mp.Cert.Hotalloc.Sites, AllocSite{
+				Func: node.Key, File: mp.relPath(site.File), Line: site.Line, What: site.What,
+			})
+			mp.reportPkgAt(pkg, site.File, site.Line, site.Col,
+				"%s in hot function %s: per-step paths must not allocate — preallocate, or annotate the amortized case (//mdlint:ignore hotalloc <why>)",
+				site.What, node.Key)
+		}
+	}
+}
+
+// hotDeclAt returns the hot function whose declaration spans the given
+// line of a file, or nil.
+func hotDeclAt(fset *token.FileSet, decls []declRange, line int) *FuncNode {
+	for _, d := range decls {
+		if fset.Position(d.start).Line <= line && line <= fset.Position(d.end).Line {
+			return d.node
+		}
+	}
+	return nil
+}

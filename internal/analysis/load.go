@@ -26,6 +26,19 @@ type Package struct {
 	Info  *types.Info
 }
 
+// Loaded is the result of one Load: the target packages plus the
+// module-wide context the whole-program passes need — the shared file
+// set and the compiler export-data artifacts (importpath → export
+// file) that both the type-checker and the hotalloc escape-analysis
+// recompile resolve imports through.
+type Loaded struct {
+	Pkgs    []*Package
+	Fset    *token.FileSet
+	Exports map[string]string
+	Dir     string // absolute: the base certificate paths are relative to
+	Module  string // module path of the loaded targets
+}
+
 // listPackage is the slice of `go list -json` output the loader needs.
 type listPackage struct {
 	Dir        string
@@ -34,6 +47,10 @@ type listPackage struct {
 	GoFiles    []string
 	Export     string
 	DepOnly    bool
+	Module     *struct {
+		Path string
+		Dir  string
+	}
 }
 
 // Load resolves patterns with the go tool (run in dir), parses the
@@ -46,13 +63,13 @@ type listPackage struct {
 // Test files are deliberately excluded: the rules guard production
 // paths, and the analyzers' own fixtures live in testdata packages that
 // the go tool keeps out of wildcard patterns anyway.
-func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
+func Load(dir string, patterns ...string) (*Loaded, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	args := append([]string{
 		"list", "-deps", "-export",
-		"-json=Dir,ImportPath,Name,GoFiles,Export,DepOnly",
+		"-json=Dir,ImportPath,Name,GoFiles,Export,DepOnly,Module",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -63,7 +80,7 @@ func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
 		if msg == "" {
 			msg = err.Error()
 		}
-		return nil, nil, fmt.Errorf("analysis: go list %s: %s", strings.Join(patterns, " "), msg)
+		return nil, fmt.Errorf("analysis: go list %s: %s", strings.Join(patterns, " "), msg)
 	}
 
 	exports := make(map[string]string)
@@ -74,7 +91,7 @@ func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
 		if err := dec.Decode(&p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
 		}
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
@@ -82,6 +99,28 @@ func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
 		if !p.DepOnly {
 			targets = append(targets, p)
 		}
+	}
+
+	// Certificate paths are rendered relative to the module root, so the
+	// golden file is identical no matter which subdirectory the tool ran
+	// from. Fall back to the (absolutized) working dir for throwaway
+	// modules go list reports no module info for.
+	baseDir, module := "", ""
+	for _, t := range targets {
+		if t.Module != nil {
+			module = t.Module.Path
+			if t.Module.Dir != "" {
+				baseDir = t.Module.Dir
+			}
+			break
+		}
+	}
+	if baseDir == "" {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: absolutizing %q: %w", dir, err)
+		}
+		baseDir = abs
 	}
 
 	fset := token.NewFileSet()
@@ -100,7 +139,7 @@ func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
 		for _, name := range t.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 			if err != nil {
-				return nil, nil, fmt.Errorf("analysis: %w", err)
+				return nil, fmt.Errorf("analysis: %w", err)
 			}
 			files = append(files, f)
 		}
@@ -113,7 +152,7 @@ func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
 		conf := types.Config{Importer: imp}
 		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
 		if err != nil {
-			return nil, nil, fmt.Errorf("analysis: type-checking %s: %w", t.ImportPath, err)
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", t.ImportPath, err)
 		}
 		pkgs = append(pkgs, &Package{
 			Path:  t.ImportPath,
@@ -124,5 +163,5 @@ func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
 			Info:  info,
 		})
 	}
-	return pkgs, fset, nil
+	return &Loaded{Pkgs: pkgs, Fset: fset, Exports: exports, Dir: baseDir, Module: module}, nil
 }

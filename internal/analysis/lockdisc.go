@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockDisc enforces lock discipline in the serving and supervision
+// layers — internal/fleet, internal/serve, internal/guard — where a
+// leaked or copied mutex turns into a wedged scheduler slot or a
+// tenant-wide stall rather than a crash:
+//
+//   - Mutexes copied by value: a value receiver, parameter, plain
+//     assignment, or range value whose type (transitively) contains a
+//     sync.Mutex/sync.RWMutex duplicates lock state, so the copy's
+//     Lock() guards nothing.
+//   - Locks not released on every return path: a function that calls
+//     Lock without an immediate defer Unlock must unlock before each
+//     return. The check is a linear source-order scan (closures
+//     excluded), which matches how these packages actually write
+//     critical sections; a pattern it cannot follow deserves either a
+//     rewrite or an //mdlint:ignore with the argument.
+var LockDisc = &Analyzer{
+	Name:  "lockdisc",
+	Doc:   "mutex copied by value, or a lock not released on every return path",
+	Scope: []string{"fleet", "serve", "guard"},
+	Run:   runLockDisc,
+}
+
+func runLockDisc(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, fd := range enclosingFuncs(f) {
+			checkLockCopies(p, fd)
+			checkLockReleases(p, fd)
+		}
+	}
+}
+
+// --- copies ---
+
+// checkLockCopies flags value receivers, value parameters, lock-copying
+// assignments, and lock-copying range values.
+func checkLockCopies(p *Pass, fd *ast.FuncDecl) {
+	flagField := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := p.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+				continue
+			}
+			if lockPath := containsLock(t, nil); lockPath != "" {
+				p.Reportf(field.Pos(), "%s passes %s by value: it contains %s, and the copy's lock state is disconnected from the original", kind, t.String(), lockPath)
+			}
+		}
+	}
+	flagField(fd.Recv, "receiver")
+	flagField(fd.Type.Params, "parameter")
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range v.Rhs {
+				if i >= len(v.Lhs) {
+					break
+				}
+				if !copiesLockValue(p, rhs) {
+					continue
+				}
+				t := p.TypeOf(rhs)
+				if lockPath := containsLock(t, nil); lockPath != "" {
+					p.Reportf(v.Pos(), "assignment copies %s by value: it contains %s — keep a pointer instead", t.String(), lockPath)
+				}
+			}
+		case *ast.RangeStmt:
+			if v.Value == nil {
+				return true
+			}
+			t := p.TypeOf(v.Value)
+			if t == nil {
+				return true
+			}
+			if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+				return true
+			}
+			if lockPath := containsLock(t, nil); lockPath != "" {
+				p.Reportf(v.Value.Pos(), "range value copies %s by value: it contains %s — range over indices or pointers", t.String(), lockPath)
+			}
+		}
+		return true
+	})
+}
+
+// copiesLockValue reports whether rhs duplicates existing lock state: a
+// dereference or a plain variable/selector read. Fresh values
+// (composite literals, function calls, conversions of fresh values) are
+// initializations, not copies.
+func copiesLockValue(p *Pass, rhs ast.Expr) bool {
+	switch v := ast.Unparen(rhs).(type) {
+	case *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		_, isVar := p.Pkg.Info.ObjectOf(v).(*types.Var)
+		return isVar
+	case *ast.SelectorExpr:
+		_, isField := p.Pkg.Info.ObjectOf(v.Sel).(*types.Var)
+		return isField
+	case *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// containsLock reports where (selector path) a type transitively holds
+// a sync.Mutex or sync.RWMutex by value, or "" when it does not.
+func containsLock(t types.Type, seen []*types.Named) string {
+	if t == nil {
+		return ""
+	}
+	t = types.Unalias(t)
+	if named, ok := t.(*types.Named); ok {
+		if isSyncLock(named) {
+			return named.Obj().Name()
+		}
+		for _, s := range seen {
+			if s == named {
+				return ""
+			}
+		}
+		seen = append(seen, named)
+		t = named.Underlying()
+	}
+	st, ok := t.(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if sub := containsLock(f.Type(), seen); sub != "" {
+			return f.Name() + "." + sub
+		}
+	}
+	return ""
+}
+
+// isSyncLock reports whether named is sync.Mutex or sync.RWMutex.
+func isSyncLock(named *types.Named) bool {
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// --- release discipline ---
+
+// lockEvent is one Lock/Unlock/return in source order.
+type lockEvent struct {
+	pos  token.Pos
+	kind string // "lock", "unlock", "defer-unlock", "return"
+	recv string // rendered receiver, e.g. "s.mu"
+}
+
+// checkLockReleases performs the linear source-order scan: a return
+// reached while a receiver is locked, not deferred-unlocked, and not
+// unlocked earlier on that line path is a leak.
+func checkLockReleases(p *Pass, fd *ast.FuncDecl) {
+	var events []lockEvent
+	inspectSkipFuncLit(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.ReturnStmt:
+			events = append(events, lockEvent{pos: v.Pos(), kind: "return"})
+		case *ast.DeferStmt:
+			// defer mu.Unlock(), and the defer func(){ ...; mu.Unlock() }()
+			// shape used when the deferred cleanup does more than unlock.
+			for _, recv := range deferredUnlocks(p, v) {
+				events = append(events, lockEvent{pos: v.Pos(), kind: "defer-unlock", recv: recv})
+			}
+		case *ast.ExprStmt:
+			if call, ok := v.X.(*ast.CallExpr); ok {
+				if recv, kind := lockCall(p, call); kind != "" {
+					events = append(events, lockEvent{pos: v.Pos(), kind: kind, recv: recv})
+				}
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := make(map[string]token.Pos)
+	deferred := make(map[string]bool)
+	for _, ev := range events {
+		switch ev.kind {
+		case "lock":
+			held[ev.recv] = ev.pos
+		case "unlock":
+			delete(held, ev.recv)
+		case "defer-unlock":
+			deferred[ev.recv] = true
+		case "return":
+			for recv, lockPos := range held {
+				if deferred[recv] {
+					continue
+				}
+				line := p.Fset.Position(lockPos).Line
+				p.Reportf(ev.pos, "return with %s still locked (Lock at line %d has no defer and no Unlock before this return)", recv, line)
+			}
+		}
+	}
+}
+
+// lockCall classifies a call as "lock"/"unlock" on a sync mutex and
+// renders its receiver. RLock/RUnlock count the same: a leaked read
+// lock still wedges the next writer.
+func lockCall(p *Pass, call *ast.CallExpr) (recv, kind string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, _ := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		kind = "lock"
+	case "Unlock", "RUnlock":
+		kind = "unlock"
+	case "TryLock", "TryRLock":
+		// The result decides whether the lock is held; the linear scan
+		// cannot follow it, so TryLock sites are out of scope.
+		return "", ""
+	default:
+		return "", ""
+	}
+	return renderExpr(sel.X), kind
+}
+
+// deferredUnlocks returns the receivers a defer statement unlocks —
+// directly, or anywhere inside a deferred closure.
+func deferredUnlocks(p *Pass, d *ast.DeferStmt) []string {
+	if recv, kind := lockCall(p, d.Call); kind == "unlock" {
+		return []string{recv}
+	}
+	lit, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv, kind := lockCall(p, call); kind == "unlock" {
+				out = append(out, recv)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// renderExpr flattens an identifier/selector/star chain to a stable
+// string key ("s.mu", "(*t).mu") for matching Lock to Unlock.
+func renderExpr(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return renderExpr(v.X) + "." + v.Sel.Name
+	case *ast.StarExpr:
+		return renderExpr(v.X)
+	case *ast.IndexExpr:
+		return renderExpr(v.X) + "[...]"
+	case *ast.CallExpr:
+		return renderExpr(v.Fun) + "()"
+	}
+	return "?"
+}

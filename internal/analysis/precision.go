@@ -39,10 +39,10 @@ var precisionAllowed = map[[2]string]bool{
 	{"vec", "FromV3f64"}: true,
 	// Mixed-precision fast-path helpers (PR 6): the audited crossing
 	// points between float32 pair geometry and float64 accumulation.
-	{"vec", "Widen"}:    true,
-	{"vec", "Narrow"}:   true,
-	{"vec", "AccumAdd"}: true,
-	{"vec", "AccumSub"}: true,
+	{"vec", "Widen"}:     true,
+	{"vec", "Narrow"}:    true,
+	{"vec", "AccumAdd"}:  true,
+	{"vec", "AccumSub"}:  true,
 	{"spu", "sqrt32"}:    true,
 	{"spu", "Copysign"}:  true,
 	{"spu", "VCopysign"}: true,

@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// PureDet is the whole-program determinism certifier. Starting from the
+// registered kernel roots (KernelRoots, or a -roots override) it walks
+// the module call graph and verifies that no reachable function touches
+// a nondeterminism source:
+//
+//   - wall-clock reads (time.Now and friends),
+//   - environment or filesystem access outside the internal/fsys seam,
+//   - math/rand (any flavor) outside the internal/xrand seam,
+//   - goroutine spawns outside the internal/parallel engine,
+//   - map iteration that feeds a float accumulation or an output order
+//     (this subsumes floatdet on the hot paths: floatdet sees one
+//     package at a time, puredet sees the whole cone),
+//   - and any dynamic call site — func value, func field, interface
+//     method — that is not on the declared allowlist, because a call
+//     the graph cannot resolve is a call it cannot certify.
+//
+// The verdicts, reachable set, and used allowlist entries become the
+// machine-readable determinism certificate (`mdlint -certify`).
+var PureDet = &Analyzer{
+	Name:      "puredet",
+	Doc:       "nondeterminism source reachable from a registered kernel root",
+	RunModule: runPureDet,
+}
+
+// nondetSources maps external calls (package path : name) to why they
+// break replayable determinism.
+var nondetSources = map[string]string{
+	"time:Now":   "wall clock",
+	"time:Since": "wall clock",
+	"time:Until": "wall clock",
+
+	"os:Getenv":    "environment read",
+	"os:LookupEnv": "environment read",
+	"os:Environ":   "environment read",
+	"os:Hostname":  "host identity read",
+	"os:Getpid":    "process identity read",
+
+	"os:Open":       "filesystem read outside the fsys seam",
+	"os:OpenFile":   "filesystem access outside the fsys seam",
+	"os:ReadFile":   "filesystem read outside the fsys seam",
+	"os:ReadDir":    "filesystem read outside the fsys seam",
+	"os:Stat":       "filesystem read outside the fsys seam",
+	"os:Lstat":      "filesystem read outside the fsys seam",
+	"os:Create":     "filesystem write outside the fsys seam",
+	"os:CreateTemp": "filesystem write outside the fsys seam",
+	"os:MkdirTemp":  "filesystem write outside the fsys seam",
+}
+
+// exemptCaller reports whether a call from pkgPath into extPkg is a
+// seam doing its job: packages whose whole purpose is to wrap a
+// nondeterminism source behind a deterministic (seeded / injectable)
+// interface may touch that source.
+func exemptCaller(pkgPath, extPkg string) bool {
+	switch {
+	case strings.HasSuffix(pkgPath, "internal/fsys") && (extPkg == "os" || extPkg == "io/fs" || extPkg == "path/filepath"):
+		return true
+	case strings.HasSuffix(pkgPath, "internal/xrand") && isRandPath(extPkg):
+		return true
+	}
+	return false
+}
+
+// spawnExempt reports whether a goroutine spawn in pkgPath is
+// sanctioned: only the parallel engine's fixed worker pool may launch
+// goroutines on a certified path.
+func spawnExempt(pkgPath string) bool {
+	return strings.HasSuffix(pkgPath, "internal/parallel")
+}
+
+// violation is one determinism defect found in a hot function.
+type violation struct {
+	file      string // absolute, as in the file set
+	line, col int
+	msg       string
+}
+
+func runPureDet(mp *ModulePass) {
+	ai := allowIndex(mp.Allow)
+
+	// Per-node violations, computed once over the union hot set.
+	viols := make(map[string][]violation)
+	for key, node := range mp.Hot {
+		viols[key] = nodeViolations(mp, node, ai)
+	}
+
+	// Per-root verdicts and the certificate.
+	reachedBy := make(map[string][]string) // node key -> roots reaching it
+	for _, root := range mp.Roots {
+		rk := string(root)
+		rr := RootResult{Root: rk}
+		if _, ok := mp.Graph.Nodes[rk]; !ok {
+			rr.Verdict = "unresolved"
+			mp.Cert.Roots = append(mp.Cert.Roots, rr)
+			mp.ReportAt("", 0, 0, "registered kernel root %s not found in the loaded packages: rename it in the registry or restore the function", rk)
+			continue
+		}
+		cone := mp.Graph.Reachable([]string{rk})
+		rr.Reachable = len(cone)
+		for key := range cone {
+			reachedBy[key] = append(reachedBy[key], rk)
+			for _, v := range viols[key] {
+				rr.Violations = append(rr.Violations,
+					fmt.Sprintf("%s: %s at %s:%d", key, v.msg, mp.relPath(v.file), v.line))
+			}
+		}
+		if len(rr.Violations) == 0 {
+			rr.Verdict = "certified"
+		} else {
+			rr.Verdict = "uncertified"
+		}
+		mp.Cert.Roots = append(mp.Cert.Roots, rr)
+	}
+
+	// Diagnostics: one per violating site, attributed to the roots that
+	// reach it.
+	for key, vs := range viols {
+		roots := append([]string(nil), reachedBy[key]...)
+		if len(roots) == 0 {
+			continue
+		}
+		sort.Strings(roots)
+		attribution := roots[0]
+		if len(roots) > 1 {
+			attribution += fmt.Sprintf(" (+%d more roots)", len(roots)-1)
+		}
+		node := mp.Hot[key]
+		for _, v := range vs {
+			mp.reportPkgAt(node.Pkg, v.file, v.line, v.col, "%s — reachable from kernel root %s", v.msg, attribution)
+		}
+	}
+}
+
+// nodeViolations inspects one hot function for determinism defects and
+// records used allowlist entries in the certificate.
+func nodeViolations(mp *ModulePass, node *FuncNode, ai allowIndex) []violation {
+	var out []violation
+	add := func(pos token.Pos, format string, args ...any) {
+		p := mp.Fset.Position(pos)
+		out = append(out, violation{file: p.Filename, line: p.Line, col: p.Column,
+			msg: fmt.Sprintf(format, args...)})
+	}
+
+	for _, ext := range node.External {
+		if exemptCaller(node.Pkg.Path, ext.PkgPath) {
+			continue
+		}
+		if isRandPath(ext.PkgPath) {
+			add(ext.Pos, "calls %s.%s (global/unseeded randomness; use internal/xrand)", ext.PkgPath, ext.Name)
+			continue
+		}
+		if why, bad := nondetSources[ext.PkgPath+":"+ext.Name]; bad {
+			add(ext.Pos, "calls %s.%s (%s)", ext.PkgPath, ext.Name, why)
+		}
+	}
+
+	for _, spawn := range node.Spawns {
+		if !spawnExempt(node.Pkg.Path) {
+			add(spawn, "spawns a goroutine outside parallel.Engine: scheduling order would leak into results")
+		}
+	}
+
+	for _, dyn := range node.Dynamic {
+		if rule, ok := ai.match(node.Key, dyn.Desc); ok {
+			mp.Cert.Allowed = append(mp.Cert.Allowed, AllowedEdge{
+				Caller: node.Key, Callee: dyn.Desc, Reason: rule.Reason,
+			})
+			continue
+		}
+		add(dyn.Pos, "unresolved dynamic call %s: the call graph cannot certify it — resolve it statically or add a reviewed allowlist entry", dyn.Desc)
+	}
+
+	checkMapRangeDet(mp, node, &out)
+	return out
+}
+
+// checkMapRangeDet flags map iteration inside a hot function whose body
+// feeds a float accumulation (the floatdet property, re-checked here
+// because the hot cone crosses package boundaries) or an output order
+// (appends to an outer slice, channel sends).
+func checkMapRangeDet(mp *ModulePass, node *FuncNode, out *[]violation) {
+	// A throwaway Pass lends the floatdet helpers their expected shape;
+	// its report hook rewrites findings as puredet violations in place.
+	p := &Pass{Analyzer: mp.Analyzer, Fset: mp.Fset, Pkg: node.Pkg,
+		report: func(d Diagnostic) {
+			*out = append(*out, violation{file: d.File, line: d.Line, col: d.Col, msg: d.Message})
+		}}
+	addAt := func(pos token.Pos, format string, args ...any) {
+		pp := mp.Fset.Position(pos)
+		*out = append(*out, violation{file: pp.Filename, line: pp.Line, col: pp.Column,
+			msg: fmt.Sprintf(format, args...)})
+	}
+	ast.Inspect(node.Decl, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := p.TypeOf(rs.X); t == nil || !isMapType(t) {
+			return true
+		}
+		// Float accumulation (floatdet core, surfaced as puredet).
+		checkMapRangeBody(p, rs)
+		// Output order: append to something that outlives the loop, or
+		// a channel send.
+		inspectSkipFuncLit(rs.Body, func(m ast.Node) bool {
+			switch v := m.(type) {
+			case *ast.SendStmt:
+				addAt(v.Arrow, "channel send inside map iteration: receiver observes randomized order")
+			case *ast.AssignStmt:
+				for i, rhs := range v.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || calleeName(call) != "append" || i >= len(v.Lhs) {
+						continue
+					}
+					if base := baseIdent(v.Lhs[i]); base != nil {
+						if obj := p.Pkg.Info.ObjectOf(base); obj != nil &&
+							!(rs.Body.Pos() <= obj.Pos() && obj.Pos() < rs.Body.End()) {
+							addAt(v.Pos(), "append to %s inside map iteration: element order is randomized run to run", base.Name)
+						}
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+}

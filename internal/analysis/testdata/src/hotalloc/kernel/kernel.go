@@ -1,0 +1,39 @@
+// Package kernel is the hotalloc fixture: Forces is the registered
+// root; scratch's escaping make is the positive, grow's is the
+// suppressed (but still ledgered) amortized case, Cold's is out of the
+// hot cone, and the bounded local in Forces never escapes at all.
+package kernel
+
+// Forces is the fixture's kernel root.
+func Forces(n int) []float64 {
+	local := make([]float64, 8) // does not escape: no diagnostic
+	for i := range local {
+		local[i] = float64(i)
+	}
+	// Inlined copies allocate in this frame, so the compiler (correctly)
+	// reports the call sites as distinct allocation sites too.
+	keep = grow(n)    // want hotalloc
+	buf := scratch(n) // want hotalloc
+	for i := range buf {
+		buf[i] = local[i%len(local)]
+	}
+	return buf
+}
+
+// scratch escapes: the slice is returned to the caller.
+func scratch(n int) []float64 {
+	return make([]float64, n) // want hotalloc
+}
+
+var keep []float64
+
+// grow is the annotated amortized case: the gate passes, the
+// certificate ledger still records the site.
+func grow(n int) []float64 {
+	return make([]float64, n) //mdlint:ignore hotalloc fixture: amortized grow-once buffer
+}
+
+// Cold allocates but is not reachable from the root: no diagnostic.
+func Cold(n int) []float64 {
+	return make([]float64, n)
+}

@@ -1,0 +1,73 @@
+// Package guard is the lockdisc fixture (the directory name puts it in
+// the rule's scope): copied locks, a leaked lock on an early return,
+// and the disciplined shapes that must stay clean.
+package guard
+
+import "sync"
+
+// Counter holds a mutex by value, so copying a Counter copies the lock.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bad locks through a value receiver: the copy's lock guards nothing.
+func (c Counter) Bad() int { // want lockdisc
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Snapshot takes the lock-bearing struct by value.
+func Snapshot(c Counter) int { // want lockdisc
+	return c.n
+}
+
+// Clone copies the lock through a dereference assignment.
+func Clone(c *Counter) int {
+	cp := *c // want lockdisc
+	return cp.n
+}
+
+// Total copies the lock once per iteration through the range value.
+func Total(cs []Counter) int {
+	t := 0
+	for _, c := range cs { // want lockdisc
+		t += c.n
+	}
+	return t
+}
+
+// Leak returns early with the mutex still held.
+func (c *Counter) Leak(cond bool) int {
+	c.mu.Lock()
+	if cond {
+		return 0 // want lockdisc
+	}
+	c.mu.Unlock()
+	return c.n
+}
+
+// Get is the disciplined shape: defer pairs the unlock with the lock.
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Update unlocks inside a deferred closure, which counts.
+func (c *Counter) Update(f func(int) int) int {
+	c.mu.Lock()
+	defer func() {
+		c.n = f(c.n)
+		c.mu.Unlock()
+	}()
+	return c.n
+}
+
+// Handoff intentionally returns locked; the suppression documents the
+// ownership transfer.
+func (c *Counter) Handoff() *Counter {
+	c.mu.Lock()
+	return c //mdlint:ignore lockdisc fixture: lock ownership transfers to the caller
+}

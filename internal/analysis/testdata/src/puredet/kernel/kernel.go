@@ -1,0 +1,49 @@
+// Package kernel is the puredet fixture: CleanStep's cone is free of
+// nondeterminism sources, DirtyStep's cone trips every class the rule
+// certifies against — wall clock, environment reads, map-order float
+// accumulation, map-order output, goroutine spawns, and a dynamic call
+// the graph cannot resolve.
+package kernel
+
+import (
+	"os"
+	"time"
+)
+
+// CleanStep is the certified root: pure arithmetic through a helper.
+func CleanStep(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += pair(x)
+	}
+	return sum
+}
+
+func pair(x float64) float64 { return x * x }
+
+// DirtyStep is the uncertified root: every statement below is a
+// distinct violation class.
+func DirtyStep(m map[int]float64, fn func() float64) float64 {
+	t := time.Now() // want puredet
+	_ = t
+	_ = os.Getenv("HOME") // want puredet
+	var sum float64
+	for _, v := range m {
+		sum += v // want puredet
+	}
+	var order []int
+	for k := range m {
+		order = append(order, k) // want puredet
+	}
+	_ = order
+	go pair(1)     // want puredet
+	sum += fn()    // want puredet
+	sum += stamp() // suppressed inside stamp, but still uncertifies the root
+	return sum
+}
+
+// stamp shows a suppressed site: the annotation silences the
+// diagnostic; the certificate still refuses to certify the root.
+func stamp() float64 {
+	return float64(time.Now().UnixNano()) //mdlint:ignore puredet fixture: reviewed wall-clock read
+}

@@ -1,0 +1,35 @@
+// Package suppressedge pins the suppression parser's edge cases: one
+// comment naming several rules, trailing whitespace after the reason,
+// and an ignore comment above a statement that spans multiple lines
+// (covered because diagnostics anchor at the statement's first line).
+package suppressedge
+
+import "math/rand" //mdlint:ignore rawrand fixture: the edge cases below need the import
+
+// One comment, two rules, standing on the line above the finding.
+//
+//mdlint:ignore rawrand,floatdet fixture: one comment may name several rules
+var seed = rand.Int63()
+
+var seed2 = rand.Int63() //mdlint:ignore rawrand fixture: reason with trailing whitespace
+
+// sums exercises the line-above coverage rule against multi-line
+// statements.
+func sums(m map[int]float64) (float64, float64) {
+	var a, b float64
+	for _, v := range m {
+		// The accumulation below spans two lines; the diagnostic anchors
+		// at the statement's first line, directly under the comment.
+		//mdlint:ignore floatdet fixture: ignore above a two-line statement still covers it
+		a = a +
+			v
+	}
+	for _, v := range m {
+		//mdlint:ignore floatdet fixture: a comment two lines up covers nothing
+		_ = v
+		b += v // want floatdet
+	}
+	return a, b
+}
+
+var _ = sums

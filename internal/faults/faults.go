@@ -358,7 +358,7 @@ func (f *Fault) WorkerFaultCtx(ctx context.Context) error {
 	switch f.Kind {
 	case Delay:
 		t := time.NewTimer(f.Delay)
-		defer t.Stop()
+		defer t.Stop() //mdlint:ignore hotalloc inlined Timer.Stop panic string; exists only while an injected Delay fault is active
 		select {
 		case <-t.C:
 			return nil
@@ -366,7 +366,7 @@ func (f *Fault) WorkerFaultCtx(ctx context.Context) error {
 			return ctx.Err()
 		}
 	case Panic:
-		panic(fmt.Sprintf("faults: injected worker panic (site %s)", f.Site))
+		panic(fmt.Sprintf("faults: injected worker panic (site %s)", f.Site)) //mdlint:ignore hotalloc injected-panic path: fires once when the seeded fault triggers, never on a clean run
 	case Error:
 		return fmt.Errorf("worker: %w", ErrInjected)
 	default:

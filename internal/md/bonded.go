@@ -42,24 +42,24 @@ type Topology struct {
 func (t *Topology) Validate(n int) error {
 	for bi, b := range t.Bonds {
 		if b.I < 0 || b.I >= n || b.J < 0 || b.J >= n {
-			return fmt.Errorf("md: bond %d references atoms (%d,%d) outside [0,%d)", bi, b.I, b.J, n)
+			return fmt.Errorf("md: bond %d references atoms (%d,%d) outside [0,%d)", bi, b.I, b.J, n) //mdlint:ignore hotalloc error-path fmt boxing; a healthy step takes the nil return and allocates nothing
 		}
 		if b.I == b.J {
-			return fmt.Errorf("md: bond %d connects atom %d to itself", bi, b.I)
+			return fmt.Errorf("md: bond %d connects atom %d to itself", bi, b.I) //mdlint:ignore hotalloc error-path fmt boxing; a healthy step takes the nil return and allocates nothing
 		}
 		if b.K < 0 || b.R0 <= 0 {
-			return fmt.Errorf("md: bond %d has K=%v R0=%v", bi, b.K, b.R0)
+			return fmt.Errorf("md: bond %d has K=%v R0=%v", bi, b.K, b.R0) //mdlint:ignore hotalloc error-path fmt boxing; a healthy step takes the nil return and allocates nothing
 		}
 	}
 	for ai, a := range t.Angles {
 		if a.I < 0 || a.I >= n || a.J < 0 || a.J >= n || a.K2 < 0 || a.K2 >= n {
-			return fmt.Errorf("md: angle %d references atoms (%d,%d,%d) outside [0,%d)", ai, a.I, a.J, a.K2, n)
+			return fmt.Errorf("md: angle %d references atoms (%d,%d,%d) outside [0,%d)", ai, a.I, a.J, a.K2, n) //mdlint:ignore hotalloc error-path fmt boxing; a healthy step takes the nil return and allocates nothing
 		}
 		if a.I == a.J || a.J == a.K2 || a.I == a.K2 {
-			return fmt.Errorf("md: angle %d repeats an atom (%d,%d,%d)", ai, a.I, a.J, a.K2)
+			return fmt.Errorf("md: angle %d repeats an atom (%d,%d,%d)", ai, a.I, a.J, a.K2) //mdlint:ignore hotalloc error-path fmt boxing; a healthy step takes the nil return and allocates nothing
 		}
 		if a.K < 0 {
-			return fmt.Errorf("md: angle %d has K=%v", ai, a.K)
+			return fmt.Errorf("md: angle %d has K=%v", ai, a.K) //mdlint:ignore hotalloc error-path fmt boxing; a healthy step takes the nil return and allocates nothing
 		}
 	}
 	return nil
@@ -77,7 +77,7 @@ func BondedForces(top *Topology, box float64, pos []vec.V3[float64], acc []vec.V
 		d := MinImage(pos[b.I].Sub(pos[b.J]), box)
 		r := d.Norm()
 		if r == 0 {
-			return 0, fmt.Errorf("md: bond (%d,%d) atoms coincide", b.I, b.J)
+			return 0, fmt.Errorf("md: bond (%d,%d) atoms coincide", b.I, b.J) //mdlint:ignore hotalloc coincident-atom error path; never allocates on a valid configuration
 		}
 		dr := r - b.R0
 		pe += b.K * dr * dr

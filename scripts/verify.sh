@@ -31,7 +31,22 @@ go test -count=1 -run 'TestMDServeKillRestart' ./cmd/mdserve/
 echo "==> mdchaos fixed-seed smoke campaign (12 schedules, all invariants)"
 go test -count=1 -run 'TestChaosSmoke' ./internal/chaos/
 
-echo "==> go run ./cmd/mdlint ./..."
-go run ./cmd/mdlint ./...
+echo "==> build mdlint once (gates below reuse the binary)"
+MDLINT="$(mktemp -d)/mdlint"
+trap 'rm -rf "$(dirname "$MDLINT")"' EXIT
+go build -o "$MDLINT" ./cmd/mdlint
+
+echo "==> mdlint ./... (with BENCH_PR9.json lint/certification stats)"
+"$MDLINT" -bench-json BENCH_PR9.json ./...
+
+echo "==> mdlint -certify ./... (determinism certificate vs committed golden)"
+"$MDLINT" -certify ./... > DETERMINISM_CERT.json.new
+if ! diff -u DETERMINISM_CERT.json DETERMINISM_CERT.json.new; then
+    rm -f DETERMINISM_CERT.json.new
+    echo "verify: determinism certificate drifted from DETERMINISM_CERT.json" >&2
+    echo "verify: regenerate with: go run ./cmd/mdlint -certify ./... > DETERMINISM_CERT.json" >&2
+    exit 1
+fi
+rm -f DETERMINISM_CERT.json.new
 
 echo "verify: all gates passed"
