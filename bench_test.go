@@ -356,8 +356,8 @@ func BenchmarkParallelForces(b *testing.B) {
 	// serialNs lazily measures the serial full-loop kernel once per
 	// atom count — the denominator of every speedup metric.
 	serialNs := map[int]float64{}
-	serialBaseline := func(b *testing.B, p md.Params[float64], pos, acc []vec.V3[float64]) float64 {
-		n := len(pos)
+	serialBaseline := func(b *testing.B, p md.Params[float64], pos, acc md.Coords[float64]) float64 {
+		n := pos.Len()
 		if ns, ok := serialNs[n]; ok {
 			return ns
 		}
@@ -381,15 +381,16 @@ func BenchmarkParallelForces(b *testing.B) {
 			b.Fatal(err)
 		}
 		p := md.Params[float64]{Box: st.Box, Cutoff: 2.5, Dt: 0.004}
-		acc := make([]vec.V3[float64], n)
+		pos := md.CoordsFromV3(st.Pos)
+		acc := md.MakeCoords[float64](n)
 		for _, w := range parallelBenchWorkers() {
 			b.Run(fmt.Sprintf("direct/n%d_w%d", n, w), func(b *testing.B) {
-				sNs := serialBaseline(b, p, st.Pos, acc)
+				sNs := serialBaseline(b, p, pos, acc)
 				e := parallel.New[float64](w)
 				defer e.Close()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					e.ForcesDirect(p, st.Pos, acc)
+					e.ForcesDirect(p, pos, acc)
 				}
 				b.StopTimer()
 				perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
@@ -412,7 +413,8 @@ func BenchmarkParallelForces(b *testing.B) {
 		b.Fatal(err)
 	}
 	p := md.Params[float64]{Box: st.Box, Cutoff: 2.5, Dt: 0.004}
-	acc := make([]vec.V3[float64], n)
+	pos := md.CoordsFromV3(st.Pos)
+	acc := md.MakeCoords[float64](n)
 	ncpu := runtime.NumCPU()
 	b.Run(fmt.Sprintf("cellgrid/n%d_w%d", n, ncpu), func(b *testing.B) {
 		cl, err := md.NewCellList(p.Box, p.Cutoff)
@@ -423,7 +425,7 @@ func BenchmarkParallelForces(b *testing.B) {
 		defer e.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			e.ForcesCell(cl, p, st.Pos, acc)
+			e.ForcesCell(cl, p, pos, acc)
 		}
 		b.StopTimer()
 		perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
@@ -439,7 +441,7 @@ func BenchmarkParallelForces(b *testing.B) {
 		defer e.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			e.ForcesPairlist(nl, p, st.Pos, acc)
+			e.ForcesPairlist(nl, p, pos, acc)
 		}
 		b.StopTimer()
 		perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
@@ -501,8 +503,8 @@ func BenchmarkNeighborBuild(b *testing.B) {
 	// serialNs lazily measures the reference O(N²) build once per atom
 	// count — the denominator of every speedup metric.
 	serialNs := map[int]float64{}
-	serialBaseline := func(b *testing.B, p md.Params[float64], pos []vec.V3[float64]) float64 {
-		n := len(pos)
+	serialBaseline := func(b *testing.B, p md.Params[float64], pos md.Coords[float64]) float64 {
+		n := pos.Len()
 		if ns, ok := serialNs[n]; ok {
 			return ns
 		}
@@ -527,13 +529,14 @@ func BenchmarkNeighborBuild(b *testing.B) {
 			b.Fatal(err)
 		}
 		p := md.Params[float64]{Box: st.Box, Cutoff: 2.5, Dt: 0.004}
+		pos := md.CoordsFromV3(st.Pos)
 
 		b.Run(fmt.Sprintf("cell/n%d", n), func(b *testing.B) {
-			sNs := serialBaseline(b, p, st.Pos)
+			sNs := serialBaseline(b, p, pos)
 			nl := newList(b)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				nl.Build(p, st.Pos)
+				nl.Build(p, pos)
 			}
 			b.StopTimer()
 			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
@@ -545,14 +548,14 @@ func BenchmarkNeighborBuild(b *testing.B) {
 		})
 		for _, w := range buildBenchWorkers() {
 			b.Run(fmt.Sprintf("parallel/n%d_w%d", n, w), func(b *testing.B) {
-				sNs := serialBaseline(b, p, st.Pos)
+				sNs := serialBaseline(b, p, pos)
 				nl := newList(b)
 				e := parallel.New[float64](w)
 				defer e.Close()
 				ctx := context.Background()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if err := e.BuildPairlist(ctx, nl, p, st.Pos); err != nil {
+					if err := e.BuildPairlist(ctx, nl, p, pos); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -624,11 +627,12 @@ func BenchmarkMixedPrecision(b *testing.B) {
 			b.Fatal(err)
 		}
 		p := md.Params[float64]{Box: st.Box, Cutoff: 2.5, Dt: 0.004}
+		pos := md.CoordsFromV3(st.Pos)
 		mx, err := md.NewMirror32(p)
 		if err != nil {
 			b.Fatal(err)
 		}
-		acc := make([]vec.V3[float64], n)
+		acc := md.MakeCoords[float64](n)
 
 		b.Run(fmt.Sprintf("pairlist_f64/n%d_serial", n), func(b *testing.B) {
 			nl, err := md.NewNeighborList[float64](skin)
@@ -637,7 +641,7 @@ func BenchmarkMixedPrecision(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				nl.Forces(p, st.Pos, acc)
+				nl.Forces(p, pos, acc)
 			}
 			b.StopTimer()
 			record(b, fmt.Sprintf("pairlist_f64_n%d_serial", n), "")
@@ -649,7 +653,7 @@ func BenchmarkMixedPrecision(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				mx.Refresh(st.Pos)
+				mx.Refresh(pos)
 				md.ForcesPairlistMixed(nl, mx.P, mx.Pos, acc)
 			}
 			b.StopTimer()
@@ -665,7 +669,7 @@ func BenchmarkMixedPrecision(b *testing.B) {
 			defer e.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				e.ForcesPairlist(nl, p, st.Pos, acc)
+				e.ForcesPairlist(nl, p, pos, acc)
 			}
 			b.StopTimer()
 			record(b, fmt.Sprintf("pairlist_f64_n%d_parallel", n), "")
@@ -679,7 +683,7 @@ func BenchmarkMixedPrecision(b *testing.B) {
 			defer e.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				mx.Refresh(st.Pos)
+				mx.Refresh(pos)
 				if _, err := e.TryForcesPairlistF32(nl, mx.P, mx.Pos, acc); err != nil {
 					b.Fatal(err)
 				}
@@ -695,7 +699,7 @@ func BenchmarkMixedPrecision(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				cl.Forces(p, st.Pos, acc)
+				cl.Forces(p, pos, acc)
 			}
 			b.StopTimer()
 			record(b, fmt.Sprintf("cellgrid_f64_n%d_serial", n), "")
@@ -707,7 +711,7 @@ func BenchmarkMixedPrecision(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				mx.Refresh(st.Pos)
+				mx.Refresh(pos)
 				md.ForcesCellMixed(cl, mx.P, mx.Pos, acc)
 			}
 			b.StopTimer()
@@ -1501,4 +1505,135 @@ func BenchmarkChaosOverhead(b *testing.B) {
 	sink.Record("ChaosOverhead/seam-vs-direct", map[string]float64{
 		"direct_sec": dSec, "seam_sec": sSec, "overhead_pct": overheadPct,
 	})
+}
+
+// BenchmarkStepAllocs pins the PR-10 arena contract: once a method's
+// lazily sized scratch (neighbor rows, CSR bins, f32 mirror) has been
+// populated by warmup steps, steady-state stepping performs zero
+// per-step heap allocation. Run with -benchmem; scripts/verify.sh
+// fails the gate on any arm reporting allocs/op > 0. Each arm also
+// reports step_ns_per_atom, and with BENCH_JSON=<path> records it to
+// the cross-PR bench trajectory (BENCH_PR10.json).
+func BenchmarkStepAllocs(b *testing.B) {
+	sink := report.NewBenchSink()
+	defer func() {
+		path := os.Getenv("BENCH_JSON")
+		if path == "" || sink.Len() == 0 {
+			return
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			b.Logf("BENCH_JSON: %v", err)
+			return
+		}
+		defer f.Close()
+		if err := sink.WriteJSON(f); err != nil {
+			b.Logf("BENCH_JSON: %v", err)
+		}
+	}()
+
+	const n = 2048
+	newSys := func(b *testing.B) *md.System[float64] {
+		st, err := lattice.Generate(lattice.Config{
+			N: n, Density: 0.8442, Temperature: 0.728, Kind: lattice.FCC, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := md.NewSystem(st, md.Params[float64]{Box: st.Box, Cutoff: 2.5, Dt: 0.004})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+
+	// arms maps a method name to a constructor returning the per-step
+	// advance. Warmup runs before the timer so one-time sizing (first
+	// list build, CSR grow, mirror fill) never lands in the window.
+	arms := []struct {
+		name  string
+		setup func(b *testing.B, s *md.System[float64]) func()
+	}{
+		{"direct_serial", func(b *testing.B, s *md.System[float64]) func() {
+			return s.Step
+		}},
+		{"cellgrid_serial", func(b *testing.B, s *md.System[float64]) func() {
+			cl, err := md.NewCellList(s.P.Box, s.P.Cutoff)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return func() {
+				s.StepWith(func() float64 { return cl.Forces(s.P, s.Pos, s.Acc) })
+			}
+		}},
+		{"pairlist_serial", func(b *testing.B, s *md.System[float64]) func() {
+			nl, err := md.NewNeighborList[float64](0.4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return func() {
+				s.StepWith(func() float64 {
+					if nl.Stale(s.P, s.Pos) {
+						nl.Build(s.P, s.Pos)
+					}
+					return nl.Forces(s.P, s.Pos, s.Acc)
+				})
+			}
+		}},
+		{"pairlist_f32_mixed", func(b *testing.B, s *md.System[float64]) func() {
+			mx, err := md.NewMirror32(s.P)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nl, err := md.NewNeighborList[float32](0.4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return func() {
+				s.StepWith(func() float64 {
+					mx.RefreshSystem(s)
+					if nl.Stale(mx.P, mx.Pos) {
+						nl.Build(mx.P, mx.Pos)
+					}
+					return md.ForcesPairlistMixed(nl, mx.P, mx.Pos, s.Acc)
+				})
+			}
+		}},
+		{"cellgrid_f32_mixed", func(b *testing.B, s *md.System[float64]) func() {
+			mx, err := md.NewMirror32(s.P)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cl, err := md.NewCellList(mx.P.Box, mx.P.Cutoff)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return func() {
+				s.StepWith(func() float64 {
+					mx.RefreshSystem(s)
+					return md.ForcesCellMixed(cl, mx.P, mx.Pos, s.Acc)
+				})
+			}
+		}},
+	}
+
+	for _, arm := range arms {
+		b.Run(fmt.Sprintf("%s_n%d", arm.name, n), func(b *testing.B) {
+			s := newSys(b)
+			step := arm.setup(b, s)
+			for i := 0; i < 200; i++ { // warmup: size lists and let per-row
+				step() // capacities converge across several rebuilds
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+			perAtom := float64(time.Since(start).Nanoseconds()) / float64(b.N) / float64(n)
+			b.ReportMetric(perAtom, "ns/atom")
+			sink.Record(fmt.Sprintf("StepAllocs/%s_n%d", arm.name, n),
+				map[string]float64{"step_ns_per_atom": perAtom})
+		})
+	}
 }

@@ -341,7 +341,7 @@ func buildForces(sys *md.System[float64], method, precision string, workers int,
 				return nil, nil, err
 			}
 			return func() float64 {
-				mx.Refresh(sys.Pos)
+				mx.RefreshSystem(sys)
 				return md.ForcesPairlistMixed(nl, mx.P, mx.Pos, sys.Acc)
 			}, noop, nil
 		case "parpairlist":
@@ -351,7 +351,7 @@ func buildForces(sys *md.System[float64], method, precision string, workers int,
 			}
 			e := parallel.New[float64](workers)
 			return func() float64 {
-				mx.Refresh(sys.Pos)
+				mx.RefreshSystem(sys)
 				return e.ForcesPairlistF32(nl, mx.P, mx.Pos, sys.Acc)
 			}, e.Close, nil
 		case "cellgrid":
@@ -360,7 +360,7 @@ func buildForces(sys *md.System[float64], method, precision string, workers int,
 				return nil, nil, err
 			}
 			return func() float64 {
-				mx.Refresh(sys.Pos)
+				mx.RefreshSystem(sys)
 				return md.ForcesCellMixed(cl, mx.P, mx.Pos, sys.Acc)
 			}, noop, nil
 		default:

@@ -173,8 +173,9 @@ func TestMDForcesMatchesReference(t *testing.T) {
 	for i := range pos {
 		pos[i] = vec.FromV3f64[float32](st.Pos[i])
 	}
-	wantAcc := make([]vec.V3[float32], len(pos))
-	wantPE := md.ComputeForcesFull(p, pos, wantAcc)
+	wantAccC := md.MakeCoords[float32](len(pos))
+	wantPE := md.ComputeForcesFull(p, md.CoordsFromV3(pos), wantAccC)
+	wantAcc := wantAccC.V3s()
 
 	rt := newRT(t)
 	acc, pe, bd, err := MDForces(rt, pos, p.Box, p.Cutoff)

@@ -31,7 +31,6 @@ import (
 	"repro/internal/md"
 	"repro/internal/sim"
 	"repro/internal/spu"
-	"repro/internal/vec"
 )
 
 // Model selects the programming model. The paper uses the asynchronous
@@ -466,9 +465,9 @@ func (c *Processor) AccelKernelTime(w device.Workload, v Variant) (float64, erro
 // KernelAccel exposes one kernel-variant execution for validation: it
 // fills acc for atoms [0,n) and returns the potential energy, using a
 // fresh context.
-func KernelAccel(v Variant, w device.Workload, pos []vec.V3[float32], acc []vec.V3[float32]) float32 {
+func KernelAccel(v Variant, w device.Workload, pos, acc md.Coords[float32]) float32 {
 	ctx := &spu.Context{}
-	pe := runKernel(v, ctx, kernelParamsFor(w), pos, acc, 0, len(pos))
+	pe := runKernel(v, ctx, kernelParamsFor(w), pos, acc, 0, pos.Len())
 	return pe / 2
 }
 

@@ -44,9 +44,9 @@ func refAccel(w device.Workload) ([]vec.V3[float32], float32) {
 	for i := range pos {
 		pos[i] = vec.FromV3f64[float32](w.State.Pos[i])
 	}
-	acc := make([]vec.V3[float32], n)
-	pe := md.ComputeForcesFull(p, pos, acc)
-	return acc, pe
+	accC := md.MakeCoords[float32](n)
+	pe := md.ComputeForcesFull(p, md.CoordsFromV3(pos), accC)
+	return accC.V3s(), pe
 }
 
 func TestAllKernelVariantsMatchReference(t *testing.T) {
@@ -56,9 +56,11 @@ func TestAllKernelVariantsMatchReference(t *testing.T) {
 	for i := range pos {
 		pos[i] = vec.FromV3f64[float32](w.State.Pos[i])
 	}
+	posC := md.CoordsFromV3(pos)
 	for v := Variant(0); v < NumVariants; v++ {
-		acc := make([]vec.V3[float32], len(pos))
-		pe := KernelAccel(v, w, pos, acc)
+		accC := md.MakeCoords[float32](len(pos))
+		pe := KernelAccel(v, w, posC, accC)
+		acc := accC.V3s()
 		// Summation order differs between variants and the reference;
 		// float32 accumulation over ~10^4 terms justifies the tolerance.
 		if rel := math.Abs(float64(pe-wantPE)) / math.Abs(float64(wantPE)); rel > 2e-4 {

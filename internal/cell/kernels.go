@@ -3,9 +3,9 @@ package cell
 import (
 	"fmt"
 
+	"repro/internal/md"
 	"repro/internal/sim"
 	"repro/internal/spu"
-	"repro/internal/vec"
 )
 
 // Variant identifies one rung of the paper's Figure 5 SIMD-optimization
@@ -69,7 +69,7 @@ type kernelParams struct {
 // slice's potential-energy contribution (each unordered pair is seen by
 // both members, so the caller halves the total). All modeled operations
 // flow through ctx's ledger.
-func runKernel(v Variant, ctx *spu.Context, kp kernelParams, pos []vec.V3[float32], acc []vec.V3[float32], lo, hi int) float32 {
+func runKernel(v Variant, ctx *spu.Context, kp kernelParams, pos, acc md.Coords[float32], lo, hi int) float32 {
 	switch v {
 	case Original:
 		return kernelOriginal(ctx, kp, pos, acc, lo, hi)
@@ -102,11 +102,11 @@ func ljScalar(ctx *spu.Context, kp kernelParams, r2 float32) (pv, f float32) {
 }
 
 // kernelOriginal is the straight scalar port (Figure 5 bar 1).
-func kernelOriginal(ctx *spu.Context, kp kernelParams, pos []vec.V3[float32], acc []vec.V3[float32], lo, hi int) float32 {
+func kernelOriginal(ctx *spu.Context, kp kernelParams, pos, acc md.Coords[float32], lo, hi int) float32 {
 	var pe float32
-	n := len(pos)
+	n := pos.Len()
 	for i := lo; i < hi; i++ {
-		xi, yi, zi := ctx.Load3(pos[i])
+		xi, yi, zi := ctx.Load3(pos.At(i))
 		var ax, ay, az float32
 		for j := 0; j < n; j++ {
 			ctx.LoopIter()
@@ -114,7 +114,7 @@ func kernelOriginal(ctx *spu.Context, kp kernelParams, pos []vec.V3[float32], ac
 			if j == i {
 				continue
 			}
-			xj, yj, zj := ctx.Load3(pos[j])
+			xj, yj, zj := ctx.Load3(pos.At(j))
 			dx := ctx.Sub(xi, xj)
 			dy := ctx.Sub(yi, yj)
 			dz := ctx.Sub(zi, zj)
@@ -134,7 +134,7 @@ func kernelOriginal(ctx *spu.Context, kp kernelParams, pos []vec.V3[float32], ac
 			ay = ctx.Add(ay, ctx.Mul(f, dy))
 			az = ctx.Add(az, ctx.Mul(f, dz))
 		}
-		acc[i] = ctx.Store3(ax, ay, az)
+		acc.Set(i, ctx.Store3(ax, ay, az))
 	}
 	return pe
 }
@@ -171,11 +171,11 @@ func reflectCopysign(ctx *spu.Context, d float32, kp kernelParams) float32 {
 }
 
 // kernelCopysign is Original with the branch-free reflection.
-func kernelCopysign(ctx *spu.Context, kp kernelParams, pos []vec.V3[float32], acc []vec.V3[float32], lo, hi int) float32 {
+func kernelCopysign(ctx *spu.Context, kp kernelParams, pos, acc md.Coords[float32], lo, hi int) float32 {
 	var pe float32
-	n := len(pos)
+	n := pos.Len()
 	for i := lo; i < hi; i++ {
-		xi, yi, zi := ctx.Load3(pos[i])
+		xi, yi, zi := ctx.Load3(pos.At(i))
 		var ax, ay, az float32
 		for j := 0; j < n; j++ {
 			ctx.LoopIter()
@@ -183,7 +183,7 @@ func kernelCopysign(ctx *spu.Context, kp kernelParams, pos []vec.V3[float32], ac
 			if j == i {
 				continue
 			}
-			xj, yj, zj := ctx.Load3(pos[j])
+			xj, yj, zj := ctx.Load3(pos.At(j))
 			dx := reflectCopysign(ctx, ctx.Sub(xi, xj), kp)
 			dy := reflectCopysign(ctx, ctx.Sub(yi, yj), kp)
 			dz := reflectCopysign(ctx, ctx.Sub(zi, zj), kp)
@@ -200,7 +200,7 @@ func kernelCopysign(ctx *spu.Context, kp kernelParams, pos []vec.V3[float32], ac
 			ay = ctx.Add(ay, ctx.Mul(f, dy))
 			az = ctx.Add(az, ctx.Mul(f, dz))
 		}
-		acc[i] = ctx.Store3(ax, ay, az)
+		acc.Set(i, ctx.Store3(ax, ay, az))
 	}
 	return pe
 }
@@ -229,13 +229,13 @@ func extract3(ctx *spu.Context, v spu.V4) (x, y, z float32) {
 
 // kernelSIMDReflect keeps scalar loads/diffs but vectorizes the
 // reflection.
-func kernelSIMDReflect(ctx *spu.Context, kp kernelParams, pos []vec.V3[float32], acc []vec.V3[float32], lo, hi int) float32 {
+func kernelSIMDReflect(ctx *spu.Context, kp kernelParams, pos, acc md.Coords[float32], lo, hi int) float32 {
 	var pe float32
-	n := len(pos)
+	n := pos.Len()
 	hVec := ctx.VSplat(kp.halfBox) // hoisted out of the pair loop
 	boxVec := ctx.VSplat(kp.box)
 	for i := lo; i < hi; i++ {
-		xi, yi, zi := ctx.Load3(pos[i])
+		xi, yi, zi := ctx.Load3(pos.At(i))
 		var ax, ay, az float32
 		for j := 0; j < n; j++ {
 			ctx.LoopIter()
@@ -243,7 +243,7 @@ func kernelSIMDReflect(ctx *spu.Context, kp kernelParams, pos []vec.V3[float32],
 			if j == i {
 				continue
 			}
-			xj, yj, zj := ctx.Load3(pos[j])
+			xj, yj, zj := ctx.Load3(pos.At(j))
 			d := pack3(ctx, ctx.Sub(xi, xj), ctx.Sub(yi, yj), ctx.Sub(zi, zj))
 			d = reflectSIMD(ctx, d, hVec, boxVec)
 			dx, dy, dz := extract3(ctx, d)
@@ -260,20 +260,20 @@ func kernelSIMDReflect(ctx *spu.Context, kp kernelParams, pos []vec.V3[float32],
 			ay = ctx.Add(ay, ctx.Mul(f, dy))
 			az = ctx.Add(az, ctx.Mul(f, dz))
 		}
-		acc[i] = ctx.Store3(ax, ay, az)
+		acc.Set(i, ctx.Store3(ax, ay, az))
 	}
 	return pe
 }
 
 // kernelSIMD is the shared body of the last three ladder rungs: SIMD
 // direction vector always; SIMD length and SIMD acceleration toggled.
-func kernelSIMD(ctx *spu.Context, kp kernelParams, pos []vec.V3[float32], acc []vec.V3[float32], lo, hi int, simdLength, simdAccel bool) float32 {
+func kernelSIMD(ctx *spu.Context, kp kernelParams, pos, acc md.Coords[float32], lo, hi int, simdLength, simdAccel bool) float32 {
 	var pe float32
-	n := len(pos)
+	n := pos.Len()
 	hVec := ctx.VSplat(kp.halfBox)
 	boxVec := ctx.VSplat(kp.box)
 	for i := lo; i < hi; i++ {
-		pi := ctx.LoadV(pos[i])
+		pi := ctx.LoadV(pos.At(i))
 		var ax, ay, az float32
 		var aVec spu.V4
 		for j := 0; j < n; j++ {
@@ -282,7 +282,7 @@ func kernelSIMD(ctx *spu.Context, kp kernelParams, pos []vec.V3[float32], acc []
 			if j == i {
 				continue
 			}
-			d := ctx.VSub(pi, ctx.LoadV(pos[j]))
+			d := ctx.VSub(pi, ctx.LoadV(pos.At(j)))
 			d = reflectSIMD(ctx, d, hVec, boxVec)
 
 			var r2 float32
@@ -310,9 +310,9 @@ func kernelSIMD(ctx *spu.Context, kp kernelParams, pos []vec.V3[float32], acc []
 			}
 		}
 		if simdAccel {
-			acc[i] = ctx.StoreV(aVec)
+			acc.Set(i, ctx.StoreV(aVec))
 		} else {
-			acc[i] = ctx.Store3(ax, ay, az)
+			acc.Set(i, ctx.Store3(ax, ay, az))
 		}
 	}
 	return pe

@@ -344,6 +344,17 @@ func CorruptV3[T vec.Float](k Kind, arr []vec.V3[T]) {
 	arr[0].X = Poison[T](k)
 }
 
+// CorruptPlane poisons the first element of one SoA component plane in
+// place — the same single-lane corruption CorruptV3 applies to an AoS
+// array, for kernels whose output lives in separate component planes.
+// No-op on empty planes.
+func CorruptPlane[T vec.Float](k Kind, plane []T) {
+	if len(plane) == 0 {
+		return
+	}
+	plane[0] = Poison[T](k)
+}
+
 // WorkerFault executes a worker-site fault on the calling goroutine:
 // Delay sleeps, Panic panics (the pool recovers it into an error),
 // Error returns ErrInjected, and value-corruption kinds are no-ops

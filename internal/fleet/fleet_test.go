@@ -37,9 +37,9 @@ func sameSystem(t *testing.T, a, b *md.System[float64]) {
 	if a.Steps != b.Steps {
 		t.Fatalf("steps %d != %d", a.Steps, b.Steps)
 	}
-	for i := range a.Pos {
-		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] || a.Acc[i] != b.Acc[i] {
-			t.Fatalf("atom %d state differs: pos %v vs %v", i, a.Pos[i], b.Pos[i])
+	for i := 0; i < a.N(); i++ {
+		if a.Pos.At(i) != b.Pos.At(i) || a.Vel.At(i) != b.Vel.At(i) || a.Acc.At(i) != b.Acc.At(i) {
+			t.Fatalf("atom %d state differs: pos %v vs %v", i, a.Pos.At(i), b.Pos.At(i))
 		}
 	}
 	if a.PE != b.PE || a.KE != b.KE {

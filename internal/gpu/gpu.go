@@ -190,7 +190,7 @@ func (d *Device) Run(w device.Workload) (*device.Result, error) {
 			pe = sum
 		}
 		for i := range out {
-			sys.Acc[i] = vec.V3[float32]{X: out[i][0], Y: out[i][1], Z: out[i][2]}
+			sys.Acc.Set(i, vec.V3[float32]{X: out[i][0], Y: out[i][1], Z: out[i][2]})
 			if !d.cfg.PEViaReduction {
 				pe += out[i][3]
 			}
@@ -237,10 +237,10 @@ func (d *Device) Dispatch(p *Pass) (out []Float4, seconds float64) {
 }
 
 // packPositions lays out positions as float4 texels (w unused).
-func packPositions(pos []vec.V3[float32]) []Float4 {
-	out := make([]Float4, len(pos))
-	for i, p := range pos {
-		out[i] = Float4{p.X, p.Y, p.Z, 0}
+func packPositions(pos md.Coords[float32]) []Float4 {
+	out := make([]Float4, pos.Len())
+	for i := range out {
+		out[i] = Float4{pos.X[i], pos.Y[i], pos.Z[i], 0}
 	}
 	return out
 }

@@ -42,11 +42,12 @@ func TestShaderPhysicsMatchesReference(t *testing.T) {
 	for i := range pos {
 		pos[i] = vec.FromV3f64[float32](w.State.Pos[i])
 	}
-	wantAcc := make([]vec.V3[float32], n)
-	wantPE := md.ComputeForcesFull(p, pos, wantAcc)
+	wantAccC := md.MakeCoords[float32](n)
+	wantPE := md.ComputeForcesFull(p, md.CoordsFromV3(pos), wantAccC)
+	wantAcc := wantAccC.V3s()
 
 	shader := mdShader(n, p.Box, p.Cutoff)
-	pass, err := NewPass(shader, n, NewTexture("pos", packPositions(pos)))
+	pass, err := NewPass(shader, n, NewTexture("pos", packPositions(md.CoordsFromV3(pos))))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestShaderNoNaNFromMaskedPairs(t *testing.T) {
 	// accumulation with NaN through the guarded reciprocal.
 	pos := []vec.V3[float32]{{X: 1, Y: 1, Z: 1}, {X: 9, Y: 9, Z: 9}}
 	shader := mdShader(2, 20, 2.5)
-	pass, err := NewPass(shader, 2, NewTexture("pos", packPositions(pos)))
+	pass, err := NewPass(shader, 2, NewTexture("pos", packPositions(md.CoordsFromV3(pos))))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -333,8 +333,8 @@ func (s *Supervisor) checkpoint() {
 // a description, or (-1, "") when healthy.
 func (s *Supervisor) healthCheck() (sim.Incident, string) {
 	sys := s.runner.System()
-	for i := range sys.Pos {
-		if !finiteV3(sys.Pos[i]) || !finiteV3(sys.Vel[i]) || !finiteV3(sys.Acc[i]) {
+	for i := 0; i < sys.N(); i++ {
+		if !finiteV3(sys.Pos.At(i)) || !finiteV3(sys.Vel.At(i)) || !finiteV3(sys.Acc.At(i)) {
 			return sim.IncidentNaN, fmt.Sprintf("non-finite state at atom %d, step %d", i, sys.Steps)
 		}
 	}

@@ -55,8 +55,8 @@ func TestCleanRunMatchesPlainRun(t *testing.T) {
 	if a.Steps != b.Steps {
 		t.Fatalf("steps %d vs %d", a.Steps, b.Steps)
 	}
-	for i := range a.Pos {
-		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+	for i := 0; i < a.N(); i++ {
+		if a.Pos.At(i) != b.Pos.At(i) || a.Vel.At(i) != b.Vel.At(i) {
 			t.Fatalf("guarded run diverged at atom %d", i)
 		}
 	}

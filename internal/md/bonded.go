@@ -1,6 +1,7 @@
 package md
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -42,50 +43,58 @@ type Topology struct {
 func (t *Topology) Validate(n int) error {
 	for bi, b := range t.Bonds {
 		if b.I < 0 || b.I >= n || b.J < 0 || b.J >= n {
-			return fmt.Errorf("md: bond %d references atoms (%d,%d) outside [0,%d)", bi, b.I, b.J, n) //mdlint:ignore hotalloc error-path fmt boxing; a healthy step takes the nil return and allocates nothing
+			return fmt.Errorf("md: bond %d references atoms (%d,%d) outside [0,%d)", bi, b.I, b.J, n)
 		}
 		if b.I == b.J {
-			return fmt.Errorf("md: bond %d connects atom %d to itself", bi, b.I) //mdlint:ignore hotalloc error-path fmt boxing; a healthy step takes the nil return and allocates nothing
+			return fmt.Errorf("md: bond %d connects atom %d to itself", bi, b.I)
 		}
 		if b.K < 0 || b.R0 <= 0 {
-			return fmt.Errorf("md: bond %d has K=%v R0=%v", bi, b.K, b.R0) //mdlint:ignore hotalloc error-path fmt boxing; a healthy step takes the nil return and allocates nothing
+			return fmt.Errorf("md: bond %d has K=%v R0=%v", bi, b.K, b.R0)
 		}
 	}
 	for ai, a := range t.Angles {
 		if a.I < 0 || a.I >= n || a.J < 0 || a.J >= n || a.K2 < 0 || a.K2 >= n {
-			return fmt.Errorf("md: angle %d references atoms (%d,%d,%d) outside [0,%d)", ai, a.I, a.J, a.K2, n) //mdlint:ignore hotalloc error-path fmt boxing; a healthy step takes the nil return and allocates nothing
+			return fmt.Errorf("md: angle %d references atoms (%d,%d,%d) outside [0,%d)", ai, a.I, a.J, a.K2, n)
 		}
 		if a.I == a.J || a.J == a.K2 || a.I == a.K2 {
-			return fmt.Errorf("md: angle %d repeats an atom (%d,%d,%d)", ai, a.I, a.J, a.K2) //mdlint:ignore hotalloc error-path fmt boxing; a healthy step takes the nil return and allocates nothing
+			return fmt.Errorf("md: angle %d repeats an atom (%d,%d,%d)", ai, a.I, a.J, a.K2)
 		}
 		if a.K < 0 {
-			return fmt.Errorf("md: angle %d has K=%v", ai, a.K) //mdlint:ignore hotalloc error-path fmt boxing; a healthy step takes the nil return and allocates nothing
+			return fmt.Errorf("md: angle %d has K=%v", ai, a.K)
 		}
 	}
 	return nil
 }
 
+// ErrCoincidentBond reports a bonded pair at zero separation, where
+// the bond force direction is undefined. It is a fixed sentinel so the
+// per-step bonded kernel allocates nothing even on its error path.
+var ErrCoincidentBond = errors.New("md: bonded atoms coincide")
+
 // BondedForces accumulates (does not clear) the bonded forces into acc
 // and returns the bonded potential energy. Positions must be wrapped;
 // bonds use the minimum image, so a molecule may straddle the boundary.
-func BondedForces(top *Topology, box float64, pos []vec.V3[float64], acc []vec.V3[float64]) (float64, error) {
-	if err := top.Validate(len(pos)); err != nil {
-		return 0, err
-	}
+//
+// The topology must have passed Validate against this atom count —
+// assemble-time validation (mdrun does it once per runner) replaces
+// the per-step re-validation this kernel used to pay, which was 22 of
+// the hot-path allocation ledger's 43 sites for zero steady-state
+// value.
+func BondedForces(top *Topology, box float64, pos Coords[float64], acc Coords[float64]) (float64, error) {
 	var pe float64
 	for _, b := range top.Bonds {
-		d := MinImage(pos[b.I].Sub(pos[b.J]), box)
+		d := MinImage(pos.At(b.I).Sub(pos.At(b.J)), box)
 		r := d.Norm()
 		if r == 0 {
-			return 0, fmt.Errorf("md: bond (%d,%d) atoms coincide", b.I, b.J) //mdlint:ignore hotalloc coincident-atom error path; never allocates on a valid configuration
+			return 0, ErrCoincidentBond
 		}
 		dr := r - b.R0
 		pe += b.K * dr * dr
 		// F_I = -dV/dr_I = -2K (r-R0) * d/r
 		f := -2 * b.K * dr / r
 		fd := d.Scale(f)
-		acc[b.I] = acc[b.I].Add(fd)
-		acc[b.J] = acc[b.J].Sub(fd)
+		acc.Add(b.I, fd)
+		acc.Sub(b.J, fd)
 	}
 	for _, a := range top.Angles {
 		pe += angleForce(a, box, pos, acc)
@@ -94,10 +103,10 @@ func BondedForces(top *Topology, box float64, pos []vec.V3[float64], acc []vec.V
 }
 
 // angleForce applies one harmonic angle term and returns its energy.
-func angleForce(a Angle, box float64, pos []vec.V3[float64], acc []vec.V3[float64]) float64 {
+func angleForce(a Angle, box float64, pos Coords[float64], acc Coords[float64]) float64 {
 	// Vectors from the vertex J to the ends.
-	rij := MinImage(pos[a.I].Sub(pos[a.J]), box)
-	rkj := MinImage(pos[a.K2].Sub(pos[a.J]), box)
+	rij := MinImage(pos.At(a.I).Sub(pos.At(a.J)), box)
+	rkj := MinImage(pos.At(a.K2).Sub(pos.At(a.J)), box)
 	lij := rij.Norm()
 	lkj := rkj.Norm()
 	if lij == 0 || lkj == 0 {
@@ -118,9 +127,9 @@ func angleForce(a Angle, box float64, pos []vec.V3[float64], acc []vec.V3[float6
 	// dcosθ/dr_i and dcosθ/dr_k:
 	fi := rkj.Scale(1 / (lij * lkj)).Sub(rij.Scale(cosT / (lij * lij))).Scale(c)
 	fk := rij.Scale(1 / (lij * lkj)).Sub(rkj.Scale(cosT / (lkj * lkj))).Scale(c)
-	acc[a.I] = acc[a.I].Add(fi)
-	acc[a.K2] = acc[a.K2].Add(fk)
-	acc[a.J] = acc[a.J].Sub(fi.Add(fk))
+	acc.Add(a.I, fi)
+	acc.Add(a.K2, fk)
+	acc.Sub(a.J, fi.Add(fk))
 	return pe
 }
 

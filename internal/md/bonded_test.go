@@ -33,11 +33,21 @@ func TestTopologyValidate(t *testing.T) {
 	}
 }
 
+// bondedForcesAoS adapts the AoS test fixtures to the SoA kernel:
+// scatter in, run, gather the forces back out.
+func bondedForcesAoS(top *Topology, box float64, pos, acc []vec.V3[float64]) (float64, error) {
+	ps := CoordsFromV3(pos)
+	as := CoordsFromV3(acc)
+	pe, err := BondedForces(top, box, ps, as)
+	copy(acc, as.V3s())
+	return pe, err
+}
+
 func TestBondForceAtEquilibriumIsZero(t *testing.T) {
 	top := &Topology{Bonds: []Bond{{I: 0, J: 1, K: 100, R0: 1.5}}}
 	pos := []vec.V3[float64]{{X: 1, Y: 1, Z: 1}, {X: 2.5, Y: 1, Z: 1}}
 	acc := make([]vec.V3[float64], 2)
-	pe, err := BondedForces(top, 20, pos, acc)
+	pe, err := bondedForcesAoS(top, 20, pos, acc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +64,7 @@ func TestBondForceDirection(t *testing.T) {
 	top := &Topology{Bonds: []Bond{{I: 0, J: 1, K: 100, R0: 1.0}}}
 	pos := []vec.V3[float64]{{X: 1, Y: 1, Z: 1}, {X: 3, Y: 1, Z: 1}}
 	acc := make([]vec.V3[float64], 2)
-	if _, err := BondedForces(top, 20, pos, acc); err != nil {
+	if _, err := bondedForcesAoS(top, 20, pos, acc); err != nil {
 		t.Fatal(err)
 	}
 	if acc[0].X <= 0 || acc[1].X >= 0 {
@@ -63,7 +73,7 @@ func TestBondForceDirection(t *testing.T) {
 	// Compressed bond pushes apart.
 	pos[1].X = 1.5
 	acc[0], acc[1] = vec.V3[float64]{}, vec.V3[float64]{}
-	if _, err := BondedForces(top, 20, pos, acc); err != nil {
+	if _, err := bondedForcesAoS(top, 20, pos, acc); err != nil {
 		t.Fatal(err)
 	}
 	if acc[0].X >= 0 || acc[1].X <= 0 {
@@ -82,7 +92,7 @@ func TestBondedNewtonThirdLaw(t *testing.T) {
 		{X: 2.9, Y: 2.0, Z: 1.3},
 	}
 	acc := make([]vec.V3[float64], 3)
-	if _, err := BondedForces(top, 20, pos, acc); err != nil {
+	if _, err := bondedForcesAoS(top, 20, pos, acc); err != nil {
 		t.Fatal(err)
 	}
 	var net vec.V3[float64]
@@ -109,14 +119,14 @@ func TestBondedForceIsNegativeGradient(t *testing.T) {
 	const box = 20.0
 	energy := func(pos []vec.V3[float64]) float64 {
 		acc := make([]vec.V3[float64], len(pos))
-		pe, err := BondedForces(top, box, pos, acc)
+		pe, err := bondedForcesAoS(top, box, pos, acc)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return pe
 	}
 	acc := make([]vec.V3[float64], len(base))
-	if _, err := BondedForces(top, box, base, acc); err != nil {
+	if _, err := bondedForcesAoS(top, box, base, acc); err != nil {
 		t.Fatal(err)
 	}
 	const h = 1e-6
@@ -156,7 +166,7 @@ func TestBondAcrossPeriodicBoundary(t *testing.T) {
 	top := &Topology{Bonds: []Bond{{I: 0, J: 1, K: 100, R0: 1.0}}}
 	pos := []vec.V3[float64]{{X: 0.4, Y: 5, Z: 5}, {X: 9.6, Y: 5, Z: 5}} // 0.8 apart via boundary
 	acc := make([]vec.V3[float64], 2)
-	pe, err := BondedForces(top, 10, pos, acc)
+	pe, err := bondedForcesAoS(top, 10, pos, acc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +180,7 @@ func TestBondCoincidentAtomsError(t *testing.T) {
 	top := &Topology{Bonds: []Bond{{I: 0, J: 1, K: 1, R0: 1}}}
 	pos := []vec.V3[float64]{{X: 1, Y: 1, Z: 1}, {X: 1, Y: 1, Z: 1}}
 	acc := make([]vec.V3[float64], 2)
-	if _, err := BondedForces(top, 10, pos, acc); err == nil {
+	if _, err := bondedForcesAoS(top, 10, pos, acc); err == nil {
 		t.Fatal("coincident bonded atoms accepted")
 	}
 }
@@ -184,7 +194,7 @@ func TestAngleEquilibrium(t *testing.T) {
 		{X: 1, Y: 2, Z: 1},
 	}
 	acc := make([]vec.V3[float64], 3)
-	pe, err := BondedForces(top, 20, pos, acc)
+	pe, err := bondedForcesAoS(top, 20, pos, acc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +216,7 @@ func TestCollinearAngleNoNaN(t *testing.T) {
 		{X: 3, Y: 1, Z: 1}, // perfectly collinear: theta = pi
 	}
 	acc := make([]vec.V3[float64], 3)
-	pe, err := BondedForces(top, 20, pos, acc)
+	pe, err := bondedForcesAoS(top, 20, pos, acc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +253,7 @@ func TestBondEnergyConservationInDynamics(t *testing.T) {
 	pos := []vec.V3[float64]{{X: 25, Y: 25, Z: 25}, {X: 26.3, Y: 25, Z: 25}} // stretched
 	vel := []vec.V3[float64]{{}, {}}
 	acc := make([]vec.V3[float64], 2)
-	pe, err := BondedForces(top, box, pos, acc)
+	pe, err := bondedForcesAoS(top, box, pos, acc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +265,7 @@ func TestBondEnergyConservationInDynamics(t *testing.T) {
 			pos[i] = Wrap(pos[i].MulAdd(dt, vel[i]), box)
 		}
 		acc[0], acc[1] = vec.V3[float64]{}, vec.V3[float64]{}
-		pe, err = BondedForces(top, box, pos, acc)
+		pe, err = bondedForcesAoS(top, box, pos, acc)
 		if err != nil {
 			t.Fatal(err)
 		}

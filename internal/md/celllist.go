@@ -17,25 +17,35 @@ import (
 // irregular O(N²) access pattern); it lives here for the ablation
 // benches and as the scalable path for the full-framework extensions
 // the paper's conclusion anticipates.
+//
+// All scratch state is carved from two grow-once arenas (one int32, one
+// T), so a steady-state rebuild allocates nothing and the whole ledger
+// cost of the cell path is the two arena makes below.
 type CellList[T vec.Float] struct {
-	dims  int     // cells per box edge
-	width T       // cell edge length (>= cutoff)
-	box   T       // box edge the grid was sized for
+	dims  int // cells per box edge
+	width T   // cell edge length (>= cutoff)
+	box   T   // box edge the grid was sized for
+
+	// Chain layout, built by Build for the force traversal.
 	heads []int32 // heads[c] = first atom in cell c, -1 if empty
 	next  []int32 // next[i] = next atom in i's cell, -1 at the end
 
 	// Packed (CSR) layout, built by BinWrapped for the neighbor-list
 	// gather: order holds atom indices grouped by cell (ascending within
-	// each cell), packed the corresponding positions copied alongside,
-	// and starts[c]..starts[c+1] delimits cell c's run. Streaming these
-	// contiguous runs beats chasing the head/next chains — each chain
-	// step is a dependent load — by a wide margin in the build's inner
-	// loop.
+	// each cell), packed the corresponding positions copied alongside as
+	// SoA planes, and starts[c]..starts[c+1] delimits cell c's run.
+	// Streaming these contiguous runs beats chasing the head/next chains
+	// — each chain step is a dependent load — by a wide margin in the
+	// build's inner loop.
 	starts []int32
 	order  []int32
-	packed []vec.V3[T]
+	packed Coords[T]
 	cursor []int32 // counting-sort scratch
 	cellOf []int32 // counting-sort scratch: each atom's cell, one fold per atom
+
+	chainInts []int32 // arena behind heads+next
+	csrInts   []int32 // arena behind starts+cursor+order+cellOf
+	csrPos    []T     // arena behind packed
 
 	builds int
 }
@@ -59,22 +69,34 @@ func NewCellList[T vec.Float](box, cutoff T) (*CellList[T], error) {
 }
 
 // NewCellListDims sizes a grid with an explicit per-edge cell count.
-// The neighbor-list builder uses this to bin with cutoff+skin-wide
-// cells (so the 27-cell shell provably covers the list radius) and to
-// cap the cell count for sparse systems, where NewCellList's "as many
-// cells as fit" policy would allocate far more cells than atoms.
+// The neighbor-list builder used to call this per geometry change; it
+// now embeds a grid by value and regeometries it with reinit, so this
+// constructor is off the hot path entirely.
 func NewCellListDims[T vec.Float](box T, dims int) (*CellList[T], error) {
 	if !(box > 0) {
-		return nil, fmt.Errorf("md: cell list needs a positive box, got %v", box) //mdlint:ignore hotalloc error-path fmt boxing; a healthy step takes the nil return and allocates nothing
+		return nil, fmt.Errorf("md: cell list needs a positive box, got %v", box)
 	}
 	if dims < 3 {
-		return nil, fmt.Errorf("md: cell grid needs >= 3 cells per edge, got %d", dims) //mdlint:ignore hotalloc error-path fmt boxing; a healthy step takes the nil return and allocates nothing
+		return nil, fmt.Errorf("md: cell grid needs >= 3 cells per edge, got %d", dims)
 	}
-	return &CellList[T]{ //mdlint:ignore hotalloc constructor; BeginBuild reuses the grid until box or dims change
+	return &CellList[T]{
 		dims:  dims,
 		width: box / T(dims),
 		box:   box,
 	}, nil
+}
+
+// reinit re-geometries the grid in place, keeping every arena. The
+// caller must guarantee box > 0 and dims >= 3 (the neighbor-list
+// builder's buildGridDims does); that precondition is what lets the
+// hot path skip the erroring constructor.
+func (cl *CellList[T]) reinit(box T, dims int) {
+	if cl.box == box && cl.dims == dims {
+		return
+	}
+	cl.dims = dims
+	cl.width = box / T(dims)
+	cl.box = box
 }
 
 // Dims returns the grid dimension per edge.
@@ -171,6 +193,30 @@ func (cl *CellList[T]) CellOfWrapped(p vec.V3[T]) int {
 		cl.axisCell(foldCoord(p.Z, cl.box))
 }
 
+// ensureCSR carves the counting-sort buffers for n atoms and ncells
+// cells out of the two CSR arenas, growing them only when capacity is
+// exceeded. noinline keeps each arena make a single ledger site rather
+// than one per inlined caller.
+//
+//go:noinline
+func (cl *CellList[T]) ensureCSR(n, ncells int) {
+	need := (ncells + 1) + ncells + n + n
+	if cap(cl.csrInts) < need {
+		cl.csrInts = make([]int32, need) //mdlint:ignore hotalloc amortized grow-once CSR arena, reused while capacity suffices
+	}
+	b := cl.csrInts[:need]
+	cl.starts = b[0 : ncells+1 : ncells+1]
+	b = b[ncells+1:]
+	cl.cursor = b[0:ncells:ncells]
+	b = b[ncells:]
+	cl.order = b[0:n:n]
+	cl.cellOf = b[n : 2*n : 2*n]
+	if cap(cl.csrPos) < 3*n {
+		cl.csrPos = make([]T, 3*n) //mdlint:ignore hotalloc amortized grow-once packed-position arena, reused while capacity suffices
+	}
+	cl.packed = coordsOver(cl.csrPos[:3*n], n)
+}
+
 // BinWrapped rebuilds the packed cell layout, folding each coordinate
 // into [0, box) first. The force-path Build assumes pre-wrapped
 // positions and clamps strays into edge cells; the neighbor-list build
@@ -179,29 +225,16 @@ func (cl *CellList[T]) CellOfWrapped(p vec.V3[T]) int {
 // image lives in. Binning is a counting sort — count, prefix-sum,
 // scatter — so order stays ascending within every cell and the whole
 // pass is O(N + cells).
-func (cl *CellList[T]) BinWrapped(pos []vec.V3[T]) {
-	n := len(pos)
+func (cl *CellList[T]) BinWrapped(pos Coords[T]) {
+	n := pos.Len()
 	ncells := cl.dims * cl.dims * cl.dims
-	if cap(cl.starts) < ncells+1 {
-		cl.starts = make([]int32, ncells+1) //mdlint:ignore hotalloc amortized grow-once rebuild buffer, reused while capacity suffices
-		cl.cursor = make([]int32, ncells)   //mdlint:ignore hotalloc amortized grow-once rebuild buffer, reused while capacity suffices
-	}
-	cl.starts = cl.starts[:ncells+1]
-	cl.cursor = cl.cursor[:ncells]
+	cl.ensureCSR(n, ncells)
 	for c := range cl.cursor {
 		cl.cursor[c] = 0
 	}
-	if cap(cl.order) < n {
-		cl.order = make([]int32, n)      //mdlint:ignore hotalloc amortized grow-once rebuild buffer, reused while capacity suffices
-		cl.packed = make([]vec.V3[T], n) //mdlint:ignore hotalloc amortized grow-once rebuild buffer, reused while capacity suffices
-		cl.cellOf = make([]int32, n)     //mdlint:ignore hotalloc amortized grow-once rebuild buffer, reused while capacity suffices
-	}
-	cl.order = cl.order[:n]
-	cl.packed = cl.packed[:n]
-	cl.cellOf = cl.cellOf[:n]
 
-	for i, p := range pos {
-		c := cl.CellOfWrapped(p)
+	for i := 0; i < n; i++ {
+		c := cl.CellOfWrapped(pos.At(i))
 		cl.cellOf[i] = int32(c)
 		cl.cursor[c]++
 	}
@@ -210,12 +243,12 @@ func (cl *CellList[T]) BinWrapped(pos []vec.V3[T]) {
 		cl.starts[c+1] = cl.starts[c] + cl.cursor[c]
 		cl.cursor[c] = cl.starts[c]
 	}
-	for i, p := range pos {
+	for i := 0; i < n; i++ {
 		c := cl.cellOf[i]
 		k := cl.cursor[c]
 		cl.cursor[c] = k + 1
 		cl.order[k] = int32(i)
-		cl.packed[k] = p
+		cl.packed.Set(int(k), pos.At(i))
 	}
 	cl.builds++
 }
@@ -226,27 +259,33 @@ func (cl *CellList[T]) CellSpan(c int) (lo, hi int32) {
 	return cl.starts[c], cl.starts[c+1]
 }
 
-// resetChains sizes and clears the head/next arrays for n atoms.
-func (cl *CellList[T]) resetChains(n int) { //mdlint:ignore hotalloc shape-merged escape verdicts land on the decl; the makes below are annotated individually
-	ncells := cl.dims * cl.dims * cl.dims
-	if cap(cl.heads) < ncells {
-		cl.heads = make([]int32, ncells) //mdlint:ignore hotalloc amortized grow-once rebuild buffer, reused while capacity suffices
+// ensureChains carves the head/next arrays out of the chain arena.
+// noinline for the same single-ledger-site reason as ensureCSR.
+//
+//go:noinline
+func (cl *CellList[T]) ensureChains(n, ncells int) {
+	need := ncells + n
+	if cap(cl.chainInts) < need {
+		cl.chainInts = make([]int32, need) //mdlint:ignore hotalloc amortized grow-once chain arena, reused while capacity suffices
 	}
-	cl.heads = cl.heads[:ncells]
+	b := cl.chainInts[:need]
+	cl.heads = b[0:ncells:ncells]
+	cl.next = b[ncells : ncells+n : ncells+n]
+}
+
+// resetChains sizes and clears the head/next arrays for n atoms.
+func (cl *CellList[T]) resetChains(n int) {
+	cl.ensureChains(n, cl.dims*cl.dims*cl.dims)
 	for i := range cl.heads {
 		cl.heads[i] = -1
 	}
-	if cap(cl.next) < n {
-		cl.next = make([]int32, n) //mdlint:ignore hotalloc amortized grow-once rebuild buffer, reused while capacity suffices
-	}
-	cl.next = cl.next[:n]
 }
 
 // Build rebuilds the linked cells from the wrapped positions.
-func (cl *CellList[T]) Build(pos []vec.V3[T]) {
-	cl.resetChains(len(pos)) //mdlint:ignore hotalloc inlined resetChains grow-once buffers, annotated at their definition
-	for i, p := range pos {
-		c := cl.cellIndex(p)
+func (cl *CellList[T]) Build(pos Coords[T]) {
+	cl.resetChains(pos.Len())
+	for i := 0; i < pos.Len(); i++ {
+		c := cl.cellIndex(pos.At(i))
 		cl.next[i] = cl.heads[c]
 		cl.heads[c] = int32(i)
 	}
@@ -257,11 +296,9 @@ func (cl *CellList[T]) Build(pos []vec.V3[T]) {
 // from the current positions first (a rebuild is O(N) and must track
 // every step). acc is overwritten; the return value is the potential
 // energy. Results match ComputeForces to rounding.
-func (cl *CellList[T]) Forces(p Params[T], pos []vec.V3[T], acc []vec.V3[T]) T {
+func (cl *CellList[T]) Forces(p Params[T], pos Coords[T], acc Coords[T]) T {
 	cl.Build(pos)
-	for i := range acc {
-		acc[i] = vec.V3[T]{}
-	}
+	acc.Zero()
 	rc2 := p.Cutoff * p.Cutoff
 	var pe T
 	d := cl.dims
@@ -270,7 +307,7 @@ func (cl *CellList[T]) Forces(p Params[T], pos []vec.V3[T], acc []vec.V3[T]) T {
 			for cz := 0; cz < d; cz++ {
 				c := (cx*d+cy)*d + cz
 				for i := cl.heads[c]; i >= 0; i = cl.next[i] {
-					pi := pos[i]
+					pi := pos.At(int(i))
 					// Within the home cell: pairs i<j only.
 					for j := cl.next[i]; j >= 0; j = cl.next[j] {
 						pe += cl.pair(p, rc2, pos, acc, int(i), int(j), pi)
@@ -291,16 +328,16 @@ func (cl *CellList[T]) Forces(p Params[T], pos []vec.V3[T], acc []vec.V3[T]) T {
 }
 
 // pair applies one i-j interaction with the minimum image.
-func (cl *CellList[T]) pair(p Params[T], rc2 T, pos []vec.V3[T], acc []vec.V3[T], i, j int, pi vec.V3[T]) T {
-	dv := MinImage(pi.Sub(pos[j]), p.Box)
+func (cl *CellList[T]) pair(p Params[T], rc2 T, pos Coords[T], acc Coords[T], i, j int, pi vec.V3[T]) T {
+	dv := MinImage(pi.Sub(pos.At(j)), p.Box)
 	r2 := dv.Norm2()
 	if r2 >= rc2 || r2 == 0 {
 		return 0
 	}
 	v, f := LJPair(p, r2)
 	fd := dv.Scale(f)
-	acc[i] = acc[i].Add(fd)
-	acc[j] = acc[j].Sub(fd)
+	acc.Add(i, fd)
+	acc.Sub(j, fd)
 	return v
 }
 

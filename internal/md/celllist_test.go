@@ -32,16 +32,16 @@ func TestCellListMatchesReference(t *testing.T) {
 	if cl.Dims() < 3 {
 		t.Fatalf("dims = %d", cl.Dims())
 	}
-	accRef := make([]vec.V3[float64], s.N())
-	accCL := make([]vec.V3[float64], s.N())
+	accRef := MakeCoords[float64](s.N())
+	accCL := MakeCoords[float64](s.N())
 	peRef := ComputeForces(s.P, s.Pos, accRef)
 	peCL := cl.Forces(s.P, s.Pos, accCL)
 	if math.Abs(peRef-peCL) > 1e-9*(1+math.Abs(peRef)) {
 		t.Fatalf("PE mismatch: ref %v, cells %v", peRef, peCL)
 	}
-	for i := range accRef {
-		if accRef[i].Sub(accCL[i]).Norm() > 1e-9*(1+accRef[i].Norm()) {
-			t.Fatalf("acc mismatch at %d: %+v vs %+v", i, accRef[i], accCL[i])
+	for i := 0; i < accRef.Len(); i++ {
+		if accRef.At(i).Sub(accCL.At(i)).Norm() > 1e-9*(1+accRef.At(i).Norm()) {
+			t.Fatalf("acc mismatch at %d: %+v vs %+v", i, accRef.At(i), accCL.At(i))
 		}
 	}
 }
@@ -58,8 +58,8 @@ func TestCellListTrajectoryMatches(t *testing.T) {
 		ref.Step()
 		opt.StepWith(func() float64 { return cl.Forces(opt.P, opt.Pos, opt.Acc) })
 	}
-	for i := range ref.Pos {
-		if d := ref.Pos[i].Sub(opt.Pos[i]).Norm(); d > 1e-8 {
+	for i := 0; i < ref.N(); i++ {
+		if d := ref.Pos.At(i).Sub(opt.Pos.At(i)).Norm(); d > 1e-8 {
 			t.Fatalf("trajectories diverged at atom %d by %v", i, d)
 		}
 	}
@@ -76,16 +76,16 @@ func TestCellListFloat32(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := md32Params(st)
-	pos := make([]vec.V3[float32], len(st.Pos))
-	for i := range pos {
-		pos[i] = vec.FromV3f64[float32](st.Pos[i])
+	pos := MakeCoords[float32](len(st.Pos))
+	for i := range st.Pos {
+		pos.Set(i, vec.FromV3f64[float32](st.Pos[i]))
 	}
 	cl, err := NewCellList(p.Box, p.Cutoff)
 	if err != nil {
 		t.Fatal(err)
 	}
-	accRef := make([]vec.V3[float32], len(pos))
-	accCL := make([]vec.V3[float32], len(pos))
+	accRef := MakeCoords[float32](pos.Len())
+	accCL := MakeCoords[float32](pos.Len())
 	peRef := ComputeForces(p, pos, accRef)
 	peCL := cl.Forces(p, pos, accCL)
 	if rel := math.Abs(float64(peRef-peCL)) / math.Abs(float64(peRef)); rel > 1e-4 {
@@ -140,13 +140,13 @@ func TestCellIndexNegativeCoordinatesClamp(t *testing.T) {
 	}
 	// Build at the boundary must produce a consistent grid: every atom
 	// reachable from exactly one cell chain.
-	pos := []vec.V3[float64]{
+	pos := CoordsFromV3([]vec.V3[float64]{
 		{X: -1e-15, Y: 9.9999999999, Z: 0},
 		{X: 5, Y: 5, Z: 5},
 		{X: 0, Y: 0, Z: -1e-16},
-	}
+	})
 	cl.Build(pos)
-	found := make([]int, len(pos))
+	found := make([]int, pos.Len())
 	for c := 0; c < cl.NumCells(); c++ {
 		for i := cl.Head(c); i >= 0; i = cl.Next(i) {
 			found[i]++

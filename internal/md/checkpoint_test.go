@@ -20,8 +20,8 @@ func TestCheckpointRoundTripBitExact(t *testing.T) {
 	if restored.P != s.P || restored.Steps != s.Steps || restored.PE != s.PE || restored.KE != s.KE {
 		t.Fatalf("header mismatch: %+v vs %+v", restored.P, s.P)
 	}
-	for i := range s.Pos {
-		if restored.Pos[i] != s.Pos[i] || restored.Vel[i] != s.Vel[i] || restored.Acc[i] != s.Acc[i] {
+	for i := 0; i < s.N(); i++ {
+		if restored.Pos.At(i) != s.Pos.At(i) || restored.Vel.At(i) != s.Vel.At(i) || restored.Acc.At(i) != s.Acc.At(i) {
 			t.Fatalf("state mismatch at atom %d", i)
 		}
 	}
@@ -48,8 +48,8 @@ func TestRestartContinuesBitExactly(t *testing.T) {
 	if restored.Steps != straight.Steps {
 		t.Fatalf("steps: %d vs %d", restored.Steps, straight.Steps)
 	}
-	for i := range straight.Pos {
-		if restored.Pos[i] != straight.Pos[i] || restored.Vel[i] != straight.Vel[i] {
+	for i := 0; i < straight.N(); i++ {
+		if restored.Pos.At(i) != straight.Pos.At(i) || restored.Vel.At(i) != straight.Vel.At(i) {
 			t.Fatalf("restart diverged at atom %d", i)
 		}
 	}
@@ -112,7 +112,7 @@ func TestCheckpointRejectsCorruptHeader(t *testing.T) {
 
 func TestCheckpointRejectsNonFiniteState(t *testing.T) {
 	s := makeSystem(t, 32, false)
-	s.Vel[3].X = nanF()
+	s.Vel.X[3] = nanF()
 	var buf bytes.Buffer
 	if err := WriteCheckpoint(&buf, s); err != nil {
 		t.Fatal(err)
@@ -195,15 +195,15 @@ func TestCheckpointV1StillLoads(t *testing.T) {
 	if fromV1.P != s.P || fromV1.Steps != s.Steps || fromV1.PE != s.PE || fromV1.KE != s.KE {
 		t.Fatal("v1 restore header mismatch")
 	}
-	for i := range s.Pos {
-		if fromV1.Pos[i] != s.Pos[i] || fromV1.Vel[i] != s.Vel[i] || fromV1.Acc[i] != s.Acc[i] {
+	for i := 0; i < s.N(); i++ {
+		if fromV1.Pos.At(i) != s.Pos.At(i) || fromV1.Vel.At(i) != s.Vel.At(i) || fromV1.Acc.At(i) != s.Acc.At(i) {
 			t.Fatalf("v1 restore state mismatch at atom %d", i)
 		}
 	}
 	fromV1.Run(5)
 	fromV2.Run(5)
-	for i := range fromV1.Pos {
-		if fromV1.Pos[i] != fromV2.Pos[i] {
+	for i := 0; i < fromV1.N(); i++ {
+		if fromV1.Pos.At(i) != fromV2.Pos.At(i) {
 			t.Fatalf("v1 and v2 restores diverged at atom %d", i)
 		}
 	}

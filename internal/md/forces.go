@@ -110,17 +110,15 @@ func MinImage27[T vec.Float](d vec.V3[T], box T) vec.V3[T] {
 // accumulate the Lennard-Jones acceleration for pairs inside the
 // cutoff. acc is overwritten; the return value is the total potential
 // energy. This is the double loop every device in the paper offloads.
-func ComputeForces[T vec.Float](p Params[T], pos []vec.V3[T], acc []vec.V3[T]) T {
-	for i := range acc {
-		acc[i] = vec.V3[T]{}
-	}
+func ComputeForces[T vec.Float](p Params[T], pos Coords[T], acc Coords[T]) T {
+	acc.Zero()
 	rc2 := p.Cutoff * p.Cutoff
 	var pe T
-	n := len(pos)
+	n := pos.Len()
 	for i := 0; i < n; i++ {
-		pi := pos[i]
+		pi := pos.At(i)
 		for j := i + 1; j < n; j++ {
-			d := MinImage(pi.Sub(pos[j]), p.Box)
+			d := MinImage(pi.Sub(pos.At(j)), p.Box)
 			r2 := d.Norm2()
 			if r2 >= rc2 || r2 == 0 {
 				continue
@@ -128,8 +126,8 @@ func ComputeForces[T vec.Float](p Params[T], pos []vec.V3[T], acc []vec.V3[T]) T
 			v, f := LJPair(p, r2)
 			pe += v
 			fd := d.Scale(f)
-			acc[i] = acc[i].Add(fd)
-			acc[j] = acc[j].Sub(fd)
+			acc.Add(i, fd)
+			acc.Sub(j, fd)
 		}
 	}
 	return pe
@@ -139,18 +137,18 @@ func ComputeForces[T vec.Float](p Params[T], pos []vec.V3[T], acc []vec.V3[T]) T
 // ordered interacting pairs (i,j) it found inside the cutoff. Device
 // models use the count to scale the data-dependent part of their cycle
 // ledgers without a second pass over the pairs.
-func ComputeForcesFullCount[T vec.Float](p Params[T], pos []vec.V3[T], acc []vec.V3[T]) (pe T, interacting int64) {
+func ComputeForcesFullCount[T vec.Float](p Params[T], pos Coords[T], acc Coords[T]) (pe T, interacting int64) {
 	rc2 := p.Cutoff * p.Cutoff
-	n := len(pos)
+	n := pos.Len()
 	for i := 0; i < n; i++ {
-		pi := pos[i]
+		pi := pos.At(i)
 		var ai vec.V3[T]
 		var pei T
 		for j := 0; j < n; j++ {
 			if j == i {
 				continue
 			}
-			d := MinImage(pi.Sub(pos[j]), p.Box)
+			d := MinImage(pi.Sub(pos.At(j)), p.Box)
 			r2 := d.Norm2()
 			if r2 >= rc2 || r2 == 0 {
 				continue
@@ -160,7 +158,7 @@ func ComputeForcesFullCount[T vec.Float](p Params[T], pos []vec.V3[T], acc []vec
 			pei += v
 			ai = ai.Add(d.Scale(f))
 		}
-		acc[i] = ai
+		acc.Set(i, ai)
 		pe += pei
 	}
 	return pe / 2, interacting
@@ -172,7 +170,7 @@ func ComputeForcesFullCount[T vec.Float](p Params[T], pos []vec.V3[T], acc []vec
 // per-SPE partitions use, where atom i's acceleration must be computable
 // independently of every other atom's. The two formulations agree to
 // rounding; tests pin that down.
-func ComputeForcesFull[T vec.Float](p Params[T], pos []vec.V3[T], acc []vec.V3[T]) T {
+func ComputeForcesFull[T vec.Float](p Params[T], pos Coords[T], acc Coords[T]) T {
 	pe, _ := ComputeForcesFullCount(p, pos, acc)
 	return pe
 }

@@ -199,11 +199,12 @@ func threeAtoms() (Params[float64], []vec.V3[float64]) {
 }
 
 func TestComputeForcesNewtonThirdLaw(t *testing.T) {
-	p, pos := threeAtoms()
-	acc := make([]vec.V3[float64], len(pos))
+	p, posV := threeAtoms()
+	pos := CoordsFromV3(posV)
+	acc := MakeCoords[float64](pos.Len())
 	ComputeForces(p, pos, acc)
 	var net vec.V3[float64]
-	for _, a := range acc {
+	for _, a := range acc.V3s() {
 		net = net.Add(a)
 	}
 	if net.Norm() > 1e-12 {
@@ -212,17 +213,18 @@ func TestComputeForcesNewtonThirdLaw(t *testing.T) {
 }
 
 func TestComputeForcesMatchesFullLoop(t *testing.T) {
-	p, pos := threeAtoms()
-	a1 := make([]vec.V3[float64], len(pos))
-	a2 := make([]vec.V3[float64], len(pos))
+	p, posV := threeAtoms()
+	pos := CoordsFromV3(posV)
+	a1 := MakeCoords[float64](pos.Len())
+	a2 := MakeCoords[float64](pos.Len())
 	pe1 := ComputeForces(p, pos, a1)
 	pe2 := ComputeForcesFull(p, pos, a2)
 	if math.Abs(pe1-pe2) > 1e-12*(1+math.Abs(pe1)) {
 		t.Fatalf("PE mismatch: half-loop %v, full-loop %v", pe1, pe2)
 	}
-	for i := range a1 {
-		if a1[i].Sub(a2[i]).Norm() > 1e-9*(1+a1[i].Norm()) {
-			t.Fatalf("acc[%d] mismatch: %+v vs %+v", i, a1[i], a2[i])
+	for i := 0; i < a1.Len(); i++ {
+		if a1.At(i).Sub(a2.At(i)).Norm() > 1e-9*(1+a1.At(i).Norm()) {
+			t.Fatalf("acc[%d] mismatch: %+v vs %+v", i, a1.At(i), a2.At(i))
 		}
 	}
 }
@@ -230,10 +232,10 @@ func TestComputeForcesMatchesFullLoop(t *testing.T) {
 func TestComputeForcesCutoffRespected(t *testing.T) {
 	// Two atoms beyond the cutoff: zero force, zero PE.
 	p := testParams(20)
-	pos := []vec.V3[float64]{{X: 1, Y: 1, Z: 1}, {X: 1 + p.Cutoff + 0.1, Y: 1, Z: 1}}
-	acc := make([]vec.V3[float64], 2)
+	pos := CoordsFromV3([]vec.V3[float64]{{X: 1, Y: 1, Z: 1}, {X: 1 + p.Cutoff + 0.1, Y: 1, Z: 1}})
+	acc := MakeCoords[float64](2)
 	pe := ComputeForces(p, pos, acc)
-	if pe != 0 || acc[0].Norm2() != 0 || acc[1].Norm2() != 0 {
+	if pe != 0 || acc.At(0).Norm2() != 0 || acc.At(1).Norm2() != 0 {
 		t.Fatalf("interaction beyond cutoff: pe=%v acc=%v", pe, acc)
 	}
 }
@@ -242,30 +244,31 @@ func TestComputeForcesAcrossBoundary(t *testing.T) {
 	// Two atoms adjacent across the periodic boundary must interact as
 	// if they were 1.0 apart, not box-1.0 apart.
 	p := testParams(10)
-	pos := []vec.V3[float64]{{X: 0.5, Y: 5, Z: 5}, {X: 9.5, Y: 5, Z: 5}}
-	acc := make([]vec.V3[float64], 2)
+	pos := CoordsFromV3([]vec.V3[float64]{{X: 0.5, Y: 5, Z: 5}, {X: 9.5, Y: 5, Z: 5}})
+	acc := MakeCoords[float64](2)
 	pe := ComputeForces(p, pos, acc)
 	wantV, wantF := LJPair(p, 1.0)
 	if math.Abs(pe-wantV) > 1e-12 {
 		t.Fatalf("PE across boundary = %v, want %v", pe, wantV)
 	}
 	// d = pos0 - pos1 min-imaged = +1 in x, so acc[0].X = f*1.
-	if math.Abs(acc[0].X-wantF) > 1e-12 {
-		t.Fatalf("acc[0].X = %v, want %v", acc[0].X, wantF)
+	if math.Abs(acc.X[0]-wantF) > 1e-12 {
+		t.Fatalf("acc[0].X = %v, want %v", acc.X[0], wantF)
 	}
 }
 
 func TestComputeForcesOverwritesAcc(t *testing.T) {
-	p, pos := threeAtoms()
-	acc := make([]vec.V3[float64], len(pos))
-	for i := range acc {
-		acc[i] = vec.V3[float64]{X: 99, Y: 99, Z: 99} // stale garbage
+	p, posV := threeAtoms()
+	pos := CoordsFromV3(posV)
+	acc := MakeCoords[float64](pos.Len())
+	for i := 0; i < acc.Len(); i++ {
+		acc.Set(i, vec.V3[float64]{X: 99, Y: 99, Z: 99}) // stale garbage
 	}
 	ComputeForces(p, pos, acc)
-	fresh := make([]vec.V3[float64], len(pos))
+	fresh := MakeCoords[float64](pos.Len())
 	ComputeForces(p, pos, fresh)
-	for i := range acc {
-		if acc[i] != fresh[i] {
+	for i := 0; i < acc.Len(); i++ {
+		if acc.At(i) != fresh.At(i) {
 			t.Fatalf("acc not overwritten at %d", i)
 		}
 	}

@@ -140,8 +140,9 @@ func FuzzNeighborListBuild(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ref.BuildN2(p, pos)
-		got.Build(p, pos)
+		posC := CoordsFromV3(pos)
+		ref.BuildN2(p, posC)
+		got.Build(p, posC)
 		for i := 0; i < nn; i++ {
 			w, g := ref.Neighbors(i), got.Neighbors(i)
 			if len(w) != len(g) {
@@ -215,4 +216,128 @@ func checkMinImageAgreement(t *testing.T, dx, dy, dz, box float64) {
 	if diff := a.Norm2() - c.Norm2(); diff > tol || diff < -tol {
 		t.Fatalf("branch norm %v vs 27-cell norm %v for %v (box %v)", a.Norm2(), c.Norm2(), d, box)
 	}
+}
+
+// FuzzSoAState drives the SoA state machinery through randomized
+// shapes and hostile inputs: arena reuse across Resize must preserve
+// the backing store and never bleed one plane into another,
+// gather/scatter between the SoA planes and AoS vectors must be
+// bit-exact, a v3 checkpoint must survive encode -> decode -> encode
+// with byte-identical output, and corrupted or truncated legacy
+// v1/v2 streams must be rejected with an error, never a panic.
+func FuzzSoAState(f *testing.F) {
+	f.Add(uint64(1), uint8(16), uint16(3), uint16(40))
+	f.Add(uint64(2), uint8(1), uint16(0), uint16(0))
+	f.Add(uint64(3), uint8(97), uint16(999), uint16(7))
+	f.Add(uint64(4), uint8(255), uint16(12), uint16(76)) // atom-count byte
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint8, growRaw, hostileRaw uint16) {
+		rng := xrand.New(seed)
+		n := int(nRaw)%100 + 1
+
+		// Gather/scatter round trip: AoS -> SoA -> AoS is bit-exact.
+		src := make([]vec.V3[float64], n)
+		for i := range src {
+			src[i] = vec.V3[float64]{
+				X: (rng.Float64() - 0.5) * 20,
+				Y: (rng.Float64() - 0.5) * 20,
+				Z: (rng.Float64() - 0.5) * 20,
+			}
+		}
+		c := CoordsFromV3(src)
+		back := c.V3s()
+		for i := range src {
+			if back[i] != src[i] {
+				t.Fatalf("gather/scatter round trip changed element %d: %+v -> %+v", i, src[i], back[i])
+			}
+		}
+
+		// Plane isolation: the capacity-clamped planes make append
+		// reallocate instead of growing into the neighboring plane.
+		if n > 1 {
+			grown := append(c.X, 12345)
+			grown[0] = -12345 // must not alias c.X after the realloc
+			if c.Y[0] != src[0].Y {
+				t.Fatalf("appending to X bled into Y: %v", c.Y[0])
+			}
+			if c.X[0] == -12345 {
+				t.Fatal("append within capacity aliased the X plane")
+			}
+		}
+
+		// Arena reuse: shrinking and regrowing within the original
+		// capacity keeps the same backing arena and the surviving
+		// prefix; growing past it reallocates and Len tracks.
+		arena0 := &c.X[0]
+		small := int(growRaw)%n + 1
+		c.Resize(small)
+		if c.Len() != small {
+			t.Fatalf("Resize(%d): Len = %d", small, c.Len())
+		}
+		for i := 0; i < small; i++ {
+			if c.At(i) != src[i] {
+				t.Fatalf("Resize shrink lost element %d", i)
+			}
+		}
+		c.Resize(n)
+		if &c.X[0] != arena0 {
+			t.Fatal("Resize within capacity reallocated the arena")
+		}
+		c.Resize(n + int(growRaw)%64 + 1)
+		if c.Len() != n+int(growRaw)%64+1 {
+			t.Fatalf("grow Resize: Len = %d", c.Len())
+		}
+		c.Set(c.Len()-1, vec.V3[float64]{X: 1, Y: 2, Z: 3})
+		if c.At(c.Len()-1) != (vec.V3[float64]{X: 1, Y: 2, Z: 3}) {
+			t.Fatal("grown arena does not hold writes")
+		}
+
+		// Checkpoint v3 byte stability: encode -> decode -> encode is
+		// byte-identical (same header, same plane order, same CRC).
+		sys := &System[float64]{P: Params[float64]{Box: 10, Cutoff: 2.5, Dt: 0.004}}
+		sys.newSystemState(n)
+		sys.Pos.Scatter(src)
+		for i := 0; i < n; i++ {
+			sys.Vel.Set(i, vec.V3[float64]{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()})
+			sys.Acc.Set(i, vec.V3[float64]{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()})
+		}
+		sys.PE, sys.KE = rng.Float64(), rng.Float64()
+		sys.Steps = int(seed % 1000)
+		var enc1 bytes.Buffer
+		if err := WriteCheckpoint(&enc1, sys); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		dec, err := ReadCheckpoint(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of fresh v3 checkpoint: %v", err)
+		}
+		var enc2 bytes.Buffer
+		if err := WriteCheckpoint(&enc2, dec); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Fatal("v3 checkpoint encode -> decode -> encode is not byte-stable")
+		}
+
+		// Hostile legacy streams: a bit-flipped v2 fails its CRC (or an
+		// earlier header check) and any truncated v1/v2 is refused —
+		// with an error in every case, never a panic or a silent accept.
+		var v1, v2 bytes.Buffer
+		if err := writeCheckpointV1(&v1, sys); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeCheckpointV2(&v2, sys); err != nil {
+			t.Fatal(err)
+		}
+		flipped := append([]byte(nil), v2.Bytes()...)
+		flipped[int(hostileRaw)%len(flipped)] ^= 0x40
+		if _, err := ReadCheckpoint(bytes.NewReader(flipped)); err == nil {
+			t.Fatal("bit-flipped v2 checkpoint accepted")
+		}
+		for _, legacy := range [][]byte{v1.Bytes(), v2.Bytes()} {
+			cut := int(hostileRaw) % len(legacy) // strictly shorter than the stream
+			if _, err := ReadCheckpoint(bytes.NewReader(legacy[:cut])); err == nil {
+				t.Fatal("truncated legacy checkpoint accepted")
+			}
+		}
+	})
 }

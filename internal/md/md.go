@@ -81,18 +81,36 @@ func (p Params[T]) Validate() error {
 	return nil
 }
 
-// System is the full dynamic state of a simulation.
+// System is the full dynamic state of a simulation. The hot state
+// (positions, velocities, accelerations) lives in SoA component planes
+// carved from one arena allocated at construction, so steady-state
+// stepping never touches the heap.
 type System[T vec.Float] struct {
 	P   Params[T]
-	Pos []vec.V3[T] // wrapped into [0, Box)
-	Vel []vec.V3[T]
-	Acc []vec.V3[T]
+	Pos Coords[T] // wrapped into [0, Box)
+	Vel Coords[T]
+	Acc Coords[T]
 
 	// Energies from the most recent force evaluation / step.
 	PE T // potential energy
 	KE T // kinetic energy
 
 	Steps int // completed integration steps
+
+	// [dirtyLo, dirtyHi) is the window of positions modified since the
+	// last ClaimPosDirty — the signal Mirror32's incremental refresh
+	// consumes. Single-consumer by design: the first claimer resets it.
+	dirtyLo, dirtyHi int
+}
+
+// newSystemState allocates the Pos/Vel/Acc planes for n atoms from a
+// single 9n-element arena and marks all positions dirty.
+func (s *System[T]) newSystemState(n int) {
+	arena := make([]T, 9*n)
+	s.Pos = coordsOver(arena, n)
+	s.Vel = coordsOver(arena[3*n:], n)
+	s.Acc = coordsOver(arena[6*n:], n)
+	s.MarkPosDirty(0, n)
 }
 
 // NewSystem builds a System at precision T from a generated initial
@@ -103,15 +121,11 @@ func NewSystem[T vec.Float](st *lattice.State, p Params[T]) (*System[T], error) 
 		return nil, err
 	}
 	n := len(st.Pos)
-	s := &System[T]{
-		P:   p,
-		Pos: make([]vec.V3[T], n),
-		Vel: make([]vec.V3[T], n),
-		Acc: make([]vec.V3[T], n),
-	}
+	s := &System[T]{P: p}
+	s.newSystemState(n)
 	for i := 0; i < n; i++ {
-		s.Pos[i] = vec.FromV3f64[T](st.Pos[i])
-		s.Vel[i] = vec.FromV3f64[T](st.Vel[i])
+		s.Pos.Set(i, vec.FromV3f64[T](st.Pos[i]))
+		s.Vel.Set(i, vec.FromV3f64[T](st.Vel[i]))
 	}
 	s.wrapAll()
 	s.PE = ComputeForces(s.P, s.Pos, s.Acc)
@@ -120,43 +134,86 @@ func NewSystem[T vec.Float](st *lattice.State, p Params[T]) (*System[T], error) 
 }
 
 // N returns the number of atoms.
-func (s *System[T]) N() int { return len(s.Pos) }
+func (s *System[T]) N() int { return s.Pos.Len() }
+
+// MarkPosDirty widens the dirty-position window to cover [lo, hi).
+// Anything that mutates Pos outside StepWithE (minimizers, checkpoint
+// restores, device downloads) must call this, or incremental shadow
+// refreshes will miss the rows.
+func (s *System[T]) MarkPosDirty(lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	if s.dirtyLo >= s.dirtyHi { // empty window: adopt
+		s.dirtyLo, s.dirtyHi = lo, hi
+		return
+	}
+	if lo < s.dirtyLo {
+		s.dirtyLo = lo
+	}
+	if hi > s.dirtyHi {
+		s.dirtyHi = hi
+	}
+}
+
+// ClaimPosDirty returns the current dirty-position window and resets it
+// to empty. Single consumer: whoever claims the window owns refreshing
+// those rows; a second claimer before the next mutation sees [0, 0).
+func (s *System[T]) ClaimPosDirty() (lo, hi int) {
+	lo, hi = s.dirtyLo, s.dirtyHi
+	s.dirtyLo, s.dirtyHi = 0, 0
+	if lo >= hi {
+		return 0, 0
+	}
+	return lo, hi
+}
 
 // TotalEnergy returns PE + KE from the latest evaluation.
 func (s *System[T]) TotalEnergy() T { return s.PE + s.KE }
 
 // Temperature returns the instantaneous reduced temperature 2KE/(3N).
 func (s *System[T]) Temperature() T {
-	if len(s.Vel) == 0 {
+	if s.Vel.Len() == 0 {
 		return 0
 	}
-	return 2 * s.KE / (3 * T(len(s.Vel)))
+	return 2 * s.KE / (3 * T(s.Vel.Len()))
 }
 
 // Momentum returns the total momentum (unit masses).
 func (s *System[T]) Momentum() vec.V3[T] {
 	var p vec.V3[T]
-	for _, v := range s.Vel {
-		p = p.Add(v)
+	for i := 0; i < s.Vel.Len(); i++ {
+		p = p.Add(s.Vel.At(i))
 	}
 	return p
 }
 
-// Clone returns a deep copy of the system, used to run the same state
-// on several devices.
+// Clone returns a deep copy of the system (fresh arena), used to run
+// the same state on several devices and to snapshot for checkpoints.
 func (s *System[T]) Clone() *System[T] {
 	c := &System[T]{P: s.P, PE: s.PE, KE: s.KE, Steps: s.Steps}
-	c.Pos = append([]vec.V3[T](nil), s.Pos...)
-	c.Vel = append([]vec.V3[T](nil), s.Vel...)
-	c.Acc = append([]vec.V3[T](nil), s.Acc...)
+	c.newSystemState(s.N())
+	c.Pos.CopyFrom(s.Pos)
+	c.Vel.CopyFrom(s.Vel)
+	c.Acc.CopyFrom(s.Acc)
 	return c
 }
 
-// wrapAll folds every position back into [0, Box).
+// wrapAll folds every position back into [0, Box). Plane-wise: wrap1
+// acts on one component at a time, so per-plane iteration performs the
+// identical operations as the old per-atom Wrap.
 func (s *System[T]) wrapAll() {
-	for i := range s.Pos {
-		s.Pos[i] = Wrap(s.Pos[i], s.P.Box)
+	box := s.P.Box
+	for i, x := range s.Pos.X {
+		s.Pos.X[i] = wrap1(x, box)
 	}
+	for i, y := range s.Pos.Y {
+		s.Pos.Y[i] = wrap1(y, box)
+	}
+	for i, z := range s.Pos.Z {
+		s.Pos.Z[i] = wrap1(z, box)
+	}
+	s.MarkPosDirty(0, s.N())
 }
 
 // Wrap folds one coordinate vector into [0, box) per component. It
@@ -213,23 +270,43 @@ func (s *System[T]) StepWith(forces func() T) {
 func (s *System[T]) StepWithE(forces func() (T, error)) error {
 	dt := s.P.Dt
 	half := dt / 2
-	for i := range s.Vel {
-		s.Vel[i] = s.Vel[i].MulAdd(half, s.Acc[i]) // half kick
-	}
-	for i := range s.Pos {
-		s.Pos[i] = Wrap(s.Pos[i].MulAdd(dt, s.Vel[i]), s.P.Box) // drift + wrap
-	}
+	box := s.P.Box
+	// The kick/drift loops run plane-wise over the SoA arrays: each
+	// component update (v += half*a; p = wrap1(p + dt*v)) is independent
+	// across components, so the per-plane order performs exactly the
+	// same FP operations as the old per-atom MulAdd/Wrap.
+	halfKick(s.Vel.X, s.Acc.X, half)
+	halfKick(s.Vel.Y, s.Acc.Y, half)
+	halfKick(s.Vel.Z, s.Acc.Z, half)
+	drift(s.Pos.X, s.Vel.X, dt, box)
+	drift(s.Pos.Y, s.Vel.Y, dt, box)
+	drift(s.Pos.Z, s.Vel.Z, dt, box)
+	s.MarkPosDirty(0, s.N())
 	pe, err := forces()
 	if err != nil {
 		return err
 	}
 	s.PE = pe
-	for i := range s.Vel {
-		s.Vel[i] = s.Vel[i].MulAdd(half, s.Acc[i]) // second half kick
-	}
+	halfKick(s.Vel.X, s.Acc.X, half)
+	halfKick(s.Vel.Y, s.Acc.Y, half)
+	halfKick(s.Vel.Z, s.Acc.Z, half)
 	s.KE = KineticEnergy(s.Vel)
 	s.Steps++
 	return nil
+}
+
+// halfKick folds vel += h*acc over one component plane.
+func halfKick[T vec.Float](vel, acc []T, h T) {
+	for i, a := range acc {
+		vel[i] += h * a
+	}
+}
+
+// drift advances pos += dt*vel and wraps, over one component plane.
+func drift[T vec.Float](pos, vel []T, dt, box T) {
+	for i, v := range vel {
+		pos[i] = wrap1(pos[i]+dt*v, box)
+	}
 }
 
 // Run advances n steps with the reference force kernel.
@@ -240,10 +317,13 @@ func (s *System[T]) Run(n int) {
 }
 
 // KineticEnergy returns sum(v²)/2 over the velocity set (unit masses).
-func KineticEnergy[T vec.Float](vel []vec.V3[T]) T {
+// Deliberately atom-major: Norm2's left-associated (x²+y²)+z² per atom
+// is part of the pinned bit pattern, so this one reduction must not be
+// restructured plane-wise.
+func KineticEnergy[T vec.Float](vel Coords[T]) T {
 	var ke T
-	for _, v := range vel {
-		ke += v.Norm2()
+	for i := 0; i < vel.Len(); i++ {
+		ke += vel.At(i).Norm2()
 	}
 	return ke / 2
 }

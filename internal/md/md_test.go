@@ -34,7 +34,7 @@ func TestNewSystemEvaluatesForces(t *testing.T) {
 		t.Fatal("PE is zero after NewSystem; forces not evaluated")
 	}
 	anyAcc := false
-	for _, a := range s.Acc {
+	for _, a := range s.Acc.V3s() {
 		if a.Norm2() > 0 {
 			anyAcc = true
 			break
@@ -109,7 +109,7 @@ func TestMomentumConservation(t *testing.T) {
 func TestPositionsStayWrapped(t *testing.T) {
 	s := makeSystem(t, 64, false)
 	s.Run(100)
-	for i, p := range s.Pos {
+	for i, p := range s.Pos.V3s() {
 		if p.X < 0 || p.X >= s.P.Box || p.Y < 0 || p.Y >= s.P.Box || p.Z < 0 || p.Z >= s.P.Box {
 			t.Fatalf("atom %d escaped the box: %+v", i, p)
 		}
@@ -131,7 +131,7 @@ func TestCloneIsDeep(t *testing.T) {
 	if c.Steps != 0 {
 		t.Fatal("clone's step counter advanced with original")
 	}
-	if c.Pos[0] == s.Pos[0] && c.Vel[0] == s.Vel[0] {
+	if c.Pos.At(0) == s.Pos.At(0) && c.Vel.At(0) == s.Vel.At(0) {
 		t.Fatal("clone shares state with original after stepping")
 	}
 }
@@ -141,8 +141,8 @@ func TestCloneRunsIdentically(t *testing.T) {
 	c := s.Clone()
 	s.Run(20)
 	c.Run(20)
-	for i := range s.Pos {
-		if s.Pos[i] != c.Pos[i] {
+	for i := 0; i < s.N(); i++ {
+		if s.Pos.At(i) != c.Pos.At(i) {
 			t.Fatalf("clone diverged at atom %d", i)
 		}
 	}
@@ -192,15 +192,15 @@ func TestStepWithCustomForces(t *testing.T) {
 	b := a.Clone()
 	a.Step()
 	b.StepWith(func() float64 { return ComputeForces(b.P, b.Pos, b.Acc) })
-	for i := range a.Pos {
-		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+	for i := 0; i < a.N(); i++ {
+		if a.Pos.At(i) != b.Pos.At(i) || a.Vel.At(i) != b.Vel.At(i) {
 			t.Fatalf("StepWith diverged from Step at atom %d", i)
 		}
 	}
 }
 
 func TestKineticEnergyHandChecked(t *testing.T) {
-	ke := KineticEnergy([]vec.V3[float64]{{X: 1}, {Y: 2}})
+	ke := KineticEnergy(CoordsFromV3([]vec.V3[float64]{{X: 1}, {Y: 2}}))
 	if ke != 0.5*(1+4) {
 		t.Fatalf("KE = %v, want 2.5", ke)
 	}
@@ -214,12 +214,12 @@ func TestVerletTimeReversibility(t *testing.T) {
 	start := s.Clone()
 	const steps = 40
 	s.Run(steps)
-	for i := range s.Vel {
-		s.Vel[i] = s.Vel[i].Neg()
+	for i := 0; i < s.N(); i++ {
+		s.Vel.Set(i, s.Vel.At(i).Neg())
 	}
 	s.Run(steps)
-	for i := range s.Pos {
-		d := MinImage(s.Pos[i].Sub(start.Pos[i]), s.P.Box).Norm()
+	for i := 0; i < s.N(); i++ {
+		d := MinImage(s.Pos.At(i).Sub(start.Pos.At(i)), s.P.Box).Norm()
 		if d > 1e-7 {
 			t.Fatalf("atom %d did not return: displaced by %v", i, d)
 		}

@@ -1,10 +1,6 @@
 package md
 
-import (
-	"fmt"
-
-	"repro/internal/vec"
-)
+import "fmt"
 
 // Energy minimization: production frameworks relax a configuration
 // before dynamics so that overlapping atoms don't blow up the first
@@ -36,8 +32,8 @@ func Minimize(s *System[float64], maxSteps int, fTol float64) (*MinimizeResult, 
 	res := &MinimizeResult{InitialPE: ComputeForces(s.P, s.Pos, s.Acc)}
 	pe := res.InitialPE
 	step := 0.01
-	trial := make([]vec.V3[float64], s.N())
-	trialAcc := make([]vec.V3[float64], s.N())
+	trial := MakeCoords[float64](s.N())
+	trialAcc := MakeCoords[float64](s.N())
 	for iter := 0; iter < maxSteps; iter++ {
 		maxF := maxForceComponent(s.Acc)
 		if maxF < fTol {
@@ -46,13 +42,14 @@ func Minimize(s *System[float64], maxSteps int, fTol float64) (*MinimizeResult, 
 		}
 		// Trial move: displace along the (unit-capped) force direction.
 		scale := step / maxF
-		for i := range trial {
-			trial[i] = Wrap(s.Pos[i].MulAdd(scale, s.Acc[i]), s.P.Box)
+		for i := 0; i < trial.Len(); i++ {
+			trial.Set(i, Wrap(s.Pos.At(i).MulAdd(scale, s.Acc.At(i)), s.P.Box))
 		}
 		trialPE := ComputeForces(s.P, trial, trialAcc)
 		if trialPE < pe {
-			copy(s.Pos, trial)
-			copy(s.Acc, trialAcc)
+			s.Pos.CopyFrom(trial)
+			s.Acc.CopyFrom(trialAcc)
+			s.MarkPosDirty(0, s.N())
 			pe = trialPE
 			step *= 1.2
 			if step > 0.2 {
@@ -77,9 +74,10 @@ func Minimize(s *System[float64], maxSteps int, fTol float64) (*MinimizeResult, 
 }
 
 // maxForceComponent returns the largest |component| over all forces.
-func maxForceComponent(acc []vec.V3[float64]) float64 {
+func maxForceComponent(acc Coords[float64]) float64 {
 	var m float64
-	for _, a := range acc {
+	for i := 0; i < acc.Len(); i++ {
+		a := acc.At(i)
 		for _, c := range [3]float64{a.X, a.Y, a.Z} {
 			if c < 0 {
 				c = -c

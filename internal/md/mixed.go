@@ -38,7 +38,15 @@ func NarrowParams(p Params[float64]) Params[float32] {
 // the host fast path.
 type Mirror32 struct {
 	P   Params[float32]
-	Pos []vec.V3[float32]
+	Pos Coords[float32]
+
+	// synced is true once Pos holds a complete narrow of the master it
+	// was last refreshed from, which is what licenses the incremental
+	// RefreshSystem path to narrow only the dirty window.
+	synced bool
+	// rowsNarrowed counts the individual rows narrowed across all
+	// refreshes — the observable the dirty-row counting test pins.
+	rowsNarrowed int64
 }
 
 // NewMirror32 narrows the parameters and validates them at float32:
@@ -53,18 +61,49 @@ func NewMirror32(p Params[float64]) (*Mirror32, error) {
 	return &Mirror32{P: p32}, nil
 }
 
-// Refresh narrows the master positions into the mirror. Each
-// conversion is a correctly-rounded Narrow; the cost is O(N) against
-// the force loop's O(N·pairs).
-func (m *Mirror32) Refresh(pos []vec.V3[float64]) {
-	if cap(m.Pos) < len(pos) {
-		m.Pos = make([]vec.V3[float32], len(pos))
+// narrowRows narrows master rows [lo, hi) into the mirror planes.
+func (m *Mirror32) narrowRows(pos Coords[float64], lo, hi int) {
+	for i := lo; i < hi; i++ {
+		m.Pos.X[i] = vec.Narrow[float32](pos.X[i])
+		m.Pos.Y[i] = vec.Narrow[float32](pos.Y[i])
+		m.Pos.Z[i] = vec.Narrow[float32](pos.Z[i])
 	}
-	m.Pos = m.Pos[:len(pos)]
-	for i, p := range pos {
-		m.Pos[i] = vec.FromV3f64[float32](p)
-	}
+	m.rowsNarrowed += int64(hi - lo)
 }
+
+// Refresh narrows the master positions into the mirror, all rows,
+// unconditionally. Each conversion is a correctly-rounded Narrow; the
+// cost is O(N) against the force loop's O(N·pairs). Callers that hold
+// the master System should prefer RefreshSystem, which skips rows the
+// master has not touched since the last refresh.
+func (m *Mirror32) Refresh(pos Coords[float64]) {
+	m.Pos.Resize(pos.Len())
+	m.narrowRows(pos, 0, pos.Len())
+	m.synced = true
+}
+
+// RefreshSystem narrows only the master rows dirtied since the last
+// refresh, claiming the system's dirty-position window. The first call
+// (or any call after the mirror lost sync with the master's size)
+// narrows everything; a call when the master has not moved narrows
+// nothing — the fix for the full-shadow refresh the mirror used to pay
+// on every evaluation even between position updates. Single consumer:
+// one mirror per System, or windows will be claimed out from under
+// each other.
+func (m *Mirror32) RefreshSystem(s *System[float64]) {
+	n := s.N()
+	if !m.synced || m.Pos.Len() != n {
+		s.ClaimPosDirty() // consumed by the full refresh below
+		m.Refresh(s.Pos)
+		return
+	}
+	lo, hi := s.ClaimPosDirty()
+	m.narrowRows(s.Pos, lo, hi)
+}
+
+// RowsNarrowed returns the cumulative number of rows narrowed by all
+// refreshes of this mirror.
+func (m *Mirror32) RowsNarrowed() int64 { return m.rowsNarrowed }
 
 // ForcesPairlistMixed evaluates the Verlet-list LJ forces with
 // float32 pair geometry and float64 accumulation: the list is rebuilt
@@ -74,19 +113,17 @@ func (m *Mirror32) Refresh(pos []vec.V3[float64]) {
 // overwritten; the return value is the float64 potential energy. The
 // pair order is the list order (fixed by the build, which is itself
 // bitwise sharding-independent), so the result is deterministic.
-func ForcesPairlistMixed(nl *NeighborList[float32], p Params[float32], pos []vec.V3[float32], acc []vec.V3[float64]) float64 {
+func ForcesPairlistMixed(nl *NeighborList[float32], p Params[float32], pos Coords[float32], acc Coords[float64]) float64 {
 	if nl.Stale(p, pos) {
 		nl.Build(p, pos)
 	}
-	for i := range acc {
-		acc[i] = vec.V3[float64]{}
-	}
+	acc.Zero()
 	rc2 := p.Cutoff * p.Cutoff
 	var pe float64
 	for i, js := range nl.pairs {
-		pi := pos[i]
+		pi := pos.At(i)
 		for _, j := range js {
-			d := MinImage(pi.Sub(pos[j]), p.Box)
+			d := MinImage(pi.Sub(pos.At(int(j))), p.Box)
 			r2 := d.Norm2()
 			if r2 >= rc2 || r2 == 0 {
 				continue
@@ -94,8 +131,8 @@ func ForcesPairlistMixed(nl *NeighborList[float32], p Params[float32], pos []vec
 			v, f := LJPair(p, r2)
 			pe += vec.Widen(v)
 			fd := d.Scale(f)
-			acc[i] = vec.AccumAdd(acc[i], fd)
-			acc[j] = vec.AccumSub(acc[j], fd)
+			acc.Set(i, vec.AccumAdd(acc.At(i), fd))
+			acc.Set(int(j), vec.AccumSub(acc.At(int(j)), fd))
 		}
 	}
 	nl.queries++
@@ -106,11 +143,9 @@ func ForcesPairlistMixed(nl *NeighborList[float32], p Params[float32], pos []vec
 // pair geometry and float64 accumulation, rebuilding the grid from
 // the float32 positions first (O(N), tracks every step). acc is
 // overwritten; the return value is the float64 potential energy.
-func ForcesCellMixed(cl *CellList[float32], p Params[float32], pos []vec.V3[float32], acc []vec.V3[float64]) float64 {
+func ForcesCellMixed(cl *CellList[float32], p Params[float32], pos Coords[float32], acc Coords[float64]) float64 {
 	cl.Build(pos)
-	for i := range acc {
-		acc[i] = vec.V3[float64]{}
-	}
+	acc.Zero()
 	rc2 := p.Cutoff * p.Cutoff
 	var pe float64
 	d := cl.dims
@@ -119,7 +154,7 @@ func ForcesCellMixed(cl *CellList[float32], p Params[float32], pos []vec.V3[floa
 			for cz := 0; cz < d; cz++ {
 				c := (cx*d+cy)*d + cz
 				for i := cl.heads[c]; i >= 0; i = cl.next[i] {
-					pi := pos[i]
+					pi := pos.At(int(i))
 					// Within the home cell: pairs i<j only.
 					for j := cl.next[i]; j >= 0; j = cl.next[j] {
 						pe += pairMixed(p, rc2, pos, acc, int(i), int(j), pi)
@@ -141,16 +176,16 @@ func ForcesCellMixed(cl *CellList[float32], p Params[float32], pos []vec.V3[floa
 
 // pairMixed applies one i-j interaction at float32 and folds it into
 // the float64 accumulators, returning the widened pair energy.
-func pairMixed(p Params[float32], rc2 float32, pos []vec.V3[float32], acc []vec.V3[float64], i, j int, pi vec.V3[float32]) float64 {
-	dv := MinImage(pi.Sub(pos[j]), p.Box)
+func pairMixed(p Params[float32], rc2 float32, pos Coords[float32], acc Coords[float64], i, j int, pi vec.V3[float32]) float64 {
+	dv := MinImage(pi.Sub(pos.At(j)), p.Box)
 	r2 := dv.Norm2()
 	if r2 >= rc2 || r2 == 0 {
 		return 0
 	}
 	v, f := LJPair(p, r2)
 	fd := dv.Scale(f)
-	acc[i] = vec.AccumAdd(acc[i], fd)
-	acc[j] = vec.AccumSub(acc[j], fd)
+	acc.Set(i, vec.AccumAdd(acc.At(i), fd))
+	acc.Set(j, vec.AccumSub(acc.At(j), fd))
 	return vec.Widen(v)
 }
 

@@ -16,7 +16,7 @@ import (
 // instead of the near-cancelling forces of a perfect crystal. These
 // are the "randomized periodic boxes" the mixed-precision error pin
 // runs on; varying the seed varies the whole trajectory.
-func randomizedBox(t *testing.T, n int, seed uint64) ([]vec.V3[float64], Params[float64]) {
+func randomizedBox(t *testing.T, n int, seed uint64) (Coords[float64], Params[float64]) {
 	t.Helper()
 	st, err := lattice.Generate(lattice.Config{
 		N: n, Density: 0.8442, Temperature: 0.728, Kind: lattice.FCC, Seed: seed,
@@ -45,23 +45,23 @@ func randomizedBox(t *testing.T, n int, seed uint64) ([]vec.V3[float64], Params[
 // it, and where opposing steep pairs cancel a component toward zero
 // it is measured against the strongest force present instead of
 // exploding to 0/0 (the usual force-error normalization in MD).
-func forceScale(acc []vec.V3[float64]) float64 {
+func forceScale(acc Coords[float64]) float64 {
 	var m float64
-	for _, a := range acc {
+	for _, a := range acc.V3s() {
 		m = math.Max(m, math.Max(math.Abs(a.X), math.Max(math.Abs(a.Y), math.Abs(a.Z))))
 	}
 	return m
 }
 
-func maxRelErr(f32acc []vec.V3[float64], oracle []vec.V3[float64], scale float64) float64 {
+func maxRelErr(f32acc Coords[float64], oracle Coords[float64], scale float64) float64 {
 	worst := 0.0
 	rel := func(got, want float64) float64 {
 		return math.Abs(got-want) / math.Max(math.Abs(want), scale)
 	}
-	for i := range oracle {
-		worst = math.Max(worst, rel(f32acc[i].X, oracle[i].X))
-		worst = math.Max(worst, rel(f32acc[i].Y, oracle[i].Y))
-		worst = math.Max(worst, rel(f32acc[i].Z, oracle[i].Z))
+	for i := 0; i < oracle.Len(); i++ {
+		worst = math.Max(worst, rel(f32acc.X[i], oracle.X[i]))
+		worst = math.Max(worst, rel(f32acc.Y[i], oracle.Y[i]))
+		worst = math.Max(worst, rel(f32acc.Z[i], oracle.Z[i]))
 	}
 	return worst
 }
@@ -75,13 +75,13 @@ func maxRelErr(f32acc []vec.V3[float64], oracle []vec.V3[float64], scale float64
 func TestForcesPairlistMixedMatchesFloat64Oracle(t *testing.T) {
 	for _, seed := range []uint64{3, 17, 99} {
 		pos, p := randomizedBox(t, 256, seed)
-		n := len(pos)
+		n := pos.Len()
 
 		nl64, err := NewNeighborList[float64](0.4)
 		if err != nil {
 			t.Fatal(err)
 		}
-		oracle := make([]vec.V3[float64], n)
+		oracle := MakeCoords[float64](n)
 		pe64 := nl64.Forces(p, pos, oracle)
 
 		mx, err := NewMirror32(p)
@@ -93,7 +93,7 @@ func TestForcesPairlistMixedMatchesFloat64Oracle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		acc := make([]vec.V3[float64], n)
+		acc := MakeCoords[float64](n)
 		pe32 := ForcesPairlistMixed(nl32, mx.P, mx.Pos, acc)
 
 		worst := maxRelErr(acc, oracle, forceScale(oracle))
@@ -112,13 +112,13 @@ func TestForcesPairlistMixedMatchesFloat64Oracle(t *testing.T) {
 func TestForcesCellMixedMatchesFloat64Oracle(t *testing.T) {
 	for _, seed := range []uint64{5, 42} {
 		pos, p := randomizedBox(t, 256, seed)
-		n := len(pos)
+		n := pos.Len()
 
 		cl64, err := NewCellList(p.Box, p.Cutoff)
 		if err != nil {
 			t.Fatal(err)
 		}
-		oracle := make([]vec.V3[float64], n)
+		oracle := MakeCoords[float64](n)
 		pe64 := cl64.Forces(p, pos, oracle)
 
 		mx, err := NewMirror32(p)
@@ -130,7 +130,7 @@ func TestForcesCellMixedMatchesFloat64Oracle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		acc := make([]vec.V3[float64], n)
+		acc := MakeCoords[float64](n)
 		pe32 := ForcesCellMixed(cl32, mx.P, mx.Pos, acc)
 
 		worst := maxRelErr(acc, oracle, forceScale(oracle))
@@ -166,16 +166,16 @@ func TestMixedKernelsAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n := len(pos)
-	accNL := make([]vec.V3[float64], n)
-	accCL := make([]vec.V3[float64], n)
+	n := pos.Len()
+	accNL := MakeCoords[float64](n)
+	accCL := MakeCoords[float64](n)
 	peNL := ForcesPairlistMixed(nl, mx.P, mx.Pos, accNL)
 	peCL := ForcesCellMixed(cl, mx.P, mx.Pos, accCL)
 	if rel := math.Abs(peNL-peCL) / math.Abs(peNL); rel > 1e-12 {
 		t.Fatalf("mixed kernels disagree on PE: %v vs %v (rel %v)", peNL, peCL, rel)
 	}
-	for i := range accNL {
-		d := accNL[i].Sub(accCL[i]).Norm()
+	for i := 0; i < n; i++ {
+		d := accNL.At(i).Sub(accCL.At(i)).Norm()
 		if d > 1e-10 {
 			t.Fatalf("atom %d: mixed kernels disagree on force by %v", i, d)
 		}
@@ -224,20 +224,69 @@ func TestMirror32RefreshTracksMaster(t *testing.T) {
 		t.Fatal(err)
 	}
 	mx.Refresh(pos)
-	for i, m := range mx.Pos {
-		want := vec.FromV3f64[float32](pos[i])
-		if m != want {
-			t.Fatalf("mirror position %d = %+v, want %+v", i, m, want)
+	for i := 0; i < mx.Pos.Len(); i++ {
+		want := vec.FromV3f64[float32](pos.At(i))
+		if mx.Pos.At(i) != want {
+			t.Fatalf("mirror position %d = %+v, want %+v", i, mx.Pos.At(i), want)
 		}
 	}
-	first := &mx.Pos[0]
-	pos[0].X += 0.25
+	first := &mx.Pos.X[0]
+	pos.X[0] += 0.25
 	mx.Refresh(pos)
-	if &mx.Pos[0] != first {
+	if &mx.Pos.X[0] != first {
 		t.Fatal("Refresh reallocated for an unchanged atom count")
 	}
-	if mx.Pos[0] != vec.FromV3f64[float32](pos[0]) {
+	if mx.Pos.At(0) != vec.FromV3f64[float32](pos.At(0)) {
 		t.Fatal("Refresh did not pick up the moved atom")
+	}
+}
+
+// TestMirror32RefreshSystemCountsDirtyRows pins the incremental
+// refresh to the row granularity it promises: a mirror driven through
+// RefreshSystem narrows exactly the rows the master dirtied — all N on
+// first sync, zero when nothing moved, one for a single poked atom,
+// N again after a step (which rewrites every position) — and the
+// mirror stays bitwise identical to a full Refresh throughout.
+func TestMirror32RefreshSystemCountsDirtyRows(t *testing.T) {
+	s := makeSystem(t, 64, false)
+	n := int64(s.N())
+	mx, err := NewMirror32(s.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mx.RefreshSystem(s)
+	if got := mx.RowsNarrowed(); got != n {
+		t.Fatalf("first refresh narrowed %d rows, want all %d", got, n)
+	}
+	mx.RefreshSystem(s)
+	if got := mx.RowsNarrowed(); got != n {
+		t.Fatalf("idle refresh narrowed %d extra rows, want 0", got-n)
+	}
+
+	s.Pos.Set(17, Wrap(s.Pos.At(17).Add(vec.V3[float64]{X: 0.125}), s.P.Box))
+	s.MarkPosDirty(17, 18)
+	mx.RefreshSystem(s)
+	if got := mx.RowsNarrowed(); got != n+1 {
+		t.Fatalf("single-atom refresh narrowed %d rows, want 1", got-n)
+	}
+
+	s.Step()
+	mx.RefreshSystem(s)
+	if got := mx.RowsNarrowed(); got != 2*n+1 {
+		t.Fatalf("post-step refresh narrowed %d rows, want %d", got-(n+1), n)
+	}
+
+	full, err := NewMirror32(s.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.Refresh(s.Pos)
+	for i := 0; i < s.N(); i++ {
+		if mx.Pos.At(i) != full.Pos.At(i) {
+			t.Fatalf("incremental mirror diverged from full refresh at atom %d: %+v vs %+v",
+				i, mx.Pos.At(i), full.Pos.At(i))
+		}
 	}
 }
 
@@ -261,7 +310,7 @@ func TestFullRowsExpandsHalfList(t *testing.T) {
 	var fr FullRows[float32]
 	fr.Sync(nl)
 
-	n := len(pos)
+	n := pos.Len()
 	want := make([][]int32, n)
 	for i, js := range nl.pairs {
 		for _, j := range js {

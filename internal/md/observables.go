@@ -34,12 +34,12 @@ func NewRDF(box, rMax float64, bins int) (*RDF, error) {
 }
 
 // Accumulate adds one snapshot (O(N²)).
-func (r *RDF) Accumulate(pos []vec.V3[float64]) {
-	n := len(pos)
+func (r *RDF) Accumulate(pos Coords[float64]) {
+	n := pos.Len()
 	dr := r.rMax / float64(len(r.bins))
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			d := MinImage(pos[i].Sub(pos[j]), r.box)
+			d := MinImage(pos.At(i).Sub(pos.At(j)), r.box)
 			dist := d.Norm()
 			if dist < r.rMax {
 				r.bins[int(dist/dr)] += 2 // both orderings
@@ -92,12 +92,12 @@ type MSD struct {
 }
 
 // NewMSD starts tracking from the given configuration.
-func NewMSD(box float64, pos []vec.V3[float64]) *MSD {
+func NewMSD(box float64, pos Coords[float64]) *MSD {
 	m := &MSD{
 		box:    box,
-		origin: append([]vec.V3[float64](nil), pos...),
-		prev:   append([]vec.V3[float64](nil), pos...),
-		images: make([]vec.V3[float64], len(pos)),
+		origin: pos.V3s(),
+		prev:   pos.V3s(),
+		images: make([]vec.V3[float64], pos.Len()),
 	}
 	return m
 }
@@ -105,14 +105,15 @@ func NewMSD(box float64, pos []vec.V3[float64]) *MSD {
 // Track records the next wrapped snapshot, inferring boundary
 // crossings from per-step displacements (valid while no atom moves
 // more than half a box per step — guaranteed at sane time steps).
-func (m *MSD) Track(pos []vec.V3[float64]) error {
-	if len(pos) != len(m.prev) {
-		return fmt.Errorf("md: MSD fed %d atoms, tracking %d", len(pos), len(m.prev))
+func (m *MSD) Track(pos Coords[float64]) error {
+	if pos.Len() != len(m.prev) {
+		return fmt.Errorf("md: MSD fed %d atoms, tracking %d", pos.Len(), len(m.prev))
 	}
-	for i := range pos {
-		d := pos[i].Sub(m.prev[i])
+	for i := range m.prev {
+		p := pos.At(i)
+		d := p.Sub(m.prev[i])
 		m.images[i] = m.images[i].Add(crossings(d, m.box))
-		m.prev[i] = pos[i]
+		m.prev[i] = p
 	}
 	m.tracked++
 	return nil
@@ -152,13 +153,13 @@ func (m *MSD) Value() float64 {
 
 // Virial computes the instantaneous virial sum W = Σ_pairs f·r and the
 // corresponding pressure P = (N k T + W/3) / V for the LJ system.
-func Virial(p Params[float64], pos []vec.V3[float64]) float64 {
+func Virial(p Params[float64], pos Coords[float64]) float64 {
 	rc2 := p.Cutoff * p.Cutoff
 	var w float64
-	n := len(pos)
+	n := pos.Len()
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			d := MinImage(pos[i].Sub(pos[j]), p.Box)
+			d := MinImage(pos.At(i).Sub(pos.At(j)), p.Box)
 			r2 := d.Norm2()
 			if r2 >= rc2 || r2 == 0 {
 				continue
@@ -172,9 +173,9 @@ func Virial(p Params[float64], pos []vec.V3[float64]) float64 {
 
 // Pressure returns the instantaneous pressure from the virial theorem
 // (unit masses, k_B = 1).
-func Pressure(p Params[float64], pos []vec.V3[float64], temperature float64) float64 {
+func Pressure(p Params[float64], pos Coords[float64], temperature float64) float64 {
 	vol := p.Box * p.Box * p.Box
-	n := float64(len(pos))
+	n := float64(pos.Len())
 	return (n*temperature + Virial(p, pos)/3) / vol
 }
 
@@ -208,13 +209,13 @@ func NewVACF(maxLag int) (*VACF, error) {
 
 // Track records one velocity snapshot and accumulates all currently
 // available lags.
-func (v *VACF) Track(vel []vec.V3[float64]) error {
+func (v *VACF) Track(vel Coords[float64]) error {
 	if v.seen > 0 && v.ring[(v.head+v.lags-1)%v.lags] != nil &&
-		len(v.ring[(v.head+v.lags-1)%v.lags]) != len(vel) {
+		len(v.ring[(v.head+v.lags-1)%v.lags]) != vel.Len() {
 		return fmt.Errorf("md: VACF fed %d atoms, tracking %d",
-			len(vel), len(v.ring[(v.head+v.lags-1)%v.lags]))
+			vel.Len(), len(v.ring[(v.head+v.lags-1)%v.lags]))
 	}
-	snap := append([]vec.V3[float64](nil), vel...)
+	snap := vel.V3s()
 	v.ring[v.head] = snap
 	v.head = (v.head + 1) % v.lags
 	v.seen++

@@ -34,9 +34,9 @@ func TestRDFIdealGasIsFlat(t *testing.T) {
 	rng := xrand.New(77)
 	const n, frames = 400, 20
 	for f := 0; f < frames; f++ {
-		pos := make([]vec.V3[float64], n)
-		for i := range pos {
-			pos[i] = vec.V3[float64]{X: box * rng.Float64(), Y: box * rng.Float64(), Z: box * rng.Float64()}
+		pos := MakeCoords[float64](n)
+		for i := 0; i < n; i++ {
+			pos.Set(i, vec.V3[float64]{X: box * rng.Float64(), Y: box * rng.Float64(), Z: box * rng.Float64()})
 		}
 		rdf.Accumulate(pos)
 	}
@@ -134,11 +134,11 @@ func TestMSDHandlesBoundaryCrossing(t *testing.T) {
 	// One atom drifting at constant velocity through the boundary: MSD
 	// must grow quadratically, not reset at the wrap.
 	const box = 10.0
-	pos := []vec.V3[float64]{{X: 9.5, Y: 5, Z: 5}}
+	pos := CoordsFromV3([]vec.V3[float64]{{X: 9.5, Y: 5, Z: 5}})
 	msd := NewMSD(box, pos)
 	const step = 0.2
 	for i := 1; i <= 20; i++ {
-		pos[0] = Wrap(vec.V3[float64]{X: 9.5 + step*float64(i), Y: 5, Z: 5}, box)
+		pos.Set(0, Wrap(vec.V3[float64]{X: 9.5 + step*float64(i), Y: 5, Z: 5}, box))
 		if err := msd.Track(pos); err != nil {
 			t.Fatal(err)
 		}
@@ -150,8 +150,8 @@ func TestMSDHandlesBoundaryCrossing(t *testing.T) {
 }
 
 func TestMSDSizeMismatch(t *testing.T) {
-	msd := NewMSD(10, make([]vec.V3[float64], 4))
-	if err := msd.Track(make([]vec.V3[float64], 3)); err == nil {
+	msd := NewMSD(10, MakeCoords[float64](4))
+	if err := msd.Track(MakeCoords[float64](3)); err == nil {
 		t.Fatal("size mismatch accepted")
 	}
 }
@@ -210,7 +210,7 @@ func TestVACFBallisticParticlesStayCorrelated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vel := []vec.V3[float64]{{X: 1}, {Y: -2}, {Z: 0.5}}
+	vel := CoordsFromV3([]vec.V3[float64]{{X: 1}, {Y: -2}, {Z: 0.5}})
 	for i := 0; i < 10; i++ {
 		if err := v.Track(vel); err != nil {
 			t.Fatal(err)
@@ -262,10 +262,10 @@ func TestVACFSizeMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := v.Track(make([]vec.V3[float64], 4)); err != nil {
+	if err := v.Track(MakeCoords[float64](4)); err != nil {
 		t.Fatal(err)
 	}
-	if err := v.Track(make([]vec.V3[float64], 5)); err == nil {
+	if err := v.Track(MakeCoords[float64](5)); err == nil {
 		t.Fatal("size change accepted")
 	}
 }

@@ -9,14 +9,14 @@ import (
 )
 
 // randomPositions fills n positions uniformly in [0, span)³.
-func randomPositions(rng *xrand.Source, n int, span float64) []vec.V3[float64] {
-	pos := make([]vec.V3[float64], n)
-	for i := range pos {
-		pos[i] = vec.V3[float64]{
+func randomPositions(rng *xrand.Source, n int, span float64) Coords[float64] {
+	pos := MakeCoords[float64](n)
+	for i := 0; i < n; i++ {
+		pos.Set(i, vec.V3[float64]{
 			X: rng.Float64() * span,
 			Y: rng.Float64() * span,
 			Z: rng.Float64() * span,
-		}
+		})
 	}
 	return pos
 }
@@ -79,7 +79,7 @@ func TestBuildCellBinnedMatchesN2Randomized(t *testing.T) {
 		}
 		ref.BuildN2(p, pos)
 		got.Build(p, pos)
-		if got.grid != nil {
+		if got.gridOK {
 			gridTrials++
 		}
 		checkRowsWellFormed(t, got, n)
@@ -104,18 +104,19 @@ func TestBuildGridReusedAcrossRebuilds(t *testing.T) {
 		t.Fatal(err)
 	}
 	nl.Build(p, pos)
-	if nl.grid == nil {
+	if !nl.gridOK {
 		t.Fatal("geometry supports binning but no grid was built")
 	}
-	g := nl.grid
+	dims := nl.grid.Dims()
+	arena := &nl.grid.csrInts[0]
 	nl.Build(p, pos)
-	if nl.grid != g {
-		t.Fatal("rebuild in an unchanged box re-allocated the grid")
+	if &nl.grid.csrInts[0] != arena {
+		t.Fatal("rebuild in an unchanged box re-allocated the grid arenas")
 	}
 	p2 := p
 	p2.Box = 14
 	nl.Build(p2, randomPositions(rng, 200, p2.Box))
-	if nl.grid == g {
+	if nl.grid.Dims() == dims {
 		t.Fatal("box change did not re-size the grid")
 	}
 }
@@ -131,7 +132,7 @@ func TestNeighborListRebuildTrigger(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	acc := make([]vec.V3[float64], s.N())
+	acc := MakeCoords[float64](s.N())
 
 	nl.Forces(s.P, s.Pos, acc)
 	if nl.Builds() != 1 {
@@ -145,7 +146,7 @@ func TestNeighborListRebuildTrigger(t *testing.T) {
 	}
 
 	// One atom, one axis, just past the skin/2 threshold.
-	s.Pos[17] = Wrap(s.Pos[17].Add(vec.V3[float64]{X: skin/2 + 1e-6}), s.P.Box)
+	s.Pos.Set(17, Wrap(s.Pos.At(17).Add(vec.V3[float64]{X: skin/2 + 1e-6}), s.P.Box))
 	nl.Forces(s.P, s.Pos, acc)
 	if nl.Builds() != 2 {
 		t.Fatalf("super-threshold move performed %d builds, want exactly 2", nl.Builds())
@@ -174,21 +175,21 @@ func TestBuildN2MatchesLegacyOnLattice(t *testing.T) {
 	}
 	ref.BuildN2(s.P, s.Pos)
 	got.Build(s.P, s.Pos)
-	if got.grid == nil {
+	if !got.gridOK {
 		t.Fatal("standard state should take the cell-binned path")
 	}
 	checkSamePairs(t, ref, got, s.N(), "lattice")
 
-	accRef := make([]vec.V3[float64], s.N())
-	accGot := make([]vec.V3[float64], s.N())
+	accRef := MakeCoords[float64](s.N())
+	accGot := MakeCoords[float64](s.N())
 	peRef := ref.Forces(s.P, s.Pos, accRef)
 	peGot := got.Forces(s.P, s.Pos, accGot)
 	if peRef != peGot {
 		t.Fatalf("PE not bitwise equal: %v vs %v", peRef, peGot)
 	}
-	for i := range accRef {
-		if accRef[i] != accGot[i] {
-			t.Fatalf("force %d not bitwise equal: %+v vs %+v", i, accRef[i], accGot[i])
+	for i := 0; i < accRef.Len(); i++ {
+		if accRef.At(i) != accGot.At(i) {
+			t.Fatalf("force %d not bitwise equal: %+v vs %+v", i, accRef.At(i), accGot.At(i))
 		}
 	}
 }

@@ -22,16 +22,16 @@ func TestNeighborListMatchesReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	accRef := make([]vec.V3[float64], s.N())
-	accNL := make([]vec.V3[float64], s.N())
+	accRef := MakeCoords[float64](s.N())
+	accNL := MakeCoords[float64](s.N())
 	peRef := ComputeForces(s.P, s.Pos, accRef)
 	peNL := nl.Forces(s.P, s.Pos, accNL)
 	if math.Abs(peRef-peNL) > 1e-10*(1+math.Abs(peRef)) {
 		t.Fatalf("PE mismatch: ref %v, pairlist %v", peRef, peNL)
 	}
-	for i := range accRef {
-		if accRef[i].Sub(accNL[i]).Norm() > 1e-9*(1+accRef[i].Norm()) {
-			t.Fatalf("acc mismatch at %d: %+v vs %+v", i, accRef[i], accNL[i])
+	for i := 0; i < accRef.Len(); i++ {
+		if accRef.At(i).Sub(accNL.At(i)).Norm() > 1e-9*(1+accRef.At(i).Norm()) {
+			t.Fatalf("acc mismatch at %d: %+v vs %+v", i, accRef.At(i), accNL.At(i))
 		}
 	}
 }
@@ -50,8 +50,8 @@ func TestNeighborListTrajectoryMatches(t *testing.T) {
 		ref.Step()
 		opt.StepWith(func() float64 { return nl.Forces(opt.P, opt.Pos, opt.Acc) })
 	}
-	for i := range ref.Pos {
-		if d := ref.Pos[i].Sub(opt.Pos[i]).Norm(); d > 1e-9 {
+	for i := 0; i < ref.N(); i++ {
+		if d := ref.Pos.At(i).Sub(opt.Pos.At(i)).Norm(); d > 1e-9 {
 			t.Fatalf("trajectories diverged at atom %d by %v", i, d)
 		}
 	}
@@ -72,13 +72,14 @@ func TestNeighborListStaleness(t *testing.T) {
 		t.Fatal("fresh list reported stale")
 	}
 	// Move one atom just under the threshold: still fresh.
-	moved := append([]vec.V3[float64](nil), s.Pos...)
-	moved[3] = Wrap(moved[3].Add(vec.V3[float64]{X: 0.24}), s.P.Box)
+	moved := MakeCoords[float64](s.N())
+	moved.CopyFrom(s.Pos)
+	moved.Set(3, Wrap(moved.At(3).Add(vec.V3[float64]{X: 0.24}), s.P.Box))
 	if nl.Stale(s.P, moved) {
 		t.Fatal("list stale after sub-threshold move")
 	}
 	// Past skin/2: stale.
-	moved[3] = Wrap(s.Pos[3].Add(vec.V3[float64]{X: 0.26}), s.P.Box)
+	moved.Set(3, Wrap(s.Pos.At(3).Add(vec.V3[float64]{X: 0.26}), s.P.Box))
 	if !nl.Stale(s.P, moved) {
 		t.Fatal("list not stale after super-threshold move")
 	}
@@ -91,7 +92,8 @@ func TestNeighborListStaleOnResize(t *testing.T) {
 		t.Fatal(err)
 	}
 	nl.Build(s.P, s.Pos)
-	if !nl.Stale(s.P, s.Pos[:16]) {
+	half := Coords[float64]{X: s.Pos.X[:16], Y: s.Pos.Y[:16], Z: s.Pos.Z[:16]}
+	if !nl.Stale(s.P, half) {
 		t.Fatal("list not stale after atom-count change")
 	}
 }

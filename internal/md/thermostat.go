@@ -17,7 +17,7 @@ import (
 // computed by the integrator.
 type Thermostat[T vec.Float] interface {
 	// Apply adjusts vel in place given the current temperature.
-	Apply(vel []vec.V3[T], currentTemp T)
+	Apply(vel Coords[T], currentTemp T)
 }
 
 // RescaleThermostat hard-rescales to the exact target every Interval
@@ -41,15 +41,13 @@ func NewRescaleThermostat[T vec.Float](target T, interval int) (*RescaleThermost
 }
 
 // Apply implements Thermostat.
-func (th *RescaleThermostat[T]) Apply(vel []vec.V3[T], currentTemp T) {
+func (th *RescaleThermostat[T]) Apply(vel Coords[T], currentTemp T) {
 	th.calls++
 	if th.calls%th.Interval != 0 || currentTemp <= 0 {
 		return
 	}
 	f := vec.Sqrt(th.Target / currentTemp)
-	for i := range vel {
-		vel[i] = vel[i].Scale(f)
-	}
+	scalePlanes(vel, f)
 }
 
 // BerendsenThermostat couples weakly to a bath: each step the
@@ -73,7 +71,7 @@ func NewBerendsenThermostat[T vec.Float](target, dt, tau T) (*BerendsenThermosta
 }
 
 // Apply implements Thermostat.
-func (th *BerendsenThermostat[T]) Apply(vel []vec.V3[T], currentTemp T) {
+func (th *BerendsenThermostat[T]) Apply(vel Coords[T], currentTemp T) {
 	if currentTemp <= 0 {
 		return
 	}
@@ -82,8 +80,21 @@ func (th *BerendsenThermostat[T]) Apply(vel []vec.V3[T], currentTemp T) {
 		lambda2 = 0
 	}
 	f := vec.Sqrt(lambda2)
-	for i := range vel {
-		vel[i] = vel[i].Scale(f)
+	scalePlanes(vel, f)
+}
+
+// scalePlanes multiplies every component by f, plane-wise. The scale
+// of each component is independent, so this performs the same FP
+// operations as the old per-atom Scale.
+func scalePlanes[T vec.Float](vel Coords[T], f T) {
+	for i := range vel.X {
+		vel.X[i] *= f
+	}
+	for i := range vel.Y {
+		vel.Y[i] *= f
+	}
+	for i := range vel.Z {
+		vel.Z[i] *= f
 	}
 }
 
@@ -120,15 +131,16 @@ func NewLangevinThermostat[T vec.Float](target, dt, gamma T, seed uint64) (*Lang
 	return &LangevinThermostat[T]{Target: target, Dt: dt, Gamma: gamma, rng: xrand.New(seed)}, nil
 }
 
-// Apply implements Thermostat.
-func (th *LangevinThermostat[T]) Apply(vel []vec.V3[T], _ T) {
+// Apply implements Thermostat. Deliberately atom-major: the X,Y,Z
+// noise draws per atom come from one sequential stream, so this loop
+// must not be restructured plane-wise or every seeded trajectory
+// changes.
+func (th *LangevinThermostat[T]) Apply(vel Coords[T], _ T) {
 	damp := 1 - th.Gamma*th.Dt
 	sigma := vec.Sqrt(2 * th.Gamma * th.Dt * th.Target)
-	for i := range vel {
-		vel[i] = vec.V3[T]{
-			X: vel[i].X*damp + sigma*T(th.rng.NormFloat64()),
-			Y: vel[i].Y*damp + sigma*T(th.rng.NormFloat64()),
-			Z: vel[i].Z*damp + sigma*T(th.rng.NormFloat64()),
-		}
+	for i := range vel.X {
+		vel.X[i] = vel.X[i]*damp + sigma*T(th.rng.NormFloat64())
+		vel.Y[i] = vel.Y[i]*damp + sigma*T(th.rng.NormFloat64())
+		vel.Z[i] = vel.Z[i]*damp + sigma*T(th.rng.NormFloat64())
 	}
 }

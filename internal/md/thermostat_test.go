@@ -101,9 +101,7 @@ func TestBerendsenGentlerThanRescale(t *testing.T) {
 
 func TestThermostatZeroTemperatureNoNaN(t *testing.T) {
 	s := makeSystem(t, 32, false)
-	for i := range s.Vel {
-		s.Vel[i] = s.Vel[i].Scale(0)
-	}
+	s.Vel.Zero()
 	th, err := NewRescaleThermostat(1.0, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -114,7 +112,8 @@ func TestThermostatZeroTemperatureNoNaN(t *testing.T) {
 		t.Fatal(err)
 	}
 	ber.Apply(s.Vel, 0)
-	for i, v := range s.Vel {
+	for i := 0; i < s.N(); i++ {
+		v := s.Vel.At(i)
 		if math.IsNaN(v.X) || math.IsNaN(v.Y) || math.IsNaN(v.Z) {
 			t.Fatalf("NaN velocity at %d after zero-T thermostat", i)
 		}
@@ -174,8 +173,8 @@ func TestLangevinDeterministicBySeed(t *testing.T) {
 		a.StepThermostatted(tha)
 		b.StepThermostatted(thb)
 	}
-	for i := range a.Vel {
-		if a.Vel[i] != b.Vel[i] {
+	for i := 0; i < a.N(); i++ {
+		if a.Vel.At(i) != b.Vel.At(i) {
 			t.Fatalf("same seed diverged at atom %d", i)
 		}
 	}
@@ -183,9 +182,7 @@ func TestLangevinDeterministicBySeed(t *testing.T) {
 
 func TestLangevinHeatsColdSystem(t *testing.T) {
 	s := makeSystem(t, 64, false)
-	for i := range s.Vel {
-		s.Vel[i] = s.Vel[i].Scale(0) // start at rest
-	}
+	s.Vel.Zero() // start at rest
 	s.KE = 0
 	th, err := NewLangevinThermostat(1.0, s.P.Dt, 5.0, 3)
 	if err != nil {

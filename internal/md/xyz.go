@@ -35,14 +35,15 @@ func NewXYZWriter(w io.Writer, symbol string) *XYZWriter {
 }
 
 // WriteFrame appends one snapshot with the given comment.
-func (x *XYZWriter) WriteFrame(comment string, pos []vec.V3[float64]) error {
+func (x *XYZWriter) WriteFrame(comment string, pos Coords[float64]) error {
 	if strings.ContainsAny(comment, "\n\r") {
 		return fmt.Errorf("md: XYZ comment must be a single line")
 	}
-	if _, err := fmt.Fprintf(x.w, "%d\n%s\n", len(pos), comment); err != nil {
+	if _, err := fmt.Fprintf(x.w, "%d\n%s\n", pos.Len(), comment); err != nil {
 		return err
 	}
-	for _, p := range pos {
+	for i := 0; i < pos.Len(); i++ {
+		p := pos.At(i)
 		if _, err := fmt.Fprintf(x.w, "%s %.17g %.17g %.17g\n", x.symbol, p.X, p.Y, p.Z); err != nil {
 			return err
 		}

@@ -37,9 +37,9 @@ func TestXYZRoundTrip(t *testing.T) {
 	if frames[0].Comment != "frame 0" || frames[1].Comment != "frame 1" {
 		t.Fatalf("comments: %q, %q", frames[0].Comment, frames[1].Comment)
 	}
-	for i, p := range s.Pos {
-		if frames[1].Pos[i] != p {
-			t.Fatalf("frame 1 atom %d: %+v != %+v (round trip must be exact)", i, frames[1].Pos[i], p)
+	for i := 0; i < s.N(); i++ {
+		if frames[1].Pos[i] != s.Pos.At(i) {
+			t.Fatalf("frame 1 atom %d: %+v != %+v (round trip must be exact)", i, frames[1].Pos[i], s.Pos.At(i))
 		}
 		if frames[1].Symbols[i] != "Ar" {
 			t.Fatalf("symbol %q", frames[1].Symbols[i])
@@ -50,7 +50,7 @@ func TestXYZRoundTrip(t *testing.T) {
 func TestXYZEmptySymbolDefaults(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewXYZWriter(&buf, "")
-	if err := w.WriteFrame("c", []vec.V3[float64]{{X: 1}}); err != nil {
+	if err := w.WriteFrame("c", CoordsFromV3([]vec.V3[float64]{{X: 1}})); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Flush(); err != nil {
@@ -63,7 +63,7 @@ func TestXYZEmptySymbolDefaults(t *testing.T) {
 
 func TestXYZRejectsMultilineComment(t *testing.T) {
 	w := NewXYZWriter(io.Discard, "Ar")
-	if err := w.WriteFrame("bad\ncomment", nil); err == nil {
+	if err := w.WriteFrame("bad\ncomment", Coords[float64]{}); err == nil {
 		t.Fatal("multiline comment accepted")
 	}
 }
@@ -94,7 +94,7 @@ func TestXYZReaderErrors(t *testing.T) {
 func TestXYZZeroAtoms(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewXYZWriter(&buf, "Ar")
-	if err := w.WriteFrame("empty", nil); err != nil {
+	if err := w.WriteFrame("empty", Coords[float64]{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Flush(); err != nil {

@@ -111,12 +111,12 @@ func TestGuardedBuildEquivalencePin(t *testing.T) {
 			if sys.Steps != ref.Steps {
 				t.Fatalf("steps %d != %d", sys.Steps, ref.Steps)
 			}
-			for i := range ref.Pos {
-				if sys.Pos[i] != ref.Pos[i] {
-					t.Fatalf("position %d differs: %+v vs %+v", i, sys.Pos[i], ref.Pos[i])
+			for i := 0; i < ref.N(); i++ {
+				if sys.Pos.At(i) != ref.Pos.At(i) {
+					t.Fatalf("position %d differs: %+v vs %+v", i, sys.Pos.At(i), ref.Pos.At(i))
 				}
-				if sys.Vel[i] != ref.Vel[i] {
-					t.Fatalf("velocity %d differs: %+v vs %+v", i, sys.Vel[i], ref.Vel[i])
+				if sys.Vel.At(i) != ref.Vel.At(i) {
+					t.Fatalf("velocity %d differs: %+v vs %+v", i, sys.Vel.At(i), ref.Vel.At(i))
 				}
 			}
 			if sys.PE != ref.PE || sys.KE != ref.KE {

@@ -313,7 +313,7 @@ func assemble(cfg Config, sys *md.System[float64]) (*Runner, error) {
 			pe += bpe
 		}
 		if f := faults.Fire(cfg.Faults, faults.SiteForces); f != nil {
-			faults.CorruptV3(f.Kind, sys.Acc)
+			faults.CorruptPlane(f.Kind, sys.Acc.X)
 		}
 		return pe, nil
 	}
@@ -434,7 +434,7 @@ func (r *Runner) buildForces() (func() (float64, error), error) {
 		}
 		build := r.sharedBuildF32(nl, mx)
 		return func() (float64, error) {
-			mx.Refresh(sys.Pos)
+			mx.RefreshSystem(sys)
 			if build != nil {
 				if err := build(); err != nil {
 					return 0, err
@@ -454,7 +454,7 @@ func (r *Runner) buildForces() (func() (float64, error), error) {
 		// serial scatter kernel would break exactly that pin.
 		r.newEngine()
 		return func() (float64, error) {
-			mx.Refresh(sys.Pos)
+			mx.RefreshSystem(sys)
 			if build != nil {
 				if err := build(); err != nil {
 					return 0, err
@@ -472,7 +472,7 @@ func (r *Runner) buildForces() (func() (float64, error), error) {
 			return nil, err
 		}
 		return func() (float64, error) {
-			mx.Refresh(sys.Pos)
+			mx.RefreshSystem(sys)
 			return md.ForcesCellMixed(cl, mx.P, mx.Pos, sys.Acc), nil
 		}, nil
 	default:

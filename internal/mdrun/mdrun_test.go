@@ -79,8 +79,8 @@ func TestForceMethodsAgree(t *testing.T) {
 	ref := run(Direct)
 	for _, m := range []ForceMethod{Pairlist, CellGrid} {
 		got := run(m)
-		for i := range ref.Pos {
-			if d := ref.Pos[i].Sub(got.Pos[i]).Norm(); d > 1e-8 {
+		for i := 0; i < ref.N(); i++ {
+			if d := ref.Pos.At(i).Sub(got.Pos.At(i)).Norm(); d > 1e-8 {
 				t.Fatalf("%v diverged from direct at atom %d by %v", m, i, d)
 			}
 		}

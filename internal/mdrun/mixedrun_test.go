@@ -17,7 +17,6 @@ import (
 	"repro/internal/md"
 	"repro/internal/mdrun"
 	"repro/internal/parallel"
-	"repro/internal/vec"
 )
 
 // mixedConfig is a 256-atom NVE box sized so the cell grid holds the
@@ -118,8 +117,8 @@ func TestParallelPairlistF32WorkerInvariantTrajectory(t *testing.T) {
 	ref := run(1)
 	for _, w := range []int{2, 4, 7} {
 		sys := run(w)
-		for i := range ref.Pos {
-			if sys.Pos[i] != ref.Pos[i] || sys.Vel[i] != ref.Vel[i] {
+		for i := 0; i < ref.N(); i++ {
+			if sys.Pos.At(i) != ref.Pos.At(i) || sys.Vel.At(i) != ref.Vel.At(i) {
 				t.Fatalf("workers=%d: trajectory diverged at atom %d", w, i)
 			}
 		}
@@ -153,8 +152,8 @@ func TestF32SharedBuildEngineBitwise(t *testing.T) {
 	be := parallel.New[float64](4)
 	defer be.Close()
 	shared := run(be)
-	for i := range ref.Pos {
-		if shared.Pos[i] != ref.Pos[i] || shared.Vel[i] != ref.Vel[i] {
+	for i := 0; i < ref.N(); i++ {
+		if shared.Pos.At(i) != ref.Pos.At(i) || shared.Vel.At(i) != ref.Vel.At(i) {
 			t.Fatalf("shared-engine build diverged at atom %d", i)
 		}
 	}
@@ -176,9 +175,9 @@ func TestF32RejectsNarrowingInvalidParams(t *testing.T) {
 		}
 		return &md.System[float64]{
 			P:   p,
-			Pos: make([]vec.V3[float64], 8),
-			Vel: make([]vec.V3[float64], 8),
-			Acc: make([]vec.V3[float64], 8),
+			Pos: md.MakeCoords[float64](8),
+			Vel: md.MakeCoords[float64](8),
+			Acc: md.MakeCoords[float64](8),
 		}
 	}
 	for _, method := range []mdrun.ForceMethod{

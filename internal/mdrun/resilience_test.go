@@ -201,8 +201,8 @@ func TestNewFromSystemResumeBitExact(t *testing.T) {
 	if a.Steps != b.Steps {
 		t.Fatalf("steps %d vs %d", a.Steps, b.Steps)
 	}
-	for i := range a.Pos {
-		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] || a.Acc[i] != b.Acc[i] {
+	for i := 0; i < a.N(); i++ {
+		if a.Pos.At(i) != b.Pos.At(i) || a.Vel.At(i) != b.Vel.At(i) || a.Acc.At(i) != b.Acc.At(i) {
 			t.Fatalf("resume diverged at atom %d", i)
 		}
 	}
@@ -257,7 +257,7 @@ func TestNewFromSystemRejectsEmpty(t *testing.T) {
 	}
 	defer r.Close()
 	empty := r.System().Clone()
-	empty.Pos = empty.Pos[:0]
+	empty.Pos.Resize(0)
 	if _, err := NewFromSystem(empty, baseConfig()); err == nil {
 		t.Fatal("empty system accepted")
 	}

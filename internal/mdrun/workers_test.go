@@ -83,8 +83,8 @@ func TestWorkersOneRoutesToSerialKernel(t *testing.T) {
 		t.Fatalf("Workers=1 final energy %v differs bitwise from serial full-loop %v",
 			sum.FinalEnergy, sys.TotalEnergy())
 	}
-	for i := range sys.Pos {
-		if r.System().Pos[i] != sys.Pos[i] {
+	for i := 0; i < sys.N(); i++ {
+		if r.System().Pos.At(i) != sys.Pos.At(i) {
 			t.Fatalf("Workers=1 position %d differs bitwise from serial full-loop", i)
 		}
 	}

@@ -30,7 +30,6 @@ import (
 	"repro/internal/device"
 	"repro/internal/md"
 	"repro/internal/sim"
-	"repro/internal/vec"
 )
 
 // Config parameterizes the processor model.
@@ -157,13 +156,13 @@ func (c *CPU) Run(w device.Workload) (*device.Result, error) {
 // interactingPairs counts ordered (i,j), i != j, pairs inside the
 // cutoff — the quantity the data-dependent parts of the ledger scale
 // with. It mirrors the kernel's own cutoff test.
-func interactingPairs(p md.Params[float64], pos []vec.V3[float64]) int64 {
+func interactingPairs(p md.Params[float64], pos md.Coords[float64]) int64 {
 	rc2 := p.Cutoff * p.Cutoff
 	var k int64
-	n := len(pos)
+	n := pos.Len()
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			d := md.MinImage(pos[i].Sub(pos[j]), p.Box)
+			d := md.MinImage(pos.At(i).Sub(pos.At(j)), p.Box)
 			if r2 := d.Norm2(); r2 < rc2 && r2 > 0 {
 				k++
 			}

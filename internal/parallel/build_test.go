@@ -13,7 +13,7 @@ import (
 
 // buildList builds a fresh neighbor list for pos through an engine of
 // the given worker count and returns it.
-func buildList(t *testing.T, workers int, p md.Params[float64], pos []vec.V3[float64], skin float64) *md.NeighborList[float64] {
+func buildList(t *testing.T, workers int, p md.Params[float64], pos md.Coords[float64], skin float64) *md.NeighborList[float64] {
 	t.Helper()
 	nl, err := md.NewNeighborList[float64](skin)
 	if err != nil {
@@ -54,13 +54,13 @@ func TestBuildPairlistWorkersBitwise(t *testing.T) {
 		box := 6 + 8*rng.Float64()
 		skin := 0.2 + 0.4*rng.Float64()
 		n := 100 + rng.Intn(400)
-		pos := make([]vec.V3[float64], n)
-		for i := range pos {
-			pos[i] = vec.V3[float64]{
+		pos := md.MakeCoords[float64](n)
+		for i := 0; i < n; i++ {
+			pos.Set(i, vec.V3[float64]{
 				X: rng.Float64() * box,
 				Y: rng.Float64() * box,
 				Z: rng.Float64() * box,
-			}
+			})
 		}
 		p := md.Params[float64]{Box: box, Cutoff: 1.8, Dt: 0.001}
 
@@ -88,19 +88,20 @@ func TestBuildPairlistForcesBitwise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial.Build(p, st.Pos)
-	par := buildList(t, 8, p, st.Pos, 0.4)
+	pos := md.CoordsFromV3(st.Pos)
+	serial.Build(p, pos)
+	par := buildList(t, 8, p, pos, 0.4)
 
-	accS := make([]vec.V3[float64], len(st.Pos))
-	accP := make([]vec.V3[float64], len(st.Pos))
-	peS := serial.Forces(p, st.Pos, accS)
-	peP := par.Forces(p, st.Pos, accP)
+	accS := md.MakeCoords[float64](pos.Len())
+	accP := md.MakeCoords[float64](pos.Len())
+	peS := serial.Forces(p, pos, accS)
+	peP := par.Forces(p, pos, accP)
 	if peS != peP {
 		t.Fatalf("PE differs: serial-built %v, parallel-built %v", peS, peP)
 	}
-	for i := range accS {
-		if accS[i] != accP[i] {
-			t.Fatalf("force %d differs: %+v vs %+v", i, accS[i], accP[i])
+	for i := 0; i < accS.Len(); i++ {
+		if accS.At(i) != accP.At(i) {
+			t.Fatalf("force %d differs: %+v vs %+v", i, accS.At(i), accP.At(i))
 		}
 	}
 }
@@ -110,6 +111,7 @@ func TestBuildPairlistForcesBitwise(t *testing.T) {
 // trusts the torn rows), and the same list builds cleanly afterwards.
 func TestBuildPairlistCancelled(t *testing.T) {
 	st, p := makeState(t, 500)
+	pos := md.CoordsFromV3(st.Pos)
 	nl, err := md.NewNeighborList[float64](0.4)
 	if err != nil {
 		t.Fatal(err)
@@ -119,18 +121,18 @@ func TestBuildPairlistCancelled(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err = e.BuildPairlist(ctx, nl, p, st.Pos)
+	err = e.BuildPairlist(ctx, nl, p, pos)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled build returned %v, want context.Canceled", err)
 	}
 	if nl.Builds() != 0 {
 		t.Fatalf("cancelled build committed (builds=%d)", nl.Builds())
 	}
-	if !nl.Stale(p, st.Pos) {
+	if !nl.Stale(p, pos) {
 		t.Fatal("list not stale after an abandoned build")
 	}
 
-	if err := e.BuildPairlist(context.Background(), nl, p, st.Pos); err != nil {
+	if err := e.BuildPairlist(context.Background(), nl, p, pos); err != nil {
 		t.Fatal(err)
 	}
 	if nl.Builds() != 1 {
@@ -140,20 +142,21 @@ func TestBuildPairlistCancelled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref.Build(p, st.Pos)
-	samePairs(t, ref, nl, len(st.Pos), "post-cancellation rebuild")
+	ref.Build(p, pos)
+	samePairs(t, ref, nl, pos.Len(), "post-cancellation rebuild")
 }
 
 // TestBuildPairlistNilContext accepts nil as context.Background().
 func TestBuildPairlistNilContext(t *testing.T) {
 	st, p := makeState(t, 108)
+	pos := md.CoordsFromV3(st.Pos)
 	nl, err := md.NewNeighborList[float64](0.4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	e := New[float64](2)
 	defer e.Close()
-	if err := e.BuildPairlist(nil, nl, p, st.Pos); err != nil {
+	if err := e.BuildPairlist(nil, nl, p, pos); err != nil {
 		t.Fatal(err)
 	}
 	if nl.Builds() != 1 {
@@ -168,11 +171,12 @@ func TestBuildPairlistNilContext(t *testing.T) {
 // without corrupting each other's lists.
 func TestBuildPairlistSharedEngineConcurrent(t *testing.T) {
 	st, p := makeState(t, 500)
+	pos := md.CoordsFromV3(st.Pos)
 	ref, err := md.NewNeighborList[float64](0.4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref.Build(p, st.Pos)
+	ref.Build(p, pos)
 
 	e := New[float64](4)
 	defer e.Close()
@@ -190,7 +194,7 @@ func TestBuildPairlistSharedEngineConcurrent(t *testing.T) {
 				errs[c] = err
 				return
 			}
-			errs[c] = e.BuildPairlist(context.Background(), nl, p, st.Pos)
+			errs[c] = e.BuildPairlist(context.Background(), nl, p, pos)
 			lists[c] = nl
 		}()
 	}
@@ -199,6 +203,6 @@ func TestBuildPairlistSharedEngineConcurrent(t *testing.T) {
 		if errs[c] != nil {
 			t.Fatalf("caller %d: %v", c, errs[c])
 		}
-		samePairs(t, ref, lists[c], len(st.Pos), "concurrent caller")
+		samePairs(t, ref, lists[c], pos.Len(), "concurrent caller")
 	}
 }

@@ -9,7 +9,6 @@ import (
 	"repro/internal/faults"
 	"repro/internal/lattice"
 	"repro/internal/md"
-	"repro/internal/vec"
 )
 
 // TestEngineContextCancelInterruptsDelayedWorker pins that a cancelled
@@ -24,7 +23,8 @@ func TestEngineContextCancelInterruptsDelayedWorker(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := md.Params[float64]{Box: st.Box, Cutoff: 2.2, Dt: 0.004}
-	acc := make([]vec.V3[float64], len(st.Pos))
+	pos := md.CoordsFromV3(st.Pos)
+	acc := md.MakeCoords[float64](pos.Len())
 
 	e := New[float64](4)
 	defer e.Close()
@@ -37,7 +37,7 @@ func TestEngineContextCancelInterruptsDelayedWorker(t *testing.T) {
 	time.AfterFunc(10*time.Millisecond, cancel)
 
 	start := time.Now()
-	_, err = e.TryForcesDirect(p, st.Pos, acc)
+	_, err = e.TryForcesDirect(p, pos, acc)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("error %v, want context.Canceled", err)
 	}
@@ -57,27 +57,28 @@ func TestEngineCancelledContextSkipsWork(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := md.Params[float64]{Box: st.Box, Cutoff: 2.2, Dt: 0.004}
-	acc := make([]vec.V3[float64], len(st.Pos))
+	pos := md.CoordsFromV3(st.Pos)
+	acc := md.MakeCoords[float64](pos.Len())
 
 	e := New[float64](2)
 	defer e.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	e.SetContext(ctx)
-	if _, err := e.TryForcesDirect(p, st.Pos, acc); !errors.Is(err, context.Canceled) {
+	if _, err := e.TryForcesDirect(p, pos, acc); !errors.Is(err, context.Canceled) {
 		t.Fatalf("direct: %v, want context.Canceled", err)
 	}
 	nl, err := md.NewNeighborList[float64](0.4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.TryForcesPairlist(nl, p, st.Pos, acc); !errors.Is(err, context.Canceled) {
+	if _, err := e.TryForcesPairlist(nl, p, pos, acc); !errors.Is(err, context.Canceled) {
 		t.Fatalf("pairlist: %v, want context.Canceled", err)
 	}
 
 	// Clearing the context restores normal evaluation.
 	e.SetContext(nil)
-	if _, err := e.TryForcesDirect(p, st.Pos, acc); err != nil {
+	if _, err := e.TryForcesDirect(p, pos, acc); err != nil {
 		t.Fatalf("after clearing context: %v", err)
 	}
 }

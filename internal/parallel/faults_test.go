@@ -9,12 +9,11 @@ import (
 	"repro/internal/faults"
 	"repro/internal/lattice"
 	"repro/internal/md"
-	"repro/internal/vec"
 )
 
 // faultState builds a small standard-liquid state shared by the
 // injection tests.
-func faultState(t testing.TB, n int) (md.Params[float64], []vec.V3[float64], []vec.V3[float64]) {
+func faultState(t testing.TB, n int) (md.Params[float64], md.Coords[float64], md.Coords[float64]) {
 	t.Helper()
 	st, err := lattice.Generate(lattice.Config{
 		N: n, Density: 0.8442, Temperature: 0.728, Kind: lattice.FCC, Seed: 9,
@@ -23,11 +22,7 @@ func faultState(t testing.TB, n int) (md.Params[float64], []vec.V3[float64], []v
 		t.Fatal(err)
 	}
 	return md.Params[float64]{Box: st.Box, Cutoff: 2.5, Dt: 0.004},
-		toV3(st.Pos), make([]vec.V3[float64], n)
-}
-
-func toV3(pos []vec.V3[float64]) []vec.V3[float64] {
-	return append([]vec.V3[float64](nil), pos...)
+		md.CoordsFromV3(st.Pos), md.MakeCoords[float64](n)
 }
 
 // TestWorkerPanicBecomesError pins worker isolation: an injected panic
@@ -55,7 +50,7 @@ func TestWorkerPanicBecomesError(t *testing.T) {
 		if err != nil {
 			t.Fatalf("workers=%d: pool dead after recovered panic: %v", workers, err)
 		}
-		ref := make([]vec.V3[float64], len(pos))
+		ref := md.MakeCoords[float64](pos.Len())
 		want := md.ComputeForcesFull(p, pos, ref)
 		if rel := math.Abs(pe-want) / (1 + math.Abs(want)); rel > 1e-12 {
 			t.Fatalf("workers=%d: post-panic PE %v vs serial %v", workers, pe, want)
@@ -125,7 +120,7 @@ func TestWorkerDelayKeepsResultsCorrect(t *testing.T) {
 	p, pos, acc := faultState(t, 108)
 	e := New[float64](4)
 	defer e.Close()
-	clean := make([]vec.V3[float64], len(pos))
+	clean := md.MakeCoords[float64](pos.Len())
 	peClean, err := e.TryForcesDirect(p, pos, clean)
 	if err != nil {
 		t.Fatal(err)
@@ -141,8 +136,8 @@ func TestWorkerDelayKeepsResultsCorrect(t *testing.T) {
 	if pe != peClean {
 		t.Fatalf("delayed PE %v != clean PE %v", pe, peClean)
 	}
-	for i := range acc {
-		if acc[i] != clean[i] {
+	for i := 0; i < acc.Len(); i++ {
+		if acc.At(i) != clean.At(i) {
 			t.Fatalf("delayed forces diverged at atom %d", i)
 		}
 	}
@@ -176,8 +171,9 @@ func TestParallelForcesCorruption(t *testing.T) {
 	}
 }
 
-func hasNaN(arr []vec.V3[float64]) bool {
-	for _, v := range arr {
+func hasNaN(arr md.Coords[float64]) bool {
+	for i := 0; i < arr.Len(); i++ {
+		v := arr.At(i)
 		if math.IsNaN(v.X) || math.IsNaN(v.Y) || math.IsNaN(v.Z) {
 			return true
 		}

@@ -35,7 +35,7 @@ import (
 // row-stride cancellation, disarmed-fault contract, and build mutex
 // (so float32 and float64 builds on a shared engine serialize against
 // each other).
-func (e *Engine[T]) BuildPairlistF32(ctx context.Context, nl *md.NeighborList[float32], p md.Params[float32], pos []vec.V3[float32]) error {
+func (e *Engine[T]) BuildPairlistF32(ctx context.Context, nl *md.NeighborList[float32], p md.Params[float32], pos md.Coords[float32]) error {
 	return buildPairlist(e, ctx, nl, p, pos)
 }
 
@@ -43,7 +43,7 @@ func (e *Engine[T]) BuildPairlistF32(ctx context.Context, nl *md.NeighborList[fl
 // panicking on a worker failure; error-aware callers use
 // TryForcesPairlistF32. acc is overwritten; the return value is the
 // float64 potential energy.
-func (e *Engine[T]) ForcesPairlistF32(nl *md.NeighborList[float32], p md.Params[float32], pos []vec.V3[float32], acc []vec.V3[float64]) float64 {
+func (e *Engine[T]) ForcesPairlistF32(nl *md.NeighborList[float32], p md.Params[float32], pos md.Coords[float32], acc md.Coords[float64]) float64 {
 	pe, err := e.TryForcesPairlistF32(nl, p, pos, acc)
 	if err != nil {
 		panic(err)
@@ -61,14 +61,14 @@ func (e *Engine[T]) ForcesPairlistF32(nl *md.NeighborList[float32], p md.Params[
 // float64 potential energy. Output bytes — acc and the energy — are
 // identical for every worker count. A worker panic surfaces as an
 // error; on error, acc is undefined.
-func (e *Engine[T]) TryForcesPairlistF32(nl *md.NeighborList[float32], p md.Params[float32], pos []vec.V3[float32], acc []vec.V3[float64]) (float64, error) {
+func (e *Engine[T]) TryForcesPairlistF32(nl *md.NeighborList[float32], p md.Params[float32], pos md.Coords[float32], acc md.Coords[float64]) (float64, error) {
 	if nl.Stale(p, pos) {
 		if err := e.BuildPairlistF32(e.evalCtx(), nl, p, pos); err != nil {
 			return 0, err
 		}
 	}
 	e.full32.Sync(nl)
-	n := len(pos)
+	n := pos.Len()
 	if cap(e.pe64) < n {
 		e.pe64 = make([]float64, n)
 	}
@@ -77,11 +77,11 @@ func (e *Engine[T]) TryForcesPairlistF32(nl *md.NeighborList[float32], p md.Para
 	err := e.run(func(w int) {
 		lo, hi := e.shardRange(n, w)
 		for i := lo; i < hi; i++ {
-			pi := pos[i]
+			pi := pos.At(i)
 			var ai vec.V3[float64]
 			var pei float64
 			for _, j := range e.full32.Row(i) {
-				d := md.MinImage(pi.Sub(pos[j]), p.Box)
+				d := md.MinImage(pi.Sub(pos.At(int(j))), p.Box)
 				r2 := d.Norm2()
 				if r2 >= rc2 || r2 == 0 {
 					continue
@@ -90,7 +90,7 @@ func (e *Engine[T]) TryForcesPairlistF32(nl *md.NeighborList[float32], p md.Para
 				pei += vec.Widen(v)
 				ai = vec.AccumAdd(ai, d.Scale(f))
 			}
-			acc[i] = ai
+			acc.Set(i, ai)
 			e.pe64[i] = pei
 		}
 	})
@@ -98,7 +98,7 @@ func (e *Engine[T]) TryForcesPairlistF32(nl *md.NeighborList[float32], p md.Para
 		return 0, err
 	}
 	if f := faults.Fire(e.inj, faults.SiteParallelForces); f != nil {
-		faults.CorruptV3(f.Kind, acc)
+		faults.CorruptPlane(f.Kind, acc.X)
 	}
 	// The gather visits each pair from both sides, so the tree-reduced
 	// per-atom energies double-count every pair.

@@ -7,12 +7,11 @@ import (
 
 	"repro/internal/lattice"
 	"repro/internal/md"
-	"repro/internal/vec"
 )
 
 // mixedFixture builds a float32 mirror plus a thermalized float64
 // state shared by the mixed-precision kernel tests.
-func mixedFixture(t testing.TB, n int) (*md.Mirror32, []vec.V3[float64], md.Params[float64]) {
+func mixedFixture(t testing.TB, n int) (*md.Mirror32, md.Coords[float64], md.Params[float64]) {
 	t.Helper()
 	st, err := lattice.Generate(lattice.Config{
 		N: n, Density: 0.8442, Temperature: 0.728, Kind: lattice.FCC, Seed: 23,
@@ -42,9 +41,9 @@ func mixedFixture(t testing.TB, n int) (*md.Mirror32, []vec.V3[float64], md.Para
 // regression to per-worker reduction order breaks it immediately.
 func TestForcesPairlistF32WorkersBitwise(t *testing.T) {
 	mx, _, _ := mixedFixture(t, 500)
-	n := len(mx.Pos)
+	n := mx.Pos.Len()
 
-	var refAcc []vec.V3[float64]
+	var refAcc md.Coords[float64]
 	var refPE float64
 	for _, w := range workerCounts {
 		e := New[float64](w)
@@ -53,13 +52,13 @@ func TestForcesPairlistF32WorkersBitwise(t *testing.T) {
 			e.Close()
 			t.Fatal(err)
 		}
-		acc := make([]vec.V3[float64], n)
+		acc := md.MakeCoords[float64](n)
 		pe, err := e.TryForcesPairlistF32(nl, mx.P, mx.Pos, acc)
 		e.Close()
 		if err != nil {
 			t.Fatalf("workers=%d: %v", w, err)
 		}
-		if refAcc == nil {
+		if refAcc.Len() == 0 {
 			refAcc, refPE = acc, pe
 			continue
 		}
@@ -67,10 +66,10 @@ func TestForcesPairlistF32WorkersBitwise(t *testing.T) {
 			t.Fatalf("workers=%d: PE bits %x differ from workers=%d bits %x",
 				w, math.Float64bits(pe), workerCounts[0], math.Float64bits(refPE))
 		}
-		for i := range acc {
-			if acc[i] != refAcc[i] {
+		for i := 0; i < acc.Len(); i++ {
+			if acc.At(i) != refAcc.At(i) {
 				t.Fatalf("workers=%d: force bytes differ at atom %d: %+v vs %+v",
-					w, i, acc[i], refAcc[i])
+					w, i, acc.At(i), refAcc.At(i))
 			}
 		}
 	}
@@ -82,13 +81,13 @@ func TestForcesPairlistF32WorkersBitwise(t *testing.T) {
 // serial scatter kernel to float64 summation roundoff.
 func TestForcesPairlistF32MatchesSerialMixed(t *testing.T) {
 	mx, _, _ := mixedFixture(t, 500)
-	n := len(mx.Pos)
+	n := mx.Pos.Len()
 
 	nlSerial, err := md.NewNeighborList[float32](0.4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	serialAcc := make([]vec.V3[float64], n)
+	serialAcc := md.MakeCoords[float64](n)
 	serialPE := md.ForcesPairlistMixed(nlSerial, mx.P, mx.Pos, serialAcc)
 
 	e := New[float64](4)
@@ -97,7 +96,7 @@ func TestForcesPairlistF32MatchesSerialMixed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	acc := make([]vec.V3[float64], n)
+	acc := md.MakeCoords[float64](n)
 	pe, err := e.TryForcesPairlistF32(nl, mx.P, mx.Pos, acc)
 	if err != nil {
 		t.Fatal(err)
@@ -106,8 +105,8 @@ func TestForcesPairlistF32MatchesSerialMixed(t *testing.T) {
 	if rel := math.Abs(pe-serialPE) / math.Abs(serialPE); rel > 1e-12 {
 		t.Fatalf("gather PE %v vs serial scatter PE %v (rel %v)", pe, serialPE, rel)
 	}
-	for i := range acc {
-		if d := acc[i].Sub(serialAcc[i]).Norm(); d > 1e-10 {
+	for i := 0; i < acc.Len(); i++ {
+		if d := acc.At(i).Sub(serialAcc.At(i)).Norm(); d > 1e-10 {
 			t.Fatalf("atom %d: gather force differs from serial by %v", i, d)
 		}
 	}
@@ -140,7 +139,7 @@ func TestBuildPairlistF32MatchesSerialBuild(t *testing.T) {
 			t.Fatalf("workers=%d: %v", w, err)
 		}
 		e.Close()
-		for i := range mx.Pos {
+		for i := 0; i < mx.Pos.Len(); i++ {
 			a, b := want.Neighbors(i), nl.Neighbors(i)
 			if len(a) != len(b) {
 				t.Fatalf("workers=%d: row %d has %d neighbors, want %d", w, i, len(b), len(a))
@@ -181,13 +180,13 @@ func TestBuildPairlistF32Cancellation(t *testing.T) {
 // sharding may not add error.
 func TestForcesPairlistF32MatchesFloat64(t *testing.T) {
 	mx, pos, p := mixedFixture(t, 500)
-	n := len(pos)
+	n := pos.Len()
 
 	nl64, err := md.NewNeighborList[float64](0.4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	oracle := make([]vec.V3[float64], n)
+	oracle := md.MakeCoords[float64](n)
 	pe64 := nl64.Forces(p, pos, oracle)
 
 	e := New[float64](4)
@@ -196,19 +195,21 @@ func TestForcesPairlistF32MatchesFloat64(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	acc := make([]vec.V3[float64], n)
+	acc := md.MakeCoords[float64](n)
 	pe32, err := e.TryForcesPairlistF32(nl, mx.P, mx.Pos, acc)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	var scale float64
-	for _, a := range oracle {
+	for i := 0; i < oracle.Len(); i++ {
+		a := oracle.At(i)
 		scale = math.Max(scale, math.Max(math.Abs(a.X), math.Max(math.Abs(a.Y), math.Abs(a.Z))))
 	}
-	for i := range oracle {
+	for i := 0; i < oracle.Len(); i++ {
+		ai, oi := acc.At(i), oracle.At(i)
 		for _, c := range [][2]float64{
-			{acc[i].X, oracle[i].X}, {acc[i].Y, oracle[i].Y}, {acc[i].Z, oracle[i].Z},
+			{ai.X, oi.X}, {ai.Y, oi.Y}, {ai.Z, oi.Z},
 		} {
 			if rel := math.Abs(c[0]-c[1]) / math.Max(math.Abs(c[1]), scale); rel > 1e-5 {
 				t.Fatalf("atom %d: component error %v > 1e-5", i, rel)

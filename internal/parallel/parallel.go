@@ -105,11 +105,11 @@ type Engine[T vec.Float] struct {
 
 // shard is one worker's private state.
 type shard[T vec.Float] struct {
-	pe      T           // partial potential energy
-	pairs   int64       // partial interacting-pair count
-	ledger  sim.Ledger  // partial op accounting (instrumented runs)
-	acc     []vec.V3[T] // private accumulator (pairlist kernel)
-	cellbuf []int       // neighbor-cell scratch (cell kernel)
+	pe      T            // partial potential energy
+	pairs   int64        // partial interacting-pair count
+	ledger  sim.Ledger   // partial op accounting (instrumented runs)
+	acc     md.Coords[T] // private accumulator (pairlist kernel)
+	cellbuf []int        // neighbor-cell scratch (cell kernel)
 }
 
 // New creates an engine with ClampWorkers(workers) workers. With one
@@ -245,9 +245,9 @@ func (e *Engine[T]) run(fn func(w int)) error { return e.runN(e.workers, fn) }
 
 // corruptOutput applies any armed parallel-forces fault to a completed
 // kernel's output.
-func (e *Engine[T]) corruptOutput(acc []vec.V3[T]) {
+func (e *Engine[T]) corruptOutput(acc md.Coords[T]) {
 	if f := faults.Fire(e.inj, faults.SiteParallelForces); f != nil {
-		faults.CorruptV3(f.Kind, acc)
+		faults.CorruptPlane(f.Kind, acc.X)
 	}
 }
 
@@ -273,7 +273,7 @@ func (e *Engine[T]) reducePE() T {
 // value is the total potential energy. With one worker the result is
 // bitwise identical to md.ComputeForcesFull. A worker failure panics
 // on the caller's goroutine; error-aware callers use TryForcesDirect.
-func (e *Engine[T]) ForcesDirect(p md.Params[T], pos, acc []vec.V3[T]) T {
+func (e *Engine[T]) ForcesDirect(p md.Params[T], pos, acc md.Coords[T]) T {
 	pe, _ := e.ForcesDirectCount(p, pos, acc)
 	return pe
 }
@@ -281,14 +281,14 @@ func (e *Engine[T]) ForcesDirect(p md.Params[T], pos, acc []vec.V3[T]) T {
 // TryForcesDirect is ForcesDirect on the error-returning kernel path:
 // a worker panic (real or injected) surfaces as an error and the
 // process — and the pool — survive. On error, acc is undefined.
-func (e *Engine[T]) TryForcesDirect(p md.Params[T], pos, acc []vec.V3[T]) (T, error) {
+func (e *Engine[T]) TryForcesDirect(p md.Params[T], pos, acc md.Coords[T]) (T, error) {
 	pe, _, err := e.forcesDirectCount(p, pos, acc)
 	return pe, err
 }
 
 // ForcesDirectCount is ForcesDirect plus the count of ordered
 // interacting pairs, mirroring md.ComputeForcesFullCount.
-func (e *Engine[T]) ForcesDirectCount(p md.Params[T], pos, acc []vec.V3[T]) (T, int64) {
+func (e *Engine[T]) ForcesDirectCount(p md.Params[T], pos, acc md.Coords[T]) (T, int64) {
 	pe, pairs, err := e.forcesDirectCount(p, pos, acc)
 	if err != nil {
 		panic(err)
@@ -296,8 +296,8 @@ func (e *Engine[T]) ForcesDirectCount(p md.Params[T], pos, acc []vec.V3[T]) (T, 
 	return pe, pairs
 }
 
-func (e *Engine[T]) forcesDirectCount(p md.Params[T], pos, acc []vec.V3[T]) (T, int64, error) {
-	n := len(pos)
+func (e *Engine[T]) forcesDirectCount(p md.Params[T], pos, acc md.Coords[T]) (T, int64, error) {
+	n := pos.Len()
 	rc2 := p.Cutoff * p.Cutoff
 	err := e.run(func(w int) {
 		lo, hi := e.shardRange(n, w)
@@ -305,14 +305,14 @@ func (e *Engine[T]) forcesDirectCount(p md.Params[T], pos, acc []vec.V3[T]) (T, 
 		var pe T
 		var pairs int64
 		for i := lo; i < hi; i++ {
-			pi := pos[i]
+			pi := pos.At(i)
 			var ai vec.V3[T]
 			var pei T
 			for j := 0; j < n; j++ {
 				if j == i {
 					continue
 				}
-				d := md.MinImage(pi.Sub(pos[j]), p.Box)
+				d := md.MinImage(pi.Sub(pos.At(j)), p.Box)
 				r2 := d.Norm2()
 				if r2 >= rc2 || r2 == 0 {
 					continue
@@ -322,7 +322,7 @@ func (e *Engine[T]) forcesDirectCount(p md.Params[T], pos, acc []vec.V3[T]) (T, 
 				pei += v
 				ai = ai.Add(d.Scale(f))
 			}
-			acc[i] = ai
+			acc.Set(i, ai)
 			pe += pei
 		}
 		sh.pe = pe
@@ -365,8 +365,8 @@ var (
 // into a private sim.Ledger and the ledgers are folded with
 // sim.MergeAll. The physics is identical to ForcesDirect; the ledger
 // feeds device-model-style cycle accounting for the host path.
-func (e *Engine[T]) ForcesDirectInstrumented(p md.Params[T], pos, acc []vec.V3[T]) (T, sim.Ledger) {
-	n := len(pos)
+func (e *Engine[T]) ForcesDirectInstrumented(p md.Params[T], pos, acc md.Coords[T]) (T, sim.Ledger) {
+	n := pos.Len()
 	rc2 := p.Cutoff * p.Cutoff
 	err := e.run(func(w int) {
 		lo, hi := e.shardRange(n, w)
@@ -375,7 +375,7 @@ func (e *Engine[T]) ForcesDirectInstrumented(p md.Params[T], pos, acc []vec.V3[T
 		var pe T
 		var candidates, interactions int64
 		for i := lo; i < hi; i++ {
-			pi := pos[i]
+			pi := pos.At(i)
 			var ai vec.V3[T]
 			var pei T
 			for j := 0; j < n; j++ {
@@ -383,7 +383,7 @@ func (e *Engine[T]) ForcesDirectInstrumented(p md.Params[T], pos, acc []vec.V3[T
 					continue
 				}
 				candidates++
-				d := md.MinImage(pi.Sub(pos[j]), p.Box)
+				d := md.MinImage(pi.Sub(pos.At(j)), p.Box)
 				r2 := d.Norm2()
 				if r2 >= rc2 || r2 == 0 {
 					continue
@@ -393,7 +393,7 @@ func (e *Engine[T]) ForcesDirectInstrumented(p md.Params[T], pos, acc []vec.V3[T
 				pei += v
 				ai = ai.Add(d.Scale(f))
 			}
-			acc[i] = ai
+			acc.Set(i, ai)
 			pe += pei
 		}
 		sh.pe = pe
@@ -424,7 +424,7 @@ func (e *Engine[T]) ForcesDirectInstrumented(p md.Params[T], pos, acc []vec.V3[T
 // potential energy, matching cl.Forces to rounding. A worker failure
 // panics on the caller's goroutine; error-aware callers use
 // TryForcesCell.
-func (e *Engine[T]) ForcesCell(cl *md.CellList[T], p md.Params[T], pos, acc []vec.V3[T]) T {
+func (e *Engine[T]) ForcesCell(cl *md.CellList[T], p md.Params[T], pos, acc md.Coords[T]) T {
 	pe, err := e.TryForcesCell(cl, p, pos, acc)
 	if err != nil {
 		panic(err)
@@ -435,7 +435,7 @@ func (e *Engine[T]) ForcesCell(cl *md.CellList[T], p md.Params[T], pos, acc []ve
 // TryForcesCell is ForcesCell on the error-returning kernel path: a
 // worker panic (real or injected) surfaces as an error and the process
 // — and the pool — survive. On error, acc is undefined.
-func (e *Engine[T]) TryForcesCell(cl *md.CellList[T], p md.Params[T], pos, acc []vec.V3[T]) (T, error) {
+func (e *Engine[T]) TryForcesCell(cl *md.CellList[T], p md.Params[T], pos, acc md.Coords[T]) (T, error) {
 	cl.Build(pos)
 	ncells := cl.NumCells()
 	rc2 := p.Cutoff * p.Cutoff
@@ -452,7 +452,7 @@ func (e *Engine[T]) TryForcesCell(cl *md.CellList[T], p md.Params[T], pos, acc [
 			}
 			cells := cl.NeighborCells(c, sh.cellbuf)
 			for i := cl.Head(c); i >= 0; i = cl.Next(i) {
-				pi := pos[i]
+				pi := pos.At(int(i))
 				var ai vec.V3[T]
 				var pei T
 				for _, nc := range cells {
@@ -460,7 +460,7 @@ func (e *Engine[T]) TryForcesCell(cl *md.CellList[T], p md.Params[T], pos, acc [
 						if j == i {
 							continue
 						}
-						d := md.MinImage(pi.Sub(pos[j]), p.Box)
+						d := md.MinImage(pi.Sub(pos.At(int(j))), p.Box)
 						r2 := d.Norm2()
 						if r2 >= rc2 || r2 == 0 {
 							continue
@@ -470,7 +470,7 @@ func (e *Engine[T]) TryForcesCell(cl *md.CellList[T], p md.Params[T], pos, acc [
 						ai = ai.Add(d.Scale(f))
 					}
 				}
-				acc[i] = ai
+				acc.Set(int(i), ai)
 				pe += pei
 			}
 		}
@@ -504,7 +504,7 @@ const buildCtxStride = 256
 // runners sharing one engine: concurrent builds serialize on an
 // internal mutex. This is the fleet scheduler's shared-build-pool
 // contract; each call still observes only its own context.
-func (e *Engine[T]) BuildPairlist(ctx context.Context, nl *md.NeighborList[T], p md.Params[T], pos []vec.V3[T]) error {
+func (e *Engine[T]) BuildPairlist(ctx context.Context, nl *md.NeighborList[T], p md.Params[T], pos md.Coords[T]) error {
 	return buildPairlist(e, ctx, nl, p, pos)
 }
 
@@ -522,14 +522,14 @@ const serialBuildAtoms = 4096
 // BuildPairlistF32: the engine's scheduling is independent of the
 // list's element width F, so one implementation serves both the
 // native-width and the mixed-precision builds.
-func buildPairlist[T, F vec.Float](e *Engine[T], ctx context.Context, nl *md.NeighborList[F], p md.Params[F], pos []vec.V3[F]) error {
+func buildPairlist[T, F vec.Float](e *Engine[T], ctx context.Context, nl *md.NeighborList[F], p md.Params[F], pos md.Coords[F]) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	e.buildMu.Lock()
 	defer e.buildMu.Unlock()
 	grid := nl.BeginBuild(p, pos)
-	n := len(pos)
+	n := pos.Len()
 	var err error
 	if e.workers <= 1 || n < serialBuildAtoms {
 		// Inline build (see serialBuildAtoms). callWith keeps the
@@ -574,7 +574,7 @@ func buildPairlist[T, F vec.Float](e *Engine[T], ctx context.Context, nl *md.Nei
 // potential energy, matching nl.Forces to rounding. A worker failure
 // panics on the caller's goroutine; error-aware callers use
 // TryForcesPairlist.
-func (e *Engine[T]) ForcesPairlist(nl *md.NeighborList[T], p md.Params[T], pos, acc []vec.V3[T]) T {
+func (e *Engine[T]) ForcesPairlist(nl *md.NeighborList[T], p md.Params[T], pos, acc md.Coords[T]) T {
 	pe, err := e.TryForcesPairlist(nl, p, pos, acc)
 	if err != nil {
 		panic(err)
@@ -585,24 +585,19 @@ func (e *Engine[T]) ForcesPairlist(nl *md.NeighborList[T], p md.Params[T], pos, 
 // TryForcesPairlist is ForcesPairlist on the error-returning kernel
 // path: a worker panic (real or injected) surfaces as an error and the
 // process — and the pool — survive. On error, acc is undefined.
-func (e *Engine[T]) TryForcesPairlist(nl *md.NeighborList[T], p md.Params[T], pos, acc []vec.V3[T]) (T, error) {
+func (e *Engine[T]) TryForcesPairlist(nl *md.NeighborList[T], p md.Params[T], pos, acc md.Coords[T]) (T, error) {
 	if nl.Stale(p, pos) {
 		if err := e.BuildPairlist(e.evalCtx(), nl, p, pos); err != nil {
 			return 0, err
 		}
 	}
-	n := len(pos)
+	n := pos.Len()
 	total := nl.PairCount()
 	rc2 := p.Cutoff * p.Cutoff
 	err := e.run(func(w int) {
 		sh := &e.shards[w]
-		if cap(sh.acc) < n {
-			sh.acc = make([]vec.V3[T], n)
-		}
-		sh.acc = sh.acc[:n]
-		for i := range sh.acc {
-			sh.acc[i] = vec.V3[T]{}
-		}
+		sh.acc.Resize(n)
+		sh.acc.Zero()
 		// Worker w owns the flattened pair range [lo, hi).
 		lo := w * total / e.workers
 		hi := (w + 1) * total / e.workers
@@ -622,9 +617,9 @@ func (e *Engine[T]) TryForcesPairlist(nl *md.NeighborList[T], p md.Params[T], po
 				to = hi - seen
 			}
 			seen += len(js)
-			pi := pos[i]
+			pi := pos.At(i)
 			for _, j := range js[from:to] {
-				d := md.MinImage(pi.Sub(pos[j]), p.Box)
+				d := md.MinImage(pi.Sub(pos.At(int(j))), p.Box)
 				r2 := d.Norm2()
 				if r2 >= rc2 || r2 == 0 {
 					continue
@@ -632,8 +627,8 @@ func (e *Engine[T]) TryForcesPairlist(nl *md.NeighborList[T], p md.Params[T], po
 				v, f := md.LJPair(p, r2)
 				pe += v
 				fd := d.Scale(f)
-				sh.acc[i] = sh.acc[i].Add(fd)
-				sh.acc[j] = sh.acc[j].Sub(fd)
+				sh.acc.Add(i, fd)
+				sh.acc.Sub(int(j), fd)
 			}
 		}
 		sh.pe = pe
@@ -655,8 +650,14 @@ func (e *Engine[T]) TryForcesPairlist(nl *md.NeighborList[T], p md.Params[T], po
 		if err := e.runN(nadds, func(k int) {
 			w := k * 2 * stride
 			dst, src := e.shards[w].acc, e.shards[w+stride].acc
-			for i := range dst {
-				dst[i] = dst[i].Add(src[i])
+			for i := range dst.X {
+				dst.X[i] += src.X[i]
+			}
+			for i := range dst.Y {
+				dst.Y[i] += src.Y[i]
+			}
+			for i := range dst.Z {
+				dst.Z[i] += src.Z[i]
 			}
 		}); err != nil {
 			return 0, err
@@ -665,7 +666,9 @@ func (e *Engine[T]) TryForcesPairlist(nl *md.NeighborList[T], p md.Params[T], po
 	// Publish shard 0's totals into acc, sharded by atom range.
 	if err := e.run(func(w int) {
 		lo, hi := e.shardRange(n, w)
-		copy(acc[lo:hi], e.shards[0].acc[lo:hi])
+		copy(acc.X[lo:hi], e.shards[0].acc.X[lo:hi])
+		copy(acc.Y[lo:hi], e.shards[0].acc.Y[lo:hi])
+		copy(acc.Z[lo:hi], e.shards[0].acc.Z[lo:hi])
 	}); err != nil {
 		return 0, err
 	}

@@ -53,18 +53,19 @@ func TestClampWorkers(t *testing.T) {
 // must agree bit for bit.
 func TestDirectOneWorkerBitwise(t *testing.T) {
 	st, p := makeState(t, 256)
+	pos := md.CoordsFromV3(st.Pos)
 	e := New[float64](1)
 	defer e.Close()
-	accPar := make([]vec.V3[float64], len(st.Pos))
-	accRef := make([]vec.V3[float64], len(st.Pos))
-	pePar := e.ForcesDirect(p, st.Pos, accPar)
-	peRef := md.ComputeForcesFull(p, st.Pos, accRef)
+	accPar := md.MakeCoords[float64](pos.Len())
+	accRef := md.MakeCoords[float64](pos.Len())
+	pePar := e.ForcesDirect(p, pos, accPar)
+	peRef := md.ComputeForcesFull(p, pos, accRef)
 	if pePar != peRef {
 		t.Fatalf("PE differs bitwise: parallel %v, serial %v", pePar, peRef)
 	}
-	for i := range accRef {
-		if accPar[i] != accRef[i] {
-			t.Fatalf("acc[%d] differs bitwise: %+v vs %+v", i, accPar[i], accRef[i])
+	for i := 0; i < accRef.Len(); i++ {
+		if accPar.At(i) != accRef.At(i) {
+			t.Fatalf("acc[%d] differs bitwise: %+v vs %+v", i, accPar.At(i), accRef.At(i))
 		}
 	}
 }
@@ -73,14 +74,15 @@ func TestDirectOneWorkerBitwise(t *testing.T) {
 // formulations within 1e-10 relative — the acceptance tolerance.
 func TestDirectMatchesSerial(t *testing.T) {
 	st, p := makeState(t, 500)
-	accHalf := make([]vec.V3[float64], len(st.Pos))
-	accFull := make([]vec.V3[float64], len(st.Pos))
-	peHalf := md.ComputeForces(p, st.Pos, accHalf)
-	peFull, wantPairs := md.ComputeForcesFullCount(p, st.Pos, accFull)
+	pos := md.CoordsFromV3(st.Pos)
+	accHalf := md.MakeCoords[float64](pos.Len())
+	accFull := md.MakeCoords[float64](pos.Len())
+	peHalf := md.ComputeForces(p, pos, accHalf)
+	peFull, wantPairs := md.ComputeForcesFullCount(p, pos, accFull)
 	for _, w := range workerCounts {
 		e := New[float64](w)
-		acc := make([]vec.V3[float64], len(st.Pos))
-		pe, pairs := e.ForcesDirectCount(p, st.Pos, acc)
+		acc := md.MakeCoords[float64](pos.Len())
+		pe, pairs := e.ForcesDirectCount(p, pos, acc)
 		if pairs != wantPairs {
 			t.Errorf("w=%d: %d interacting pairs, want %d", w, pairs, wantPairs)
 		}
@@ -90,11 +92,11 @@ func TestDirectMatchesSerial(t *testing.T) {
 		if d := relDiff(pe, peHalf); d > 1e-10 {
 			t.Errorf("w=%d: PE %v vs half-loop %v (rel %v)", w, pe, peHalf, d)
 		}
-		for i := range acc {
-			if acc[i] != accFull[i] {
+		for i := 0; i < acc.Len(); i++ {
+			if acc.At(i) != accFull.At(i) {
 				// Atom shards reproduce the serial per-atom gather
 				// exactly; any difference is a sharding bug.
-				t.Fatalf("w=%d: acc[%d] = %+v, want %+v", w, i, acc[i], accFull[i])
+				t.Fatalf("w=%d: acc[%d] = %+v, want %+v", w, i, acc.At(i), accFull.At(i))
 			}
 		}
 		e.Close()
@@ -103,26 +105,27 @@ func TestDirectMatchesSerial(t *testing.T) {
 
 func TestCellMatchesSerial(t *testing.T) {
 	st, p := makeState(t, 864) // box ~10.1: 4 cells per edge
+	pos := md.CoordsFromV3(st.Pos)
 	clRef, err := md.NewCellList(p.Box, p.Cutoff)
 	if err != nil {
 		t.Fatal(err)
 	}
-	accRef := make([]vec.V3[float64], len(st.Pos))
-	peRef := clRef.Forces(p, st.Pos, accRef)
+	accRef := md.MakeCoords[float64](pos.Len())
+	peRef := clRef.Forces(p, pos, accRef)
 	for _, w := range workerCounts {
 		e := New[float64](w)
 		cl, err := md.NewCellList(p.Box, p.Cutoff)
 		if err != nil {
 			t.Fatal(err)
 		}
-		acc := make([]vec.V3[float64], len(st.Pos))
-		pe := e.ForcesCell(cl, p, st.Pos, acc)
+		acc := md.MakeCoords[float64](pos.Len())
+		pe := e.ForcesCell(cl, p, pos, acc)
 		if d := relDiff(pe, peRef); d > 1e-12 {
 			t.Errorf("w=%d: PE %v vs serial cells %v (rel %v)", w, pe, peRef, d)
 		}
-		for i := range acc {
-			if acc[i].Sub(accRef[i]).Norm() > 1e-10*(1+accRef[i].Norm()) {
-				t.Fatalf("w=%d: acc[%d] = %+v, want %+v", w, i, acc[i], accRef[i])
+		for i := 0; i < acc.Len(); i++ {
+			if acc.At(i).Sub(accRef.At(i)).Norm() > 1e-10*(1+accRef.At(i).Norm()) {
+				t.Fatalf("w=%d: acc[%d] = %+v, want %+v", w, i, acc.At(i), accRef.At(i))
 			}
 		}
 		e.Close()
@@ -131,26 +134,27 @@ func TestCellMatchesSerial(t *testing.T) {
 
 func TestPairlistMatchesSerial(t *testing.T) {
 	st, p := makeState(t, 500)
+	pos := md.CoordsFromV3(st.Pos)
 	nlRef, err := md.NewNeighborList[float64](0.4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	accRef := make([]vec.V3[float64], len(st.Pos))
-	peRef := nlRef.Forces(p, st.Pos, accRef)
+	accRef := md.MakeCoords[float64](pos.Len())
+	peRef := nlRef.Forces(p, pos, accRef)
 	for _, w := range workerCounts {
 		e := New[float64](w)
 		nl, err := md.NewNeighborList[float64](0.4)
 		if err != nil {
 			t.Fatal(err)
 		}
-		acc := make([]vec.V3[float64], len(st.Pos))
-		pe := e.ForcesPairlist(nl, p, st.Pos, acc)
+		acc := md.MakeCoords[float64](pos.Len())
+		pe := e.ForcesPairlist(nl, p, pos, acc)
 		if d := relDiff(pe, peRef); d > 1e-12 {
 			t.Errorf("w=%d: PE %v vs serial pairlist %v (rel %v)", w, pe, peRef, d)
 		}
-		for i := range acc {
-			if acc[i].Sub(accRef[i]).Norm() > 1e-10*(1+accRef[i].Norm()) {
-				t.Fatalf("w=%d: acc[%d] = %+v, want %+v", w, i, acc[i], accRef[i])
+		for i := 0; i < acc.Len(); i++ {
+			if acc.At(i).Sub(accRef.At(i)).Norm() > 1e-10*(1+accRef.At(i).Norm()) {
+				t.Fatalf("w=%d: acc[%d] = %+v, want %+v", w, i, acc.At(i), accRef.At(i))
 			}
 		}
 		e.Close()
@@ -161,26 +165,27 @@ func TestPairlistMatchesSerial(t *testing.T) {
 // degenerates to the serial loop and must agree bit for bit.
 func TestPairlistOneWorkerBitwise(t *testing.T) {
 	st, p := makeState(t, 256)
+	pos := md.CoordsFromV3(st.Pos)
 	nlRef, err := md.NewNeighborList[float64](0.4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	accRef := make([]vec.V3[float64], len(st.Pos))
-	peRef := nlRef.Forces(p, st.Pos, accRef)
+	accRef := md.MakeCoords[float64](pos.Len())
+	peRef := nlRef.Forces(p, pos, accRef)
 	e := New[float64](1)
 	defer e.Close()
 	nl, err := md.NewNeighborList[float64](0.4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	acc := make([]vec.V3[float64], len(st.Pos))
-	pe := e.ForcesPairlist(nl, p, st.Pos, acc)
+	acc := md.MakeCoords[float64](pos.Len())
+	pe := e.ForcesPairlist(nl, p, pos, acc)
 	if pe != peRef {
 		t.Fatalf("PE differs bitwise: %v vs %v", pe, peRef)
 	}
-	for i := range acc {
-		if acc[i] != accRef[i] {
-			t.Fatalf("acc[%d] differs bitwise: %+v vs %+v", i, acc[i], accRef[i])
+	for i := 0; i < acc.Len(); i++ {
+		if acc.At(i) != accRef.At(i) {
+			t.Fatalf("acc[%d] differs bitwise: %+v vs %+v", i, acc.At(i), accRef.At(i))
 		}
 	}
 }
@@ -190,11 +195,12 @@ func TestPairlistOneWorkerBitwise(t *testing.T) {
 // count, and the physics must be unchanged by instrumentation.
 func TestInstrumentedLedgerWorkerInvariant(t *testing.T) {
 	st, p := makeState(t, 256)
+	pos := md.CoordsFromV3(st.Pos)
 	e1 := New[float64](1)
 	defer e1.Close()
-	acc := make([]vec.V3[float64], len(st.Pos))
-	peWant := e1.ForcesDirect(p, st.Pos, acc)
-	pe1, want := e1.ForcesDirectInstrumented(p, st.Pos, acc)
+	acc := md.MakeCoords[float64](pos.Len())
+	peWant := e1.ForcesDirect(p, pos, acc)
+	pe1, want := e1.ForcesDirectInstrumented(p, pos, acc)
 	if pe1 != peWant {
 		t.Fatalf("instrumentation changed the PE: %v vs %v", pe1, peWant)
 	}
@@ -203,7 +209,7 @@ func TestInstrumentedLedgerWorkerInvariant(t *testing.T) {
 	}
 	for _, w := range workerCounts[1:] {
 		e := New[float64](w)
-		pe, got := e.ForcesDirectInstrumented(p, st.Pos, acc)
+		pe, got := e.ForcesDirectInstrumented(p, pos, acc)
 		if got != want {
 			t.Errorf("w=%d: ledger %v, want %v", w, got.String(), want.String())
 		}
@@ -248,8 +254,8 @@ func TestTrajectoryReuse(t *testing.T) {
 			ref.Step()
 			par.StepWith(forces)
 		}
-		for i := range ref.Pos {
-			if d := ref.Pos[i].Sub(par.Pos[i]).Norm(); d > 1e-8 {
+		for i := 0; i < ref.N(); i++ {
+			if d := ref.Pos.At(i).Sub(par.Pos.At(i)).Norm(); d > 1e-8 {
 				t.Fatalf("%s: trajectories diverged at atom %d by %v", kernel, i, d)
 			}
 		}
@@ -260,14 +266,14 @@ func TestTrajectoryReuse(t *testing.T) {
 func TestFloat32Instantiation(t *testing.T) {
 	st, _ := makeState(t, 108)
 	p := md.Params[float32]{Box: float32(st.Box), Cutoff: 2.5, Dt: 0.004}
-	pos := make([]vec.V3[float32], len(st.Pos))
-	for i := range pos {
-		pos[i] = vec.FromV3f64[float32](st.Pos[i])
+	pos := md.MakeCoords[float32](len(st.Pos))
+	for i := range st.Pos {
+		pos.Set(i, vec.FromV3f64[float32](st.Pos[i]))
 	}
 	e := New[float32](3)
 	defer e.Close()
-	acc := make([]vec.V3[float32], len(pos))
-	accRef := make([]vec.V3[float32], len(pos))
+	acc := md.MakeCoords[float32](pos.Len())
+	accRef := md.MakeCoords[float32](pos.Len())
 	pe := e.ForcesDirect(p, pos, acc)
 	peRef := md.ComputeForcesFull(p, pos, accRef)
 	if rel := math.Abs(float64(pe-peRef)) / math.Abs(float64(peRef)); rel > 1e-5 {
@@ -295,19 +301,19 @@ func TestEmptyAndTinySystems(t *testing.T) {
 	e := New[float64](4)
 	defer e.Close()
 	// No atoms.
-	if pe := e.ForcesDirect(p, nil, nil); pe != 0 {
+	if pe := e.ForcesDirect(p, md.Coords[float64]{}, md.Coords[float64]{}); pe != 0 {
 		t.Fatalf("empty system PE = %v", pe)
 	}
 	// Fewer atoms than workers.
-	pos := []vec.V3[float64]{{X: 1, Y: 1, Z: 1}, {X: 2, Y: 1, Z: 1}}
-	acc := make([]vec.V3[float64], 2)
-	accRef := make([]vec.V3[float64], 2)
+	pos := md.CoordsFromV3([]vec.V3[float64]{{X: 1, Y: 1, Z: 1}, {X: 2, Y: 1, Z: 1}})
+	acc := md.MakeCoords[float64](2)
+	accRef := md.MakeCoords[float64](2)
 	pe := e.ForcesDirect(p, pos, acc)
 	peRef := md.ComputeForcesFull(p, pos, accRef)
 	if pe != peRef {
 		t.Fatalf("2-atom PE %v, want %v", pe, peRef)
 	}
-	if acc[0] != accRef[0] || acc[1] != accRef[1] {
-		t.Fatalf("2-atom acc %+v, want %+v", acc, accRef)
+	if acc.At(0) != accRef.At(0) || acc.At(1) != accRef.At(1) {
+		t.Fatalf("2-atom acc %+v, want %+v", acc.V3s(), accRef.V3s())
 	}
 }

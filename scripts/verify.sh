@@ -36,8 +36,16 @@ MDLINT="$(mktemp -d)/mdlint"
 trap 'rm -rf "$(dirname "$MDLINT")"' EXIT
 go build -o "$MDLINT" ./cmd/mdlint
 
-echo "==> mdlint ./... (with BENCH_PR9.json lint/certification stats)"
-"$MDLINT" -bench-json BENCH_PR9.json ./...
+echo "==> mdlint ./... (with BENCH_PR10.json lint/certification stats)"
+"$MDLINT" -bench-json BENCH_PR10.json ./...
+
+echo "==> go test -bench=StepAllocs -benchmem (zero-alloc steady-state stepping gate)"
+STEPALLOCS_OUT="$(BENCH_JSON=BENCH_PR10.json go test -run='^$' -bench=StepAllocs -benchmem -benchtime=50x .)"
+printf '%s\n' "$STEPALLOCS_OUT"
+if printf '%s\n' "$STEPALLOCS_OUT" | grep -E ' [1-9][0-9]* allocs/op' >/dev/null; then
+    echo "verify: BenchmarkStepAllocs reported a nonzero allocs/op — steady-state stepping must not allocate" >&2
+    exit 1
+fi
 
 echo "==> mdlint -certify ./... (determinism certificate vs committed golden)"
 "$MDLINT" -certify ./... > DETERMINISM_CERT.json.new
@@ -48,5 +56,16 @@ if ! diff -u DETERMINISM_CERT.json DETERMINISM_CERT.json.new; then
     exit 1
 fi
 rm -f DETERMINISM_CERT.json.new
+
+echo "==> hotalloc ledger <= 10 sites (PR-10 SoA arena contract)"
+SITES="$(sed -n 's/.*"count": *\([0-9][0-9]*\).*/\1/p' DETERMINISM_CERT.json | head -n 1)"
+echo "hotalloc ledger: ${SITES:-?} sites"
+if [ -z "$SITES" ] || [ "$SITES" -gt 10 ]; then
+    echo "verify: hotalloc ledger has ${SITES:-unknown} sites, budget is 10" >&2
+    exit 1
+fi
+
+echo "==> bench trajectory: BENCH_PR9.json -> BENCH_PR10.json"
+scripts/bench_diff.sh BENCH_PR9.json BENCH_PR10.json
 
 echo "verify: all gates passed"
